@@ -1,0 +1,72 @@
+// Coherence-protocol ablation: MESI (the paper's gem5 baseline) vs MOESI.
+//
+// The software queues bounce dirty lines between producer and consumer
+// cores; under MESI every read-snoop of a Modified line forces an LLC
+// writeback, while MOESI's Owned state keeps the dirty line in the
+// sourcing L1. This sweep quantifies how much of the software queues'
+// memory traffic is protocol-induced — and shows that VL's advantage is
+// *not* an artifact of the MESI baseline: VL barely moves between
+// protocols because its transfers bypass shared coherent state entirely.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "workloads/runner.hpp"
+
+namespace {
+
+using namespace vl;
+using squeue::Backend;
+using workloads::Kind;
+
+struct Row {
+  double ns;
+  std::uint64_t writebacks;
+  std::uint64_t mem_txns;
+};
+
+Row run_one(Kind k, Backend b, sim::Protocol proto, int scale) {
+  runtime::Machine m([&] {
+    sim::SystemConfig cfg = squeue::config_for(b);
+    cfg.cache.protocol = proto;
+    return cfg;
+  }());
+  squeue::ChannelFactory f(m, b);
+  workloads::WorkloadResult r;
+  switch (k) {
+    case Kind::kPingPong: r = workloads::run_pingpong(m, f, scale); break;
+    case Kind::kIncast: r = workloads::run_incast(m, f, scale); break;
+    default: r = workloads::run_pingpong(m, f, scale); break;
+  }
+  return {r.ns, r.mem.writebacks, r.mem.mem_txns()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int scale = vl::bench::arg_scale(argc, argv);
+  vl::bench::print_header("Ablation (protocol)",
+                          "MESI vs MOESI under queue traffic");
+
+  for (Kind k : {Kind::kPingPong, Kind::kIncast}) {
+    std::printf("\n-- %s --\n", workloads::to_string(k));
+    TextTable t({"backend", "MESI ns", "MOESI ns", "speedup",
+                 "MESI wbacks", "MOESI wbacks"});
+    for (Backend b : {Backend::kBlfq, Backend::kZmq, Backend::kVl}) {
+      const Row mesi = run_one(k, b, sim::Protocol::kMesi, scale);
+      const Row moesi = run_one(k, b, sim::Protocol::kMoesi, scale);
+      t.add_row({squeue::to_string(b), TextTable::num(mesi.ns, 0),
+                 TextTable::num(moesi.ns, 0),
+                 TextTable::num(mesi.ns / moesi.ns, 3) + "x",
+                 std::to_string(mesi.writebacks),
+                 std::to_string(moesi.writebacks)});
+    }
+    std::printf("%s", t.render().c_str());
+  }
+  std::printf(
+      "\nExpected shapes: MOESI trims the software queues' writebacks\n"
+      "(dirty queue lines stay in L1s), narrowing but not closing the gap\n"
+      "to VL; VL itself is nearly protocol-invariant because its data path\n"
+      "touches no shared coherent state.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#pragma once
+// Shared helpers for the figure-regeneration binaries.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace vl::bench {
+
+/// --scale N multiplier from argv (default 1); benches keep default sizes
+/// close to the paper's working points but allow quick smoke runs.
+inline int arg_scale(int argc, char** argv, int def = 1) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--scale") == 0) return std::atoi(argv[i + 1]);
+  return def;
+}
+
+inline void print_header(const char* fig, const char* what) {
+  std::printf("=============================================================\n");
+  std::printf("%s — %s\n", fig, what);
+  std::printf("=============================================================\n");
+}
+
+}  // namespace vl::bench

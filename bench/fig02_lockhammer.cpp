@@ -1,0 +1,100 @@
+// Fig. 2 — lockhammer: ns per lock acquisition for a CAS lock, ticket
+// lock, and spin lock as contending cores grow (paper: by 14 cores all
+// cost ~1000 ns on Platform 1).
+//
+// Native sweep on host threads plus the simulated sweep on the Table III
+// machine (where the cost is pure modelled coherence).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "native/lockhammer.hpp"
+#include "runtime/machine.hpp"
+#include "squeue/locks.hpp"
+
+namespace {
+
+using namespace vl;
+
+double sim_ns_per_acquire(squeue::SimLock& (*make)(runtime::Machine&),
+                          int threads, int per_thread) {
+  runtime::Machine m;
+  squeue::SimLock& lock = make(m);
+  for (int c = 0; c < threads; ++c) {
+    sim::spawn([](squeue::SimLock& l, sim::SimThread t, int n) -> sim::Co<void> {
+      for (int i = 0; i < n; ++i) {
+        co_await l.acquire(t);
+        co_await l.release(t);
+      }
+    }(lock, m.thread_on(static_cast<CoreId>(c)), per_thread));
+  }
+  m.run();
+  return m.ns(m.now()) / static_cast<double>(threads * per_thread);
+}
+
+// Lock factories with static storage so references stay valid per run.
+squeue::SimLock& make_cas(runtime::Machine& m) {
+  static std::unique_ptr<squeue::SimCasLock> l;
+  l = std::make_unique<squeue::SimCasLock>(m);
+  return *l;
+}
+squeue::SimLock& make_spin(runtime::Machine& m) {
+  static std::unique_ptr<squeue::SimSpinLock> l;
+  l = std::make_unique<squeue::SimSpinLock>(m);
+  return *l;
+}
+squeue::SimLock& make_ticket(runtime::Machine& m) {
+  static std::unique_ptr<squeue::SimTicketLock> l;
+  l = std::make_unique<squeue::SimTicketLock>(m);
+  return *l;
+}
+squeue::SimLock& make_mcs(runtime::Machine& m) {
+  static std::unique_ptr<squeue::SimMcsLock> l;
+  l = std::make_unique<squeue::SimMcsLock>(m);
+  return *l;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int scale = vl::bench::arg_scale(argc, argv);
+  vl::bench::print_header(
+      "Figure 2", "lockhammer: ns per acquire vs contending threads");
+
+  std::printf("\n-- native host threads --\n");
+  TextTable nat({"threads", "cas_lock", "ticket_lock", "spin_lock",
+                 "mcs_lock (ext)"});
+  for (int th : {1, 2, 4, 8, 14, 16}) {
+    const auto cas =
+        native::run_lockhammer(native::LockKind::kCas, th, 4000u * scale);
+    const auto tick =
+        native::run_lockhammer(native::LockKind::kTicket, th, 4000u * scale);
+    const auto spin =
+        native::run_lockhammer(native::LockKind::kSpin, th, 4000u * scale);
+    const auto mcs =
+        native::run_lockhammer(native::LockKind::kMcs, th, 4000u * scale);
+    nat.add_row({std::to_string(th), TextTable::num(cas.ns_per_op, 0),
+                 TextTable::num(tick.ns_per_op, 0),
+                 TextTable::num(spin.ns_per_op, 0),
+                 TextTable::num(mcs.ns_per_op, 0)});
+  }
+  std::printf("%s", nat.render().c_str());
+
+  std::printf("\n-- simulated Table III machine --\n");
+  TextTable sim({"threads", "cas_lock", "ticket_lock", "spin_lock",
+                 "mcs_lock (ext)"});
+  for (int th : {1, 2, 4, 8, 14, 16}) {
+    sim.add_row({std::to_string(th),
+                 TextTable::num(sim_ns_per_acquire(make_cas, th, 40 * scale), 0),
+                 TextTable::num(sim_ns_per_acquire(make_ticket, th, 40 * scale), 0),
+                 TextTable::num(sim_ns_per_acquire(make_spin, th, 40 * scale), 0),
+                 TextTable::num(sim_ns_per_acquire(make_mcs, th, 40 * scale), 0)});
+  }
+  std::printf("%s\n", sim.render().c_str());
+  std::printf("Expected shape: the paper's three locks rise steeply with "
+              "contention, reaching O(1000 ns) per acquisition at high "
+              "thread counts; the MCS extension grows far more gently "
+              "(local spinning, handoff on a private line).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Native microbenchmarks (google-benchmark) for the host-thread library:
+// queue and lock hot-path costs that complement the simulator figures.
+
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "native/locks.hpp"
+#include "native/mpmc_queue.hpp"
+#include "native/spsc_ring.hpp"
+
+namespace {
+
+using namespace vl::native;
+
+void BM_MpmcPushPop(benchmark::State& state) {
+  MpmcQueue<std::uint64_t> q(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    q.push(i++);
+    benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MpmcPushPop);
+
+void BM_MpmcContended(benchmark::State& state) {
+  static MpmcQueue<std::uint64_t>* q = nullptr;
+  if (state.thread_index() == 0) q = new MpmcQueue<std::uint64_t>(4096);
+  for (auto _ : state) {
+    if (state.thread_index() % 2 == 0) {
+      q->push(1);
+    } else {
+      benchmark::DoNotOptimize(q->pop());
+    }
+  }
+  if (state.thread_index() == 0) {
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * state.threads()));
+    // Leak q intentionally: other threads may still touch it during teardown.
+  }
+}
+BENCHMARK(BM_MpmcContended)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_SpscRing(benchmark::State& state) {
+  SpscRing<std::uint64_t> r(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    while (!r.try_push(i)) {
+    }
+    benchmark::DoNotOptimize(r.try_pop());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscRing);
+
+template <class Lock>
+void BM_LockUncontended(benchmark::State& state) {
+  Lock l;
+  for (auto _ : state) {
+    std::lock_guard<Lock> g(l);
+    benchmark::DoNotOptimize(&l);
+  }
+}
+BENCHMARK_TEMPLATE(BM_LockUncontended, CasLock);
+BENCHMARK_TEMPLATE(BM_LockUncontended, SpinLock);
+BENCHMARK_TEMPLATE(BM_LockUncontended, TicketLock);
+
+template <class Lock>
+void BM_LockContended(benchmark::State& state) {
+  static Lock* l = nullptr;
+  static std::uint64_t counter = 0;
+  if (state.thread_index() == 0) {
+    l = new Lock();
+    counter = 0;
+  }
+  for (auto _ : state) {
+    std::lock_guard<Lock> g(*l);
+    benchmark::DoNotOptimize(++counter);
+  }
+}
+BENCHMARK_TEMPLATE(BM_LockContended, CasLock)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_LockContended, SpinLock)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_LockContended, TicketLock)->Threads(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Bulk transfer: moving payloads bigger than a cache line with indirect
+// buffers (paper § III-D: "Messages larger than a cache line can be
+// incorporated via indirect buffers as pointers", VirtIO-1.1 style).
+//
+// A 3-stage camera pipeline on one Table III machine:
+//
+//   capture (core 0) --frames--> detect (core 4) --frames--> encode (core 8)
+//
+// 4 KiB "frames" travel by descriptor through two VL channels sharing one
+// region pool. The detect stage works zero-copy: it reads the frame in
+// place and forwards the same region, so each frame body is written once
+// and read twice while only two-word descriptors cross the queues. The
+// 8-region pool back-pressures capture whenever 8 frames are in flight.
+//
+//   $ ./examples/bulk_transfer
+
+#include <cstdio>
+#include <vector>
+
+#include "indirect/indirect.hpp"
+#include "runtime/machine.hpp"
+#include "squeue/factory.hpp"
+
+using namespace vl;
+using indirect::Descriptor;
+using indirect::IndirectChannel;
+using indirect::RegionPool;
+
+namespace {
+constexpr int kFrames = 64;
+constexpr std::size_t kFrameBytes = 4096;
+
+// Deterministic frame body: byte j of frame i is (i * 31 + j) mod 256.
+std::vector<std::uint8_t> make_frame(int i) {
+  std::vector<std::uint8_t> f(kFrameBytes);
+  for (std::size_t j = 0; j < kFrameBytes; ++j)
+    f[j] = static_cast<std::uint8_t>(i * 31 + j);
+  return f;
+}
+}  // namespace
+
+int main() {
+  runtime::Machine machine{squeue::config_for(squeue::Backend::kVl)};
+  squeue::ChannelFactory factory(machine, squeue::Backend::kVl);
+
+  auto cap_to_det = factory.make("capture_to_detect", 32, 2);
+  auto det_to_enc = factory.make("detect_to_encode", 32, 2);
+  RegionPool pool(machine, kFrameBytes, 8);
+  IndirectChannel stage1(machine, *cap_to_det, pool);
+  IndirectChannel stage2(machine, *det_to_enc, pool);
+
+  // Capture: allocate a region per frame, write the 4 KiB body, send the
+  // descriptor downstream.
+  sim::spawn([](IndirectChannel& out, sim::SimThread t) -> sim::Co<void> {
+    for (int i = 0; i < kFrames; ++i) {
+      const auto frame = make_frame(i);
+      co_await out.send_bytes(t, frame);
+    }
+  }(stage1, machine.thread_on(0)));
+
+  // Detect: zero-copy — inspect the frame in place and forward the same
+  // region. Ownership passes straight through; no copy, no recycle here.
+  std::uint64_t detections = 0;
+  sim::spawn([](IndirectChannel& in, IndirectChannel& out, sim::SimThread t,
+                std::uint64_t* found) -> sim::Co<void> {
+    for (int i = 0; i < kFrames; ++i) {
+      const Descriptor d = co_await in.recv_region(t);
+      const auto body = co_await in.read_region(t, d);
+      *found += body[0] % 3 == 0 ? 1 : 0;  // toy "object detector"
+      co_await out.send_region(t, d);      // forward without copying
+    }
+  }(stage1, stage2, machine.thread_on(4), &detections));
+
+  // Encode: consume by copy (recycles the region back to the pool).
+  int frames_ok = 0;
+  sim::spawn([](IndirectChannel& in, sim::SimThread t, int* ok) -> sim::Co<void> {
+    for (int i = 0; i < kFrames; ++i) {
+      const auto frame = co_await in.recv_bytes(t);
+      bool good = frame.size() == kFrameBytes;
+      if (good)
+        for (std::size_t j = 0; j < 16; ++j)
+          good &= frame[j] == static_cast<std::uint8_t>(i * 31 + j);
+      *ok += good ? 1 : 0;
+    }
+  }(stage2, machine.thread_on(8), &frames_ok));
+
+  machine.run();
+
+  const auto& st = machine.mem().stats();
+  std::printf("frames delivered intact: %d / %d\n", frames_ok, kFrames);
+  std::printf("toy detections: %llu\n",
+              static_cast<unsigned long long>(detections));
+  std::printf("regions free after run: %u / %u (no leaks)\n",
+              pool.free_count(), pool.capacity());
+  std::printf("simulated time: %.1f us  (%.0f ns per 4 KiB frame)\n",
+              machine.ns(machine.now()) / 1000.0,
+              machine.ns(machine.now()) / kFrames);
+  std::printf("DRAM transactions: %llu, snoops: %llu\n",
+              static_cast<unsigned long long>(st.mem_txns()),
+              static_cast<unsigned long long>(st.snoops));
+  const bool pass = frames_ok == kFrames && pool.free_count() == 8;
+  std::printf("%s\n", pass ? "OK" : "FAILED");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Quickstart: the smallest complete Virtual-Link program.
+//
+// Builds the Table III machine, opens one VL queue the POSIX-style way
+// (shm_open + mmap, Fig. 8b), then runs a producer thread on core 0 and a
+// consumer thread on core 1 exchanging 1000 messages through the routing
+// device — and shows the punchline: zero snoops, zero DRAM traffic.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "runtime/machine.hpp"
+#include "runtime/vl_queue.hpp"
+
+using namespace vl;
+
+int main() {
+  // 1. The machine: 16 cores, MESI hierarchy, one VLRD on the bus.
+  runtime::Machine machine;
+  runtime::VlQueueLib lib(machine);
+
+  // 2. Open a queue by name (allocates a SQI) and create one endpoint per
+  //    side. Each endpoint owns a private device address and a small
+  //    circular buffer of user-space cache lines.
+  const runtime::QueueHandle q = lib.open("quickstart_queue");
+  auto producer = lib.make_producer(q, machine.thread_on(0));
+  auto consumer = lib.make_consumer(q, machine.thread_on(1));
+
+  constexpr int kMessages = 1000;
+
+  // 3. Simulated threads are plain coroutines.
+  sim::spawn([](runtime::Producer& p) -> sim::Co<void> {
+    for (std::uint64_t i = 0; i < kMessages; ++i)
+      co_await p.enqueue1(i * i);
+  }(producer));
+
+  std::uint64_t checksum = 0;
+  sim::spawn([](runtime::Consumer& c, std::uint64_t* sum) -> sim::Co<void> {
+    for (int i = 0; i < kMessages; ++i) *sum += co_await c.dequeue1();
+  }(consumer, &checksum));
+
+  // 4. Run to completion and inspect.
+  machine.run();
+
+  std::uint64_t expect = 0;
+  for (std::uint64_t i = 0; i < kMessages; ++i) expect += i * i;
+
+  const auto& st = machine.mem().stats();
+  std::printf("delivered %d messages, checksum %s\n", kMessages,
+              checksum == expect ? "OK" : "MISMATCH");
+  std::printf("simulated time: %.1f us\n", machine.ns(machine.now()) / 1000.0);
+  std::printf("cache-line injections: %llu\n",
+              static_cast<unsigned long long>(st.injections));
+  std::printf("snoops: %llu, invalidations: %llu, DRAM transactions: %llu\n",
+              static_cast<unsigned long long>(st.snoops),
+              static_cast<unsigned long long>(st.invalidations),
+              static_cast<unsigned long long>(st.mem_txns()));
+  std::printf("(after warm-up, steady-state VL traffic is zero shared "
+              "coherent state — the paper's core claim)\n");
+  return checksum == expect ? 0 : 1;
+}

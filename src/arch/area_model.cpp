@@ -1,0 +1,72 @@
+#include "arch/area_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace vl::arch {
+
+unsigned AreaModel::index_bits() const {
+  const std::uint32_t n =
+      std::max({cfg_.prod_entries, cfg_.cons_entries, cfg_.link_entries});
+  return std::max(1u, static_cast<unsigned>(std::bit_width(n - 1)));
+}
+
+std::uint64_t AreaModel::prod_entry_bits() const {
+  // IN: valid + SQI + 64 B data + nextIn; LINK: nextL;
+  // OUT: out_valid + consTgt + core + mapped + nextOut.
+  const unsigned idx = index_bits();
+  const unsigned sqi = static_cast<unsigned>(
+      std::max(1u, static_cast<unsigned>(std::bit_width(cfg_.link_entries - 1))));
+  return 1 + sqi + 512 + idx   // IN
+         + idx                 // LINK
+         + 1 + kAddrBits + kCoreIdBits + idx + idx;  // OUT
+}
+
+std::uint64_t AreaModel::cons_entry_bits() const {
+  const unsigned idx = index_bits();
+  const unsigned sqi = static_cast<unsigned>(
+      std::max(1u, static_cast<unsigned>(std::bit_width(cfg_.link_entries - 1))));
+  return 1 + sqi + kAddrBits + kCoreIdBits + idx + idx;  // valid..nextIn
+}
+
+std::uint64_t AreaModel::link_entry_bits() const {
+  return 4ull * index_bits();  // prodHead/prodTail/consHead/consTail
+}
+
+double AreaModel::calibrated_mm2_per_bit() {
+  // Bits of the Table III configuration (computed once with this model's
+  // own layout so calibration and estimation stay consistent).
+  static const double per_bit = [] {
+    AreaModel anchor{sim::VlrdConfig{}};
+    const AreaBreakdown raw = [&] {
+      AreaBreakdown b;
+      b.prod_buf_bits = anchor.prod_entry_bits() * anchor.cfg_.prod_entries;
+      b.cons_buf_bits = anchor.cons_entry_bits() * anchor.cfg_.cons_entries;
+      b.link_tab_bits = anchor.link_entry_bits() * anchor.cfg_.link_entries;
+      b.total_bits = b.prod_buf_bits + b.cons_buf_bits + b.link_tab_bits;
+      return b;
+    }();
+    return kPaperBufferMm2 / static_cast<double>(raw.total_bits);
+  }();
+  return per_bit;
+}
+
+AreaBreakdown AreaModel::estimate() const {
+  AreaBreakdown b;
+  b.prod_buf_bits = prod_entry_bits() * cfg_.prod_entries;
+  b.cons_buf_bits = cons_entry_bits() * cfg_.cons_entries;
+  b.link_tab_bits = link_entry_bits() * cfg_.link_entries;
+  b.total_bits = b.prod_buf_bits + b.cons_buf_bits + b.link_tab_bits;
+
+  b.buffers_mm2 = static_cast<double>(b.total_bits) * calibrated_mm2_per_bit();
+  // Control logic: the published delta, held constant (pipeline control does
+  // not grow with buffer depth to first order).
+  b.control_mm2 = kPaperTotalMm2 - kPaperBufferMm2;
+  b.total_mm2 = b.buffers_mm2 + b.control_mm2;
+  b.pct_of_a72 = 100.0 * b.total_mm2 / kA72CoreMm2;
+  b.pct_of_16core = 100.0 * b.total_mm2 / (16.0 * kA72CoreMm2);
+  return b;
+}
+
+}  // namespace vl::arch

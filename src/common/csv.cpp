@@ -1,0 +1,43 @@
+#include "common/csv.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace vl {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  bool needs_quotes = false;
+  for (char c : cell) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';  // double the quote
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(std::vector<std::string> cells) {
+  assert(cells.size() == cols_ && "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+CsvWriter::Row& CsvWriter::Row::col(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  cells_.push_back(buf);
+  return *this;
+}
+
+}  // namespace vl

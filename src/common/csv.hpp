@@ -1,0 +1,57 @@
+#pragma once
+// Minimal CSV writer (RFC-4180-style quoting) for exporting experiment
+// matrices to analysis tools. Numeric cells are written bare; text cells
+// are quoted only when they contain a delimiter, quote, or newline.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vl {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header) : cols_(header.size()) {
+    row(std::move(header));
+  }
+
+  /// Append one row; must match the header width.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: start a row builder.
+  class Row {
+   public:
+    explicit Row(CsvWriter& w) : w_(w) {}
+    Row& col(const std::string& s) {
+      cells_.push_back(s);
+      return *this;
+    }
+    Row& col(double v, int precision = 6);
+    Row& col(std::uint64_t v) {
+      cells_.push_back(std::to_string(v));
+      return *this;
+    }
+    ~Row() { w_.row(std::move(cells_)); }
+
+   private:
+    CsvWriter& w_;
+    std::vector<std::string> cells_;
+  };
+  Row add() { return Row(*this); }
+
+  /// The document so far (header + rows, "\n" line endings).
+  std::string str() const { return out_.str(); }
+
+  std::size_t rows_written() const { return rows_; }  // includes header
+
+  /// Quote a single cell per RFC 4180 (exposed for testing).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::size_t cols_;
+  std::size_t rows_ = 0;
+  std::ostringstream out_;
+};
+
+}  // namespace vl

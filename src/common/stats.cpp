@@ -1,0 +1,43 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace vl {
+
+std::string StatSet::to_string() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) os << k << " = " << v << '\n';
+  return os.str();
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs_) acc += x;
+  return acc / static_cast<double>(xs_.size());
+}
+
+double Samples::percentile(double p) const {
+  if (xs_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  if (p <= 0.0) return xs_.front();
+  if (p >= 100.0) return xs_.back();
+  // Nearest-rank: ceil(p/100 * N), 1-based.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(xs_.size())));
+  return xs_[rank - 1];
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += std::log(x);
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace vl

@@ -1,0 +1,140 @@
+#pragma once
+// Lightweight named-counter and histogram facilities.
+//
+// Every simulator component exposes its event counts through a StatSet so
+// that benchmark harnesses can diff counters around a region of interest
+// (the same way the paper reads gem5 stats around the ROI).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vl {
+
+/// A group of named monotonic counters with snapshot/diff support.
+class StatSet {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  void clear() { counters_.clear(); }
+
+  /// Returns (*this - base), treating missing counters in base as zero.
+  StatSet diff(const StatSet& base) const {
+    StatSet out;
+    for (const auto& [k, v] : counters_) {
+      const std::uint64_t b = base.get(k);
+      if (v > b) out.counters_[k] = v - b;
+    }
+    return out;
+  }
+
+  /// Merge another set into this one (summing counters).
+  void merge(const StatSet& other) {
+    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  }
+
+  const std::map<std::string, std::uint64_t>& raw() const { return counters_; }
+
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+/// Streaming summary statistics (count/mean/min/max) without storing samples.
+class Summary {
+ public:
+  void record(double x) {
+    if (n_ == 0 || x < min_) min_ = x;
+    if (n_ == 0 || x > max_) max_ = x;
+    // Welford update keeps mean numerically stable over long runs.
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, min_ = 0.0, max_ = 0.0;
+};
+
+/// Fixed-bucket linear histogram for latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+  void record(double x) {
+    summary_.record(x);
+    if (x < lo_) {
+      ++underflow_;
+    } else if (x >= hi_) {
+      ++overflow_;
+    } else {
+      const auto b = static_cast<std::size_t>(
+          (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+      ++counts_[b];
+    }
+  }
+
+  const Summary& summary() const { return summary_; }
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  double bucket_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0;
+  Summary summary_;
+};
+
+/// Exact-percentile sample store. The simulator is deterministic and runs
+/// are bounded, so storing every sample and sorting on demand is both exact
+/// and cheap — no estimator error in reported tail latencies.
+class Samples {
+ public:
+  void record(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+
+  /// p in [0, 100]; nearest-rank percentile. 0 with no samples.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  void clear() {
+    xs_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+/// Geometric mean of a series of ratios; used for the paper's 2.09x headline.
+double geomean(const std::vector<double>& xs);
+
+}  // namespace vl

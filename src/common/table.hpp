@@ -1,0 +1,30 @@
+#pragma once
+// Minimal aligned-text table writer used by every bench binary so that
+// regenerated paper tables/figures share one consistent plain-text format.
+
+#include <string>
+#include <vector>
+
+namespace vl {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Render with column alignment; numeric-looking cells right-align.
+  std::string render() const;
+
+  /// Helper: format a double with the given precision.
+  static std::string num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vl

@@ -1,0 +1,30 @@
+#pragma once
+// Fundamental simulator-wide types and cache-line constants.
+//
+// All addresses in the simulator live in a single flat "simulated physical
+// address" space (the runtime maps virtual addresses 1:1 onto it, see
+// runtime/address_space.hpp). Lines are the paper's 64 B coherence granule.
+
+#include <cstdint>
+#include <cstddef>
+
+namespace vl {
+
+using Tick = std::uint64_t;   ///< Simulated time, in picosecond-scale ticks.
+using Addr = std::uint64_t;   ///< Simulated physical/virtual address.
+using CoreId = std::uint32_t; ///< Processing-element identifier.
+using Sqi = std::uint32_t;    ///< Shared Queue Identifier (paper SQI).
+
+inline constexpr std::size_t kLineSize = 64;       ///< Coherence granule (B).
+inline constexpr std::size_t kLineShift = 6;
+inline constexpr Addr kLineMask = ~static_cast<Addr>(kLineSize - 1);
+
+inline constexpr Addr line_of(Addr a) { return a & kLineMask; }
+inline constexpr std::size_t line_offset(Addr a) {
+  return static_cast<std::size_t>(a & (kLineSize - 1));
+}
+
+/// Sentinel for "no index" in the VLRD's hardware linked lists.
+inline constexpr std::uint16_t kNil = 0xffff;
+
+}  // namespace vl

@@ -1,0 +1,227 @@
+#include "indirect/indirect.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace vl::indirect {
+
+namespace {
+constexpr Tick kEmptyBackoff = 48;
+
+// Deterministic per-thread/per-attempt jitter; see squeue/zmq.cpp for why a
+// deterministic simulator needs jittered backoff (phase-lock avoidance).
+Tick jitter(const sim::SimThread& t, std::uint32_t attempt, Tick base) {
+  std::uint32_t h = static_cast<std::uint32_t>(t.core->id()) * 2654435761u ^
+                    static_cast<std::uint32_t>(t.tid) * 40503u ^
+                    attempt * 2246822519u;
+  h ^= h >> 15;
+  return base + (h % (base + 1));
+}
+
+std::size_t round_to_lines(std::size_t bytes) {
+  return (bytes + kLineSize - 1) / kLineSize * kLineSize;
+}
+}  // namespace
+
+// --- RegionPool --------------------------------------------------------------
+
+RegionPool::RegionPool(runtime::Machine& m, std::size_t region_bytes,
+                       std::uint32_t count)
+    : m_(m), region_bytes_(round_to_lines(region_bytes)), count_(count) {
+  assert(count > 0 && count < kNilIdx);
+  head_ = m_.alloc(kLineSize);
+  next_ = m_.alloc(std::size_t{count} * 8);
+  regions_ = m_.alloc(region_bytes_ * count);
+  // Pre-run functional init: thread every region onto the free list,
+  // region 0 on top (mirrors a freshly set-up VirtIO ring).
+  auto& bs = m_.mem().backing();
+  for (std::uint32_t i = 0; i < count; ++i)
+    bs.write(next_addr(i), i + 1 < count ? i + 1 : kNilIdx, 8);
+  bs.write(head_, pack(0, 0), 8);
+}
+
+sim::Co<std::optional<Addr>> RegionPool::try_acquire(sim::SimThread t) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const std::uint64_t h = co_await t.load(head_, 8);
+    const std::uint32_t idx = head_idx(h);
+    if (idx == kNilIdx) co_return std::nullopt;  // pool exhausted
+    const std::uint64_t next = co_await t.load(next_addr(idx), 8);
+    const std::uint64_t nh = pack(static_cast<std::uint32_t>(next),
+                                  head_ver(h) + 1);
+    if (co_await t.cas64(head_, h, nh)) co_return region_addr(idx);
+    co_await t.compute(jitter(t, attempt, 4));  // lost the CAS race
+  }
+}
+
+sim::Co<Addr> RegionPool::acquire(sim::SimThread t) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    auto r = co_await try_acquire(t);
+    if (r) co_return *r;
+    co_await t.compute(jitter(t, attempt, kEmptyBackoff));
+  }
+}
+
+sim::Co<void> RegionPool::release(sim::SimThread t, Addr region) {
+  const std::uint32_t idx = index_of(region);
+  assert(idx < count_ && region_addr(idx) == region);
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const std::uint64_t h = co_await t.load(head_, 8);
+    co_await t.store(next_addr(idx), head_idx(h), 8);
+    if (co_await t.cas64(head_, h, pack(idx, head_ver(h) + 1))) co_return;
+    co_await t.compute(jitter(t, attempt, 4));
+  }
+}
+
+std::uint32_t RegionPool::free_count() const {
+  const auto& bs = m_.mem().backing();
+  std::uint32_t n = 0;
+  std::uint32_t idx = head_idx(bs.read(head_, 8));
+  while (idx != kNilIdx && n <= count_) {
+    ++n;
+    idx = static_cast<std::uint32_t>(bs.read(next_addr(idx), 8));
+  }
+  return n;
+}
+
+// --- ChannelRegionPool -------------------------------------------------------
+
+ChannelRegionPool::ChannelRegionPool(runtime::Machine& m, squeue::Channel& ch,
+                                     std::size_t region_bytes,
+                                     std::uint32_t count)
+    : m_(m), ch_(ch), region_bytes_(round_to_lines(region_bytes)),
+      count_(count) {
+  assert(count > 0);
+  regions_ = m_.alloc(region_bytes_ * count);
+}
+
+sim::Co<void> ChannelRegionPool::seed(sim::SimThread t) {
+  for (std::uint32_t i = 0; i < count_; ++i)
+    co_await ch_.send1(t, regions_ + Addr{i} * region_bytes_);
+  seeded_ = true;
+}
+
+sim::Co<Addr> ChannelRegionPool::acquire(sim::SimThread t) {
+  const Addr a = co_await ch_.recv1(t);
+  ++outstanding_;
+  co_return a;
+}
+
+sim::Co<std::optional<Addr>> ChannelRegionPool::try_acquire(sim::SimThread t) {
+  // The Channel interface is blocking-only; a bounded probe emulates
+  // try-semantics: if nothing arrives within the poll budget we give up.
+  // Channels with depth() support short-circuit immediately.
+  if (ch_.depth() == 0) co_return std::nullopt;
+  co_return co_await acquire(t);
+}
+
+sim::Co<void> ChannelRegionPool::release(sim::SimThread t, Addr region) {
+  --outstanding_;
+  co_await ch_.send1(t, region);
+}
+
+// --- IndirectChannel ---------------------------------------------------------
+
+sim::Co<void> IndirectChannel::send_bytes(
+    sim::SimThread t, std::span<const std::uint8_t> payload) {
+  assert(payload.size() <= pool_.region_bytes());
+  const Addr region = co_await pool_.acquire(t);
+  // Stream the payload through the producer core's cache, whole lines at a
+  // time (the tail line is zero-padded).
+  mem::Line line{};
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const std::size_t n = std::min(payload.size() - off, kLineSize);
+    line.fill(0);
+    std::memcpy(line.data(), payload.data() + off, n);
+    co_await t.store_line(region + off, line.data());
+    off += kLineSize;
+  }
+  co_await ch_.send(t, Descriptor{region,
+                                  static_cast<std::uint32_t>(payload.size())}
+                           .to_msg());
+}
+
+sim::Co<void> IndirectChannel::send_region(sim::SimThread t,
+                                           const Descriptor& d) {
+  co_await ch_.send(t, d.to_msg());
+}
+
+sim::Co<Descriptor> IndirectChannel::recv_region(sim::SimThread t) {
+  const squeue::Msg m = co_await ch_.recv(t);
+  co_return Descriptor::from_msg(m);
+}
+
+sim::Co<std::vector<std::uint8_t>> IndirectChannel::read_region(
+    sim::SimThread t, const Descriptor& d) {
+  std::vector<std::uint8_t> out(d.len);
+  mem::Line line{};
+  std::size_t off = 0;
+  while (off < d.len) {
+    co_await t.load_line(d.addr + off, line.data());
+    const std::size_t n = std::min<std::size_t>(d.len - off, kLineSize);
+    std::memcpy(out.data() + off, line.data(), n);
+    off += kLineSize;
+  }
+  co_return out;
+}
+
+sim::Co<std::vector<std::uint8_t>> IndirectChannel::recv_bytes(
+    sim::SimThread t) {
+  const Descriptor d = co_await recv_region(t);
+  auto out = co_await read_region(t, d);
+  co_await pool_.release(t, d.addr);
+  co_return out;
+}
+
+// --- chained descriptors ------------------------------------------------------
+
+sim::Co<void> IndirectChannel::send_chained(
+    sim::SimThread t, std::span<const std::uint8_t> payload) {
+  const std::size_t rb = pool_.region_bytes();
+  assert(!payload.empty() && payload.size() <= max_chained_bytes());
+  const std::size_t nregions = (payload.size() + rb - 1) / rb;
+
+  squeue::Msg msg;
+  msg.w[msg.n++] = payload.size();
+  mem::Line line{};
+  std::size_t off = 0;
+  for (std::size_t r = 0; r < nregions; ++r) {
+    const Addr region = co_await pool_.acquire(t);
+    msg.w[msg.n++] = region;
+    const std::size_t seg = std::min(rb, payload.size() - off);
+    for (std::size_t lo = 0; lo < seg; lo += kLineSize) {
+      const std::size_t nbytes = std::min(seg - lo, kLineSize);
+      line.fill(0);
+      std::memcpy(line.data(), payload.data() + off + lo, nbytes);
+      co_await t.store_line(region + lo, line.data());
+    }
+    off += seg;
+  }
+  co_await ch_.send(t, msg);
+}
+
+sim::Co<std::vector<std::uint8_t>> IndirectChannel::recv_chained(
+    sim::SimThread t) {
+  const squeue::Msg msg = co_await ch_.recv(t);
+  assert(msg.n >= 2);
+  const std::size_t total = msg.w[0];
+  const std::size_t rb = pool_.region_bytes();
+  std::vector<std::uint8_t> out(total);
+  mem::Line line{};
+  std::size_t off = 0;
+  for (std::uint8_t r = 1; r < msg.n; ++r) {
+    const Addr region = msg.w[r];
+    const std::size_t seg = std::min(rb, total - off);
+    for (std::size_t lo = 0; lo < seg; lo += kLineSize) {
+      co_await t.load_line(region + lo, line.data());
+      const std::size_t nbytes = std::min(seg - lo, kLineSize);
+      std::memcpy(out.data() + off + lo, line.data(), nbytes);
+    }
+    off += seg;
+    co_await pool_.release(t, region);
+  }
+  assert(off == total);
+  co_return out;
+}
+
+}  // namespace vl::indirect

@@ -1,0 +1,226 @@
+#pragma once
+// Indirect buffers for messages larger than one cache line (paper § III-D):
+//
+//   "Messages larger than a cache line can be incorporated via indirect
+//    buffers as pointers. While not demonstrated in this paper, it is
+//    trivial to incorporate an existing indirect buffer format such as
+//    VirtIO 1.1."
+//
+// This module supplies that format. A payload lives in a fixed-size region
+// drawn from a pool in ordinary cacheable memory; what travels through the
+// message channel is a two-word VirtIO-style descriptor {region PA, length}.
+// The channel itself can be any backend (VL line, BLFQ/ZMQ ring, CAF
+// registers), so the same workload measures how each scheme handles
+// pointer-message traffic — exactly the regime of the paper's `pipeline`
+// benchmark and the Fig. 15 CAF comparison.
+//
+// Two region-recycling strategies are provided, because the recycle path is
+// itself an M:N queue problem:
+//
+//   RegionPool        — a Treiber-stack free list in shared coherent memory
+//                       (CAS on a versioned head word). This is what a
+//                       conventional VirtIO implementation does; it re-
+//                       introduces a shared hot word and therefore coherence
+//                       traffic, which the ablation bench quantifies.
+//   ChannelRegionPool — recycling rides a message channel (for VL: freed
+//                       region indices return through the VLRD), keeping
+//                       even the free list contention-free. The pool is
+//                       pre-seeded by pushing every region's index.
+//
+// Both honour back-pressure: acquire blocks (with deterministic jittered
+// backoff) until a region is free, bounding payload memory exactly like the
+// paper's bounded VQ bounds line memory.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "squeue/channel.hpp"
+
+namespace vl::indirect {
+
+/// VirtIO-1.1-flavoured descriptor: one payload region plus its live length.
+/// Packs into two channel words, so it fits every backend's message format
+/// (and a single VL line could carry up to three descriptors, cf. VirtIO
+/// descriptor chaining).
+struct Descriptor {
+  Addr addr = 0;            ///< Region base PA (line-aligned).
+  std::uint32_t len = 0;    ///< Valid payload bytes in the region.
+
+  squeue::Msg to_msg() const {
+    return squeue::Msg::words({addr, static_cast<std::uint64_t>(len)});
+  }
+  static Descriptor from_msg(const squeue::Msg& m) {
+    return Descriptor{m.w[0], static_cast<std::uint32_t>(m.w[1])};
+  }
+};
+
+/// Interface shared by both recycling strategies.
+class PoolBase {
+ public:
+  virtual ~PoolBase() = default;
+
+  /// Blocking acquire of one region (base PA). Applies back-pressure by
+  /// retrying with deterministic jittered backoff while the pool is empty.
+  virtual sim::Co<Addr> acquire(sim::SimThread t) = 0;
+
+  /// Non-blocking acquire attempt.
+  virtual sim::Co<std::optional<Addr>> try_acquire(sim::SimThread t) = 0;
+
+  /// Return a region (must be a base PA previously handed out).
+  virtual sim::Co<void> release(sim::SimThread t, Addr region) = 0;
+
+  virtual std::size_t region_bytes() const = 0;
+  virtual std::uint32_t capacity() const = 0;
+
+  /// Regions currently free (functional walk; test/diagnostic only).
+  virtual std::uint32_t free_count() const = 0;
+};
+
+/// Treiber-stack pool: free list threaded through a per-region next-index
+/// array, with a versioned head word (index:32 | version:32) to defeat ABA.
+/// The head word is the shared hot line every acquire/release CASes.
+class RegionPool final : public PoolBase {
+ public:
+  /// `region_bytes` is rounded up to whole lines. All regions are carved
+  /// from one contiguous allocation; all start free.
+  RegionPool(runtime::Machine& m, std::size_t region_bytes, std::uint32_t count);
+
+  sim::Co<Addr> acquire(sim::SimThread t) override;
+  sim::Co<std::optional<Addr>> try_acquire(sim::SimThread t) override;
+  sim::Co<void> release(sim::SimThread t, Addr region) override;
+
+  std::size_t region_bytes() const override { return region_bytes_; }
+  std::uint32_t capacity() const override { return count_; }
+  std::uint32_t free_count() const override;
+
+  Addr region_addr(std::uint32_t idx) const {
+    return regions_ + Addr{idx} * region_bytes_;
+  }
+  std::uint32_t index_of(Addr region) const {
+    return static_cast<std::uint32_t>((region - regions_) / region_bytes_);
+  }
+
+ private:
+  static constexpr std::uint32_t kNilIdx = 0xffff'ffffu;
+  static std::uint64_t pack(std::uint32_t idx, std::uint32_t ver) {
+    return (std::uint64_t{ver} << 32) | idx;
+  }
+  static std::uint32_t head_idx(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h);
+  }
+  static std::uint32_t head_ver(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h >> 32);
+  }
+  Addr next_addr(std::uint32_t idx) const { return next_ + Addr{idx} * 8; }
+
+  runtime::Machine& m_;
+  std::size_t region_bytes_;
+  std::uint32_t count_;
+  Addr head_ = 0;     ///< Versioned head word (its own line).
+  Addr next_ = 0;     ///< next-index array, one dword per region.
+  Addr regions_ = 0;  ///< Payload storage.
+};
+
+/// Channel-recycled pool: region indices circulate through a message
+/// channel. With a VL backend the free list touches zero shared coherent
+/// state — the recycle path inherits VL's scaling.
+class ChannelRegionPool final : public PoolBase {
+ public:
+  /// The pool recycles region indices through `ch`, which must have
+  /// capacity for `count` outstanding single-word messages (VL: sized user
+  /// buffers; rings: capacity_hint >= count). Spawn `seed()` and run the
+  /// machine (or run it alongside the workload) before/while using the pool.
+  ChannelRegionPool(runtime::Machine& m, squeue::Channel& ch, std::size_t region_bytes,
+                    std::uint32_t count);
+
+  sim::Co<Addr> acquire(sim::SimThread t) override;
+  sim::Co<std::optional<Addr>> try_acquire(sim::SimThread t) override;
+  sim::Co<void> release(sim::SimThread t, Addr region) override;
+
+  std::size_t region_bytes() const override { return region_bytes_; }
+  std::uint32_t capacity() const override { return count_; }
+  std::uint32_t free_count() const override { return count_ - outstanding_; }
+
+  /// Coroutine that pushes every region index into the channel. Spawn it
+  /// before (or concurrently with) the first acquire.
+  sim::Co<void> seed(sim::SimThread t);
+  bool seeded() const { return seeded_; }
+
+ private:
+  runtime::Machine& m_;
+  squeue::Channel& ch_;
+  std::size_t region_bytes_;
+  std::uint32_t count_;
+  Addr regions_ = 0;
+  std::uint32_t outstanding_ = 0;  ///< Regions currently held by users.
+  bool seeded_ = false;
+};
+
+/// Bulk-payload adapter over any Channel: moves arbitrary byte spans using
+/// one descriptor message per payload. Line-granular timing: every payload
+/// line is written/read through the calling core's cache hierarchy.
+class IndirectChannel {
+ public:
+  IndirectChannel(runtime::Machine& m, squeue::Channel& ch, PoolBase& pool)
+      : m_(m), ch_(ch), pool_(pool) {}
+
+  /// Copy `payload` into a fresh region and send its descriptor.
+  /// Blocks on pool back-pressure, then on channel back-pressure.
+  sim::Co<void> send_bytes(sim::SimThread t,
+                           std::span<const std::uint8_t> payload);
+
+  /// Forward an already-owned region (e.g. one obtained via recv_region)
+  /// without copying its payload: only the two-word descriptor moves.
+  /// Ownership passes to the receiver, who must recv and release it. Both
+  /// channels must share the same pool.
+  sim::Co<void> send_region(sim::SimThread t, const Descriptor& d);
+
+  /// Receive one payload by copy; the region is recycled before returning.
+  sim::Co<std::vector<std::uint8_t>> recv_bytes(sim::SimThread t);
+
+  /// Zero-copy receive: hands the raw descriptor to the caller, who reads
+  /// the region in place and must `release()` it when done.
+  sim::Co<Descriptor> recv_region(sim::SimThread t);
+  sim::Co<void> release(sim::SimThread t, const Descriptor& d) {
+    co_await pool_.release(t, d.addr);
+  }
+
+  /// Read a region's payload through `t`'s cache (helper for zero-copy
+  /// consumers).
+  sim::Co<std::vector<std::uint8_t>> read_region(sim::SimThread t,
+                                                 const Descriptor& d);
+
+  // --- chained descriptors (VirtIO 1.1 descriptor chains) -----------------
+  // Payloads larger than one region span a chain of regions; the message
+  // carries {total length, region0, region1, ...} in one frame, so a chain
+  // may hold up to 6 regions (7 payload words per Fig. 10 line, one spent
+  // on the length). Regions fill in order; only the last is partial.
+
+  /// Largest payload send_chained accepts for the configured pool.
+  std::size_t max_chained_bytes() const {
+    return kMaxChain * pool_.region_bytes();
+  }
+
+  /// Send a payload of up to max_chained_bytes() across a descriptor chain
+  /// (1..6 regions). Blocks on pool and channel back-pressure.
+  sim::Co<void> send_chained(sim::SimThread t,
+                             std::span<const std::uint8_t> payload);
+
+  /// Receive one chained payload; all regions are recycled before return.
+  sim::Co<std::vector<std::uint8_t>> recv_chained(sim::SimThread t);
+
+  PoolBase& pool() { return pool_; }
+
+ private:
+  static constexpr std::size_t kMaxChain = 6;
+
+  runtime::Machine& m_;
+  squeue::Channel& ch_;
+  PoolBase& pool_;
+};
+
+}  // namespace vl::indirect

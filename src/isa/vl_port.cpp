@@ -1,0 +1,120 @@
+#include "isa/vl_port.hpp"
+
+namespace vl::isa {
+
+VlPort::VlPort(sim::Core& core, mem::Hierarchy& hier, vlrd::Cluster& devs,
+               const sim::VlrdConfig& cfg)
+    : core_(core), hier_(hier), devs_(devs), cfg_(cfg) {
+  // On context swap the latched PA is cleared (§ III-B) and every pushable
+  // bit in this core's private cache drops, so in-flight injections
+  // targeting the outgoing thread are rejected rather than clobbering state.
+  core_.add_ctx_switch_hook([this](int old_tid, int /*new_tid*/) {
+    latched_.erase(old_tid);
+    hier_.clear_pushable(core_.id());
+  });
+}
+
+sim::Co<void> VlPort::vl_select(int tid, Addr va) {
+  co_await core_.acquire_port(tid);
+  co_await sim::Delay(core_.eq(), core_.cfg().issue_cost);
+  // Brings the line into L1D in an exclusive state, "just as any store
+  // would" — a miss pays the normal fill latency.
+  const Tick lat = hier_.select_line(core_.id(), line_of(va));
+  co_await sim::Delay(core_.eq(), lat);
+  latched_[tid] = line_of(va);
+  core_.release_port();
+}
+
+sim::Co<int> VlPort::vl_push(int tid, Addr dev_va) {
+  co_await core_.acquire_port(tid);
+  co_await sim::Delay(core_.eq(), core_.cfg().issue_cost);
+  auto it = latched_.find(tid);
+  if (it == latched_.end()) {
+    core_.release_port();
+    co_return kVlNoSelection;
+  }
+  const Addr line = it->second;
+  latched_.erase(it);  // selection ends on completion either way
+
+  mem::Line data;
+  hier_.peek_line(line, data.data());
+  // Resolve the endpoint address; the CAM scheme costs one extra pipeline
+  // cycle per access and can fault on an unmapped page (§ III-C2).
+  if (cfg_.addressing == sim::Addressing::kAddrTable)
+    co_await sim::Delay(core_.eq(), cfg_.addr_table_extra);
+  const auto res = devs_.resolve(dev_va);
+  if (!res) {
+    core_.release_port();
+    co_return kVlFault;
+  }
+  vlrd::Vlrd& dev = *res->first;
+  const Sqi sqi = res->second;
+
+  bool ack;
+  if (cfg_.ideal) {
+    ack = dev.push(sqi, data);  // zero-latency reference model
+  } else {
+    // Non-snooping device write: one bus hop out, bounded device response.
+    const Tick arrive = hier_.device_hop(0);
+    co_await sim::DelayUntil(core_.eq(), arrive);
+    ack = dev.push(sqi, data);
+    const Tick resp = cfg_.device_lat > hier_.cfg().bus_hop
+                          ? cfg_.device_lat - hier_.cfg().bus_hop
+                          : 0;
+    co_await sim::Delay(core_.eq(), resp);
+  }
+
+  if (ack) {
+    // Copy-over leaves the producer line zeroed and Exclusive, ready for
+    // the next enqueue without any further coherence traffic.
+    hier_.zero_and_exclusive(core_.id(), line);
+  }
+  core_.release_port();
+  co_return ack ? kVlOk : kVlNack;
+}
+
+sim::Co<int> VlPort::vl_fetch(int tid, Addr dev_va) {
+  co_await core_.acquire_port(tid);
+  co_await sim::Delay(core_.eq(), core_.cfg().issue_cost);
+  auto it = latched_.find(tid);
+  if (it == latched_.end()) {
+    core_.release_port();
+    co_return kVlNoSelection;
+  }
+  const Addr line = it->second;
+  latched_.erase(it);
+
+  if (!hier_.set_pushable(core_.id(), line, true)) {
+    core_.release_port();
+    co_return kVlEvicted;  // line left the cache since vl_select
+  }
+  if (cfg_.addressing == sim::Addressing::kAddrTable)
+    co_await sim::Delay(core_.eq(), cfg_.addr_table_extra);
+  const auto res = devs_.resolve(dev_va);
+  if (!res) {
+    hier_.set_pushable(core_.id(), line, false);
+    core_.release_port();
+    co_return kVlFault;
+  }
+  vlrd::Vlrd& dev = *res->first;
+  const Sqi sqi = res->second;
+
+  bool ack;
+  if (cfg_.ideal) {
+    ack = dev.fetch(sqi, line, core_.id());
+  } else {
+    const Tick arrive = hier_.device_hop(0);
+    co_await sim::DelayUntil(core_.eq(), arrive);
+    ack = dev.fetch(sqi, line, core_.id());
+    const Tick resp = cfg_.device_lat > hier_.cfg().bus_hop
+                          ? cfg_.device_lat - hier_.cfg().bus_hop
+                          : 0;
+    co_await sim::Delay(core_.eq(), resp);
+  }
+
+  if (!ack) hier_.set_pushable(core_.id(), line, false);
+  core_.release_port();
+  co_return ack ? kVlOk : kVlNack;
+}
+
+}  // namespace vl::isa

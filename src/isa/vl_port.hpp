@@ -1,0 +1,63 @@
+#pragma once
+// Core-side model of the three VL ISA extensions (paper § III-B):
+//
+//   vl_select Rt     — translate + latch the PA of the cache line at VA Rt,
+//                      bringing it into L1D in Exclusive state (like a store
+//                      miss would). The latch is a system register, not
+//                      context state: it clears on context switch.
+//   vl_push Rs, Rt   — conditionally write the selected line to the VLRD
+//                      device address in Rt. Rs=0 on success; nonzero when
+//                      no selection was made or the VLRD NACKs (full).
+//                      On success the producer line is zeroed and left
+//                      Exclusive, ready for the next enqueue.
+//   vl_fetch Rs, Rt  — register consumer demand: sets the "pushable" tag
+//                      bit on the selected line and sends (target PA,
+//                      core-id) to the VLRD. Rs=0 when the request was
+//                      registered (or data is already on the way).
+//
+// Both vl_push and vl_fetch hold the core's issue port until the device
+// response arrives, modelling the paper's guarantee that no context swap or
+// interrupt can occur before Rs receives the result. Context switches clear
+// the per-thread selection latch and all pushable bits in the core's L1.
+
+#include <unordered_map>
+
+#include "mem/hierarchy.hpp"
+#include "sim/core.hpp"
+#include "vlrd/addressing.hpp"
+#include "vlrd/cluster.hpp"
+#include "vlrd/vlrd.hpp"
+
+namespace vl::isa {
+
+/// vl_push / vl_fetch result codes (values written to Rs).
+enum VlStatus : int {
+  kVlOk = 0,
+  kVlNoSelection = 1,  ///< No preceding vl_select (or cleared by ctx swap).
+  kVlNack = 2,         ///< VLRD out of buffer capacity (back-pressure).
+  kVlEvicted = 3,      ///< Selected line left the L1 before vl_fetch.
+  kVlFault = 4,        ///< Device address missed the routing table
+                       ///< (kAddrTable scheme only).
+};
+
+class VlPort {
+ public:
+  VlPort(sim::Core& core, mem::Hierarchy& hier, vlrd::Cluster& devs,
+         const sim::VlrdConfig& cfg);
+
+  sim::Co<void> vl_select(int tid, Addr va);
+  sim::Co<int> vl_push(int tid, Addr dev_va);
+  sim::Co<int> vl_fetch(int tid, Addr dev_va);
+
+  /// True if `tid` currently holds a selection (test helper).
+  bool has_selection(int tid) const { return latched_.count(tid) != 0; }
+
+ private:
+  sim::Core& core_;
+  mem::Hierarchy& hier_;
+  vlrd::Cluster& devs_;  ///< Routed per-access by the VA's VLRD-id bits.
+  sim::VlrdConfig cfg_;
+  std::unordered_map<int, Addr> latched_;  ///< tid -> selected line PA.
+};
+
+}  // namespace vl::isa

@@ -1,0 +1,39 @@
+#include "mem/main_memory.hpp"
+
+#include <cassert>
+
+namespace vl::mem {
+
+const Line MainMemory::kZeroLine{};
+
+Line& MainMemory::line(Addr a) { return lines_[line_of(a)]; }
+
+std::uint64_t MainMemory::read(Addr a, unsigned size) const {
+  assert(size == 1 || size == 2 || size == 4 || size == 8);
+  assert(line_offset(a) + size <= kLineSize && "access crosses line");
+  auto it = lines_.find(line_of(a));
+  const Line& l = it == lines_.end() ? kZeroLine : it->second;
+  std::uint64_t v = 0;
+  std::memcpy(&v, l.data() + line_offset(a), size);
+  return v;
+}
+
+void MainMemory::write(Addr a, std::uint64_t v, unsigned size) {
+  assert(size == 1 || size == 2 || size == 4 || size == 8);
+  assert(line_offset(a) + size <= kLineSize && "access crosses line");
+  std::memcpy(line(a).data() + line_offset(a), &v, size);
+}
+
+void MainMemory::read_line(Addr a, void* out) const {
+  auto it = lines_.find(line_of(a));
+  const Line& l = it == lines_.end() ? kZeroLine : it->second;
+  std::memcpy(out, l.data(), kLineSize);
+}
+
+void MainMemory::write_line(Addr a, const void* in) {
+  std::memcpy(line(a).data(), in, kLineSize);
+}
+
+void MainMemory::zero_line(Addr a) { line(a).fill(0); }
+
+}  // namespace vl::mem

@@ -1,0 +1,39 @@
+#pragma once
+// Functional backing store for the simulated flat physical address space.
+//
+// All committed data lives here; caches carry only tags/states for timing
+// and coherence-event accounting (see DESIGN.md, "functional/timing split").
+// Lines are allocated lazily and zero-initialized, mirroring fresh pages.
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace vl::mem {
+
+using Line = std::array<std::uint8_t, kLineSize>;
+
+class MainMemory {
+ public:
+  /// Mutable access to a whole line (lazily created, zeroed).
+  Line& line(Addr a);
+
+  /// Scalar access; must not cross a line boundary. size in {1,2,4,8}.
+  std::uint64_t read(Addr a, unsigned size) const;
+  void write(Addr a, std::uint64_t v, unsigned size);
+
+  void read_line(Addr a, void* out) const;
+  void write_line(Addr a, const void* in);
+  void zero_line(Addr a);
+
+  std::size_t resident_lines() const { return lines_.size(); }
+
+ private:
+  static const Line kZeroLine;
+  std::unordered_map<Addr, Line> lines_;
+};
+
+}  // namespace vl::mem

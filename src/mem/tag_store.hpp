@@ -1,0 +1,88 @@
+#pragma once
+// Set-associative tag store with LRU replacement, shared by the private L1
+// model and the LLC model. Holds MESI state plus the single "pushable" tag
+// bit that VL's ISA extension adds to private caches (§ III-B).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vl::mem {
+
+/// Coherence states. kOwned exists only under the MOESI protocol variant
+/// (CacheConfig::protocol): a dirty line that is being shared, with this
+/// cache responsible for sourcing it — read-snoops of Modified lines then
+/// skip the LLC writeback MESI pays.
+enum class Mesi : std::uint8_t {
+  kInvalid,
+  kShared,
+  kExclusive,
+  kModified,
+  kOwned,
+};
+
+inline const char* to_string(Mesi s) {
+  switch (s) {
+    case Mesi::kInvalid: return "I";
+    case Mesi::kShared: return "S";
+    case Mesi::kExclusive: return "E";
+    case Mesi::kModified: return "M";
+    case Mesi::kOwned: return "O";
+  }
+  return "?";
+}
+
+/// States whose data must be written back when the line leaves the cache.
+inline bool holds_dirty(Mesi s) {
+  return s == Mesi::kModified || s == Mesi::kOwned;
+}
+
+struct TagEntry {
+  Addr line = 0;
+  Mesi state = Mesi::kInvalid;
+  bool pushable = false;  ///< VL injection permission bit (L1 only).
+  bool dirty = false;     ///< LLC only: needs DRAM writeback on eviction.
+  std::uint64_t lru = 0;
+
+  bool valid() const { return state != Mesi::kInvalid; }
+};
+
+class TagStore {
+ public:
+  /// size/assoc in bytes/ways; line size fixed at kLineSize.
+  TagStore(std::uint32_t size_bytes, std::uint32_t assoc);
+
+  /// Find the entry holding `line_addr`, or nullptr.
+  TagEntry* find(Addr line_addr);
+  const TagEntry* find(Addr line_addr) const;
+
+  /// Pick the victim frame in line_addr's set (an invalid way if available,
+  /// else LRU). Never null. Does not modify the entry.
+  TagEntry* victim(Addr line_addr);
+
+  /// Mark recently used.
+  void touch(TagEntry& e) { e.lru = ++clock_; }
+
+  std::uint32_t num_sets() const { return sets_; }
+  std::uint32_t assoc() const { return assoc_; }
+
+  /// Iterate over all valid entries (used for flush/invalidate-all).
+  template <class Fn>
+  void for_each_valid(Fn&& fn) {
+    for (auto& e : frames_)
+      if (e.valid()) fn(e);
+  }
+
+ private:
+  std::uint32_t set_of(Addr line_addr) const {
+    return static_cast<std::uint32_t>((line_addr >> kLineShift) % sets_);
+  }
+
+  std::uint32_t sets_;
+  std::uint32_t assoc_;
+  std::uint64_t clock_ = 0;
+  std::vector<TagEntry> frames_;  // sets_ * assoc_, set-major
+};
+
+}  // namespace vl::mem

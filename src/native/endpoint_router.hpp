@@ -1,0 +1,175 @@
+#pragma once
+// Software analogue of the Virtual-Link architecture for real host threads.
+//
+// The paper's structural insight is that M:N queue *state* need not be
+// shared: give every producer and every consumer a private endpoint, and
+// let a routing device match them. On stock hardware there is no VLRD, but
+// the topology can be emulated: each endpoint is a wait-free SPSC ring
+// whose far side is a router thread — producers push into their own ring,
+// the router moves messages into consumer rings, consumers pop from their
+// own ring. No producer or consumer ever CASes a word another producer or
+// consumer touches; the cost is the router hop (a store-load through two
+// rings) instead of VL's in-interconnect copy-over.
+//
+// This is the "EndpointRouter" series the extended Fig. 1 bench plots next
+// to the shared-state Vyukov MPMC: as producers are added, the MPMC's tail
+// CAS degrades while the router's per-producer rings stay flat until the
+// router thread itself saturates — the same asymptote VL's hardware router
+// removes.
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "native/spsc_ring.hpp"
+
+namespace vl::native {
+
+template <class T>
+class EndpointRouter {
+ public:
+  /// All endpoints must be created before start(). `ring_capacity` is the
+  /// per-endpoint buffer (power of two).
+  explicit EndpointRouter(std::size_t ring_capacity = 256)
+      : cap_(ring_capacity) {}
+
+  ~EndpointRouter() { stop(); }
+  EndpointRouter(const EndpointRouter&) = delete;
+  EndpointRouter& operator=(const EndpointRouter&) = delete;
+
+  /// A producer's private endpoint. try_push fails (back-pressure) when the
+  /// endpoint ring is full — the router is draining too slowly.
+  class Producer {
+   public:
+    bool try_push(T v) { return ring_.try_push(std::move(v)); }
+    void push(T v) {
+      while (!try_push(v)) cpu_relax();
+    }
+
+   private:
+    friend class EndpointRouter;
+    explicit Producer(std::size_t cap) : ring_(cap) {}
+    SpscRing<T> ring_;
+  };
+
+  /// A consumer's private endpoint.
+  class Consumer {
+   public:
+    std::optional<T> try_pop() { return ring_.try_pop(); }
+    T pop() {
+      for (;;) {
+        if (auto v = try_pop()) return std::move(*v);
+        cpu_relax();
+      }
+    }
+
+   private:
+    friend class EndpointRouter;
+    explicit Consumer(std::size_t cap) : ring_(cap) {}
+    SpscRing<T> ring_;
+  };
+
+  Producer& add_producer() {
+    producers_.push_back(std::unique_ptr<Producer>(new Producer(cap_)));
+    return *producers_.back();
+  }
+  Consumer& add_consumer() {
+    consumers_.push_back(std::unique_ptr<Consumer>(new Consumer(cap_)));
+    return *consumers_.back();
+  }
+
+  /// Launch the router thread (the software VLRD). Requires at least one
+  /// consumer endpoint; producers/consumers must not be added afterwards.
+  void start() {
+    assert(!consumers_.empty() && "router needs a consumer to place into");
+    running_.store(true, std::memory_order_release);
+    router_ = std::thread([this] { route(); });
+  }
+
+  /// Drain-and-stop: the router keeps forwarding until every producer ring
+  /// is empty, then exits.
+  void stop() {
+    if (!router_.joinable()) return;
+    running_.store(false, std::memory_order_release);
+    router_.join();
+  }
+
+  std::uint64_t routed() const {
+    return routed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static void cpu_relax() {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+  void route() {
+    std::size_t next_consumer = 0;
+    std::uint64_t local_routed = 0;
+    // A message popped from a producer but not yet placed (all consumer
+    // rings full) is carried here so nothing is dropped.
+    std::optional<T> carry;
+    for (;;) {
+      bool moved = false;
+      for (auto& p : producers_) {
+        if (!carry) {
+          carry = p->ring_.try_pop();
+          if (!carry) continue;
+        }
+        // Round-robin placement, skipping full consumer rings.
+        for (std::size_t k = 0; k < consumers_.size(); ++k) {
+          auto& c = consumers_[(next_consumer + k) % consumers_.size()];
+          if (c->ring_.try_push(std::move(*carry))) {
+            next_consumer = (next_consumer + k + 1) % consumers_.size();
+            carry.reset();
+            ++local_routed;
+            moved = true;
+            break;
+          }
+        }
+        if (carry) break;  // every consumer full: stall on this message
+      }
+      if (!moved) {
+        if (!running_.load(std::memory_order_acquire) && !carry &&
+            all_drained())
+          break;
+        routed_.store(local_routed, std::memory_order_relaxed);
+        cpu_relax();
+      }
+    }
+    routed_.store(local_routed, std::memory_order_relaxed);
+  }
+
+  bool all_drained() {
+    for (auto& p : producers_)
+      if (auto v = p->ring_.try_pop()) {
+        // Rare race: a producer pushed right at shutdown; don't lose it.
+        for (;;) {
+          auto& c = consumers_[0];
+          if (c->ring_.try_push(std::move(*v))) break;
+          cpu_relax();
+        }
+        return false;
+      }
+    return true;
+  }
+
+  std::size_t cap_;
+  std::vector<std::unique_ptr<Producer>> producers_;
+  std::vector<std::unique_ptr<Consumer>> consumers_;
+  std::thread router_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> routed_{0};
+};
+
+}  // namespace vl::native

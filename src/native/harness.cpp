@@ -1,0 +1,147 @@
+#include "native/harness.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "native/endpoint_router.hpp"
+#include "native/mpmc_queue.hpp"
+
+namespace vl::native {
+
+QueueScalingResult mpmc_push_scaling(int producers,
+                                     std::uint64_t msgs_per_producer) {
+  // 64 B payload per message, like a cache-line-sized queue element.
+  struct Item {
+    std::array<std::uint64_t, 8> words;
+  };
+  MpmcQueue<Item> q(4096);
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> push_ns_total{0};
+
+  const std::uint64_t total =
+      msgs_per_producer * static_cast<std::uint64_t>(producers);
+
+  std::thread consumer([&] {
+    for (std::uint64_t i = 0; i < total; ++i) (void)q.pop();
+  });
+
+  std::vector<std::thread> pool;
+  for (int p = 0; p < producers; ++p) {
+    pool.emplace_back([&, p] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) MpmcQueue<Item>::cpu_relax();
+      Item item{};
+      item.words[0] = static_cast<std::uint64_t>(p);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::uint64_t i = 0; i < msgs_per_producer; ++i) {
+        item.words[1] = i;
+        q.push(item);
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      push_ns_total.fetch_add(static_cast<std::uint64_t>(
+          std::chrono::duration<double, std::nano>(t1 - t0).count()));
+    });
+  }
+  while (ready.load() != producers) MpmcQueue<Item>::cpu_relax();
+  go.store(true, std::memory_order_release);
+  for (auto& t : pool) t.join();
+  consumer.join();
+
+  QueueScalingResult r;
+  r.producers = producers;
+  r.total_msgs = total;
+  r.ns_per_push = static_cast<double>(push_ns_total.load()) /
+                  static_cast<double>(total);
+  return r;
+}
+
+QueueScalingResult router_push_scaling(int producers,
+                                       std::uint64_t msgs_per_producer) {
+  struct Item {
+    std::array<std::uint64_t, 8> words;
+  };
+  EndpointRouter<Item> router(1024);
+  std::vector<EndpointRouter<Item>::Producer*> eps;
+  for (int p = 0; p < producers; ++p) eps.push_back(&router.add_producer());
+  auto& cons = router.add_consumer();
+  router.start();
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> push_ns_total{0};
+  const std::uint64_t total =
+      msgs_per_producer * static_cast<std::uint64_t>(producers);
+
+  std::thread consumer([&] {
+    for (std::uint64_t i = 0; i < total; ++i) (void)cons.pop();
+  });
+
+  std::vector<std::thread> pool;
+  for (int p = 0; p < producers; ++p) {
+    pool.emplace_back([&, p] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) MpmcQueue<Item>::cpu_relax();
+      Item item{};
+      item.words[0] = static_cast<std::uint64_t>(p);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::uint64_t i = 0; i < msgs_per_producer; ++i) {
+        item.words[1] = i;
+        eps[static_cast<std::size_t>(p)]->push(item);
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      push_ns_total.fetch_add(static_cast<std::uint64_t>(
+          std::chrono::duration<double, std::nano>(t1 - t0).count()));
+    });
+  }
+  while (ready.load() != producers) MpmcQueue<Item>::cpu_relax();
+  go.store(true, std::memory_order_release);
+  for (auto& t : pool) t.join();
+  consumer.join();
+  router.stop();
+
+  QueueScalingResult r;
+  r.producers = producers;
+  r.total_msgs = total;
+  r.ns_per_push = static_cast<double>(push_ns_total.load()) /
+                  static_cast<double>(total);
+  return r;
+}
+
+double line_transfer_floor_ns(std::uint64_t rounds) {
+  struct alignas(64) LineBuf {
+    std::array<std::uint64_t, 8> words;
+  };
+  LineBuf buf{};
+  std::atomic<std::uint64_t> seq{0};  // even: writer's turn, odd: reader's
+
+  std::thread reader([&] {
+    std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      while (seq.load(std::memory_order_acquire) != 2 * i + 1)
+        MpmcQueue<int>::cpu_relax();
+      for (auto w : buf.words) sink += w;
+      seq.store(2 * i + 2, std::memory_order_release);
+    }
+    (void)sink;
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    while (seq.load(std::memory_order_acquire) != 2 * i)
+      MpmcQueue<int>::cpu_relax();
+    for (auto& w : buf.words) w = i;
+    seq.store(2 * i + 1, std::memory_order_release);
+  }
+  reader.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Each round is two one-way transfers (line + flag each way).
+  const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  return ns / static_cast<double>(2 * rounds);
+}
+
+}  // namespace vl::native

@@ -1,0 +1,32 @@
+#pragma once
+// Native measurement harnesses for the paper's real-machine figures:
+//   Fig. 1 — MPMC push cost vs. producer count, against the unsynchronized
+//            single-line transfer floor (the dashed line).
+
+#include <cstdint>
+
+namespace vl::native {
+
+struct QueueScalingResult {
+  int producers = 0;
+  std::uint64_t total_msgs = 0;
+  double ns_per_push = 0.0;
+};
+
+/// Fig. 1 point: `producers` threads push `msgs_per_producer` items each
+/// into one MpmcQueue drained by one consumer; reports mean ns per push.
+QueueScalingResult mpmc_push_scaling(int producers,
+                                     std::uint64_t msgs_per_producer);
+
+/// Fig. 1 dashed line: unsynchronized cache-line handoff between two
+/// threads (writer fills a 64 B buffer and releases a flag; reader acquires
+/// and reads). Reports mean one-way ns per line.
+double line_transfer_floor_ns(std::uint64_t rounds);
+
+/// Extension series: the same M:1 sweep through an EndpointRouter (the
+/// software-VLRD topology — per-producer SPSC rings plus a router thread),
+/// showing the shared-state CAS cost removed in software.
+QueueScalingResult router_push_scaling(int producers,
+                                       std::uint64_t msgs_per_producer);
+
+}  // namespace vl::native

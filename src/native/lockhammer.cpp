@@ -1,0 +1,91 @@
+#include "native/lockhammer.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "native/locks.hpp"
+
+namespace vl::native {
+
+const char* to_string(LockKind k) {
+  switch (k) {
+    case LockKind::kCas: return "cas_lock";
+    case LockKind::kSpin: return "spin_lock";
+    case LockKind::kTicket: return "ticket_lock";
+    case LockKind::kMcs: return "mcs_lock";
+  }
+  return "?";
+}
+
+namespace {
+
+void spin_work(std::uint64_t n) {
+  for (volatile std::uint64_t i = 0; i < n; ++i) {
+  }
+}
+
+template <class Lock>
+LockhammerResult hammer(LockKind kind, int threads,
+                        std::uint64_t ops_per_thread, std::uint64_t hold,
+                        std::uint64_t post) {
+  Lock lock;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) CasLock::cpu_relax();
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+        lock.lock();
+        spin_work(hold);
+        lock.unlock();
+        spin_work(post);
+      }
+    });
+  }
+  while (ready.load() != threads) CasLock::cpu_relax();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  LockhammerResult r;
+  r.kind = kind;
+  r.threads = threads;
+  r.total_ops = ops_per_thread * static_cast<std::uint64_t>(threads);
+  const double ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count();
+  r.ns_per_op = ns / static_cast<double>(r.total_ops);
+  return r;
+}
+
+}  // namespace
+
+LockhammerResult run_lockhammer(LockKind kind, int threads,
+                                std::uint64_t ops_per_thread,
+                                std::uint64_t hold_spins,
+                                std::uint64_t post_spins) {
+  switch (kind) {
+    case LockKind::kCas:
+      return hammer<CasLock>(kind, threads, ops_per_thread, hold_spins,
+                             post_spins);
+    case LockKind::kSpin:
+      return hammer<SpinLock>(kind, threads, ops_per_thread, hold_spins,
+                              post_spins);
+    case LockKind::kTicket:
+      return hammer<TicketLock>(kind, threads, ops_per_thread, hold_spins,
+                                post_spins);
+    case LockKind::kMcs:
+      return hammer<McsLock>(kind, threads, ops_per_thread, hold_spins,
+                             post_spins);
+  }
+  return {};
+}
+
+}  // namespace vl::native

@@ -1,0 +1,33 @@
+#pragma once
+// Native lockhammer harness (paper Fig. 2): T threads hammer one lock with
+// an empty critical section; reports mean ns per acquire/release pair.
+//
+// Caveat recorded in EXPERIMENTS.md: inside this container the host may
+// expose few cores, so threads beyond the core count timeshare; the
+// contention trend vs. thread count is still the quantity of interest.
+
+#include <cstdint>
+#include <string>
+
+namespace vl::native {
+
+enum class LockKind { kCas, kSpin, kTicket, kMcs };
+
+const char* to_string(LockKind k);
+
+struct LockhammerResult {
+  LockKind kind;
+  int threads = 0;
+  std::uint64_t total_ops = 0;
+  double ns_per_op = 0.0;
+};
+
+/// Run `threads` hammer threads, each performing `ops_per_thread`
+/// acquire/release pairs with `hold_ns`/`post_ns` artificial work inside/
+/// outside the critical section (0 = empty section, as in Fig. 2).
+LockhammerResult run_lockhammer(LockKind kind, int threads,
+                                std::uint64_t ops_per_thread,
+                                std::uint64_t hold_spins = 0,
+                                std::uint64_t post_spins = 0);
+
+}  // namespace vl::native

@@ -1,0 +1,131 @@
+#pragma once
+// The three lock flavours the paper's Fig. 2 sweeps with lockhammer:
+// a bare CAS lock, a test-and-test-and-set spin lock, and a ticket lock.
+// All satisfy BasicLockable so they compose with std::lock_guard.
+
+#include <atomic>
+#include <cstdint>
+
+#include "native/padded.hpp"
+
+namespace vl::native {
+
+/// CAS(0 -> 1) retry loop; every attempt is an RFO on the lock line.
+class CasLock {
+ public:
+  void lock() {
+    std::uint32_t expected = 0;
+    while (!state_.value.compare_exchange_weak(expected, 1,
+                                               std::memory_order_acquire,
+                                               std::memory_order_relaxed)) {
+      expected = 0;
+      cpu_relax();
+    }
+  }
+  bool try_lock() {
+    std::uint32_t expected = 0;
+    return state_.value.compare_exchange_strong(expected, 1,
+                                                std::memory_order_acquire);
+  }
+  void unlock() { state_.value.store(0, std::memory_order_release); }
+
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+  }
+
+ private:
+  PaddedAtomic<std::uint32_t> state_;
+};
+
+/// Test-and-test-and-set: spin locally on a Shared copy before retrying
+/// the exchange, cutting the invalidate storm relative to CasLock.
+class SpinLock {
+ public:
+  void lock() {
+    for (;;) {
+      if (!state_.value.exchange(1, std::memory_order_acquire)) return;
+      while (state_.value.load(std::memory_order_relaxed)) CasLock::cpu_relax();
+    }
+  }
+  bool try_lock() {
+    return !state_.value.exchange(1, std::memory_order_acquire);
+  }
+  void unlock() { state_.value.store(0, std::memory_order_release); }
+
+ private:
+  PaddedAtomic<std::uint32_t> state_;
+};
+
+/// FIFO ticket lock; next/serving share a line (the classic layout whose
+/// bouncing Fig. 3 illustrates).
+class TicketLock {
+ public:
+  void lock() {
+    const std::uint32_t ticket =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    while (serving_.load(std::memory_order_acquire) != ticket)
+      CasLock::cpu_relax();
+  }
+  void unlock() {
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+
+ private:
+  alignas(kCacheLine) std::atomic<std::uint32_t> next_{0};
+  std::atomic<std::uint32_t> serving_{0};  // same line as next_: intended
+};
+
+/// MCS queue lock (extension, mirrors the simulated SimMcsLock): each
+/// waiter enqueues a node with one exchange on the tail and spins on its
+/// *own* cache line, so contention adds no shared-line traffic. Nodes are
+/// thread_local, so lock() and unlock() must be called by the same thread
+/// (which BasicLockable use implies anyway), and a thread may hold at most
+/// one McsLock at a time (the node is shared across instances).
+class McsLock {
+ public:
+  void lock() {
+    Node& me = node();
+    me.locked.store(true, std::memory_order_relaxed);
+    me.next.store(nullptr, std::memory_order_relaxed);
+    Node* pred = tail_.value.exchange(&me, std::memory_order_acq_rel);
+    if (!pred) return;  // uncontended
+    pred->next.store(&me, std::memory_order_release);
+    while (me.locked.load(std::memory_order_acquire)) CasLock::cpu_relax();
+  }
+
+  void unlock() {
+    Node& me = node();
+    Node* succ = me.next.load(std::memory_order_acquire);
+    if (!succ) {
+      Node* expect = &me;
+      if (tail_.value.compare_exchange_strong(expect, nullptr,
+                                              std::memory_order_acq_rel))
+        return;  // no successor: lock free again
+      // A successor is mid-enqueue; wait for its link.
+      do {
+        CasLock::cpu_relax();
+        succ = me.next.load(std::memory_order_acquire);
+      } while (!succ);
+    }
+    succ->locked.store(false, std::memory_order_release);
+  }
+
+ private:
+  struct alignas(kCacheLine) Node {
+    std::atomic<bool> locked{false};
+    std::atomic<Node*> next{nullptr};
+  };
+  static Node& node() {
+    static thread_local Node n;
+    return n;
+  }
+
+  PaddedAtomic<Node*> tail_{};
+};
+
+}  // namespace vl::native

@@ -1,0 +1,30 @@
+#pragma once
+// Cache-line padded wrappers: the first rule of scalable shared state is
+// that unrelated hot variables never share a 64 B line.
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+namespace vl::native {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+template <class T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+  char pad[kCacheLine - (sizeof(T) % kCacheLine ? sizeof(T) % kCacheLine
+                                                : kCacheLine)];
+};
+
+template <class T>
+struct alignas(kCacheLine) PaddedAtomic {
+  std::atomic<T> value{};
+  char pad[kCacheLine - (sizeof(std::atomic<T>) % kCacheLine
+                             ? sizeof(std::atomic<T>) % kCacheLine
+                             : kCacheLine)];
+};
+
+static_assert(sizeof(PaddedAtomic<std::uint64_t>) == kCacheLine);
+
+}  // namespace vl::native

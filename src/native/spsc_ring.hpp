@@ -1,0 +1,62 @@
+#pragma once
+// Wait-free single-producer/single-consumer ring with cached index copies
+// (each side re-reads the other's index only when its cached copy says the
+// ring looks full/empty — the standard trick that keeps the hot path free
+// of cross-core traffic). The native analogue of one VL 1:1 channel.
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "native/padded.hpp"
+
+namespace vl::native {
+
+template <class T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : mask_(capacity - 1), buf_(new T[capacity]) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  bool try_push(T v) {
+    const std::uint64_t t = tail_.value.load(std::memory_order_relaxed);
+    if (t - head_cache_ > mask_) {
+      head_cache_ = head_.value.load(std::memory_order_acquire);
+      if (t - head_cache_ > mask_) return false;  // really full
+    }
+    buf_[t & mask_] = std::move(v);
+    tail_.value.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    const std::uint64_t h = head_.value.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.value.load(std::memory_order_acquire);
+      if (h == tail_cache_) return std::nullopt;  // really empty
+    }
+    T out = std::move(buf_[h & mask_]);
+    head_.value.store(h + 1, std::memory_order_release);
+    return out;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::size_t mask_;
+  std::unique_ptr<T[]> buf_;
+  PaddedAtomic<std::uint64_t> head_;
+  PaddedAtomic<std::uint64_t> tail_;
+  // Single-threaded cached copies (one per side, so no sharing).
+  alignas(kCacheLine) std::uint64_t head_cache_ = 0;
+  alignas(kCacheLine) std::uint64_t tail_cache_ = 0;
+};
+
+}  // namespace vl::native

@@ -1,0 +1,28 @@
+#include "runtime/machine.hpp"
+
+#include <cassert>
+
+namespace vl::runtime {
+
+Machine::Machine(const sim::SystemConfig& cfg) : cfg_(cfg) {
+  hier_ = std::make_unique<mem::Hierarchy>(eq_, cfg_.num_cores, cfg_.cache);
+  cluster_ = std::make_unique<vlrd::Cluster>(eq_, *hier_, cfg_.vlrd);
+  cores_.reserve(cfg_.num_cores);
+  ports_.reserve(cfg_.num_cores);
+  for (CoreId i = 0; i < cfg_.num_cores; ++i) {
+    cores_.push_back(std::make_unique<sim::Core>(eq_, i, *hier_, cfg_.core));
+    ports_.push_back(std::make_unique<isa::VlPort>(*cores_.back(), *hier_,
+                                                   *cluster_, cfg_.vlrd));
+  }
+}
+
+Addr Machine::alloc(std::size_t bytes, std::size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0 && "align must be pow2");
+  brk_ = (brk_ + align - 1) & ~static_cast<Addr>(align - 1);
+  const Addr p = brk_;
+  brk_ += bytes;
+  assert(!vlrd::is_device_addr(brk_) && "heap grew into the device window");
+  return p;
+}
+
+}  // namespace vl::runtime

@@ -1,0 +1,60 @@
+#pragma once
+// Machine: the assembled simulated system — event queue, cache hierarchy,
+// cores, the VLRD, and one VL ISA port per core — configured per the
+// paper's Table III. Every experiment builds one of these.
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/vl_port.hpp"
+#include "mem/hierarchy.hpp"
+#include "sim/config.hpp"
+#include "sim/core.hpp"
+#include "sim/event_queue.hpp"
+#include "vlrd/cluster.hpp"
+#include "vlrd/vlrd.hpp"
+
+namespace vl::runtime {
+
+class Machine {
+ public:
+  explicit Machine(const sim::SystemConfig& cfg = sim::SystemConfig::table3());
+
+  sim::EventQueue& eq() { return eq_; }
+  mem::Hierarchy& mem() { return *hier_; }
+  /// Routing device 0 (the common single-VLRD Table III configuration).
+  vlrd::Vlrd& vlrd() { return cluster_->device(0); }
+  /// All routing devices (multi-VLRD configurations, Fig. 9 bits J:N+1).
+  vlrd::Cluster& cluster() { return *cluster_; }
+  /// Aggregate device counters across the cluster.
+  vlrd::VlrdStats vlrd_stats() const { return cluster_->total_stats(); }
+  sim::Core& core(CoreId c) { return *cores_.at(c); }
+  isa::VlPort& vl_port(CoreId c) { return *ports_.at(c); }
+  std::uint32_t num_cores() const {
+    return static_cast<std::uint32_t>(cores_.size());
+  }
+  const sim::SystemConfig& cfg() const { return cfg_; }
+
+  /// Create a software thread pinned to core `c` (affinity per § IV-A).
+  sim::SimThread thread_on(CoreId c) { return core(c).make_thread(); }
+
+  /// Bump-allocate simulated cacheable memory (line-aligned by default).
+  Addr alloc(std::size_t bytes, std::size_t align = kLineSize);
+
+  /// Drive the simulation until all events drain.
+  void run() { eq_.run(); }
+  Tick now() const { return eq_.now(); }
+  double ns(Tick t) const { return static_cast<double>(t) * cfg_.ns_per_tick; }
+
+ private:
+  sim::SystemConfig cfg_;
+  sim::EventQueue eq_;
+  std::unique_ptr<mem::Hierarchy> hier_;
+  std::unique_ptr<vlrd::Cluster> cluster_;
+  std::vector<std::unique_ptr<sim::Core>> cores_;
+  std::vector<std::unique_ptr<isa::VlPort>> ports_;
+  Addr brk_ = 0x1000'0000;  // heap base; far below the device window
+};
+
+}  // namespace vl::runtime

@@ -1,0 +1,71 @@
+#pragma once
+// Software response to back-pressure (paper § II):
+//
+//   "Likewise, when arrival rates are greater than consumer service rates,
+//    back-pressure enables software to perform adjustments such as changing
+//    the PE configuration, or throttling compute kernels."
+//
+// Throttle is that adjustment policy, packaged: an AIMD (additive-increase
+// / multiplicative-decrease) controller driven purely by the local
+// success/NACK outcome of each enqueue attempt — no shared state, in
+// keeping with VL's zero-sharing design. Producers call `pace()` before
+// producing and report each attempt's outcome; the controller converges on
+// the largest inter-send gap-free rate the consumer side sustains, instead
+// of hammering the device with NACK/retry traffic.
+//
+// The same policy object also works over software channels: anything that
+// exposes a try-style send can drive it.
+
+#include <cstdint>
+
+#include "sim/core.hpp"
+
+namespace vl::runtime {
+
+struct ThrottleConfig {
+  Tick min_gap = 0;        ///< Fastest allowed pace (no delay).
+  Tick max_gap = 4096;     ///< Ceiling on the inter-send gap.
+  Tick increase = 16;      ///< Additive gap growth per NACK.
+  double decrease = 0.5;   ///< Multiplicative gap shrink per success.
+  std::uint32_t warmup = 4;  ///< Successes before shrinking starts.
+};
+
+class Throttle {
+ public:
+  explicit Throttle(const ThrottleConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Wait out the current pacing gap (no-op while un-throttled).
+  sim::Co<void> pace(sim::SimThread t) {
+    if (gap_ > 0) co_await t.compute(gap_);
+  }
+
+  /// Report an enqueue outcome; adjusts the gap AIMD-style.
+  void on_result(bool accepted) {
+    if (accepted) {
+      ++accepted_;
+      ++streak_;
+      if (streak_ >= cfg_.warmup) {
+        gap_ = static_cast<Tick>(static_cast<double>(gap_) * cfg_.decrease);
+        if (gap_ < cfg_.min_gap) gap_ = cfg_.min_gap;
+      }
+    } else {
+      ++nacks_;
+      streak_ = 0;
+      gap_ += cfg_.increase;
+      if (gap_ > cfg_.max_gap) gap_ = cfg_.max_gap;
+    }
+  }
+
+  Tick gap() const { return gap_; }
+  std::uint64_t nacks() const { return nacks_; }
+  std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  ThrottleConfig cfg_;
+  Tick gap_ = 0;
+  std::uint32_t streak_ = 0;     ///< Consecutive successes.
+  std::uint64_t accepted_ = 0;
+  std::uint64_t nacks_ = 0;
+};
+
+}  // namespace vl::runtime

@@ -1,0 +1,193 @@
+#include "runtime/vl_queue.hpp"
+
+#include <cassert>
+
+namespace vl::runtime {
+
+namespace {
+constexpr Tick kPollInterval = 16;     ///< Cycles between control-word polls.
+constexpr int kRefetchThreshold = 64;  ///< Polls before re-issuing vl_fetch.
+constexpr Tick kBackoffStart = 16;     ///< Producer back-pressure backoff.
+constexpr Tick kBackoffMax = 1024;
+}  // namespace
+
+// --- Producer ----------------------------------------------------------------
+
+Producer::Producer(Machine& m, const QueueHandle& q, Supervisor& sup,
+                   sim::SimThread thread, std::size_t buf_lines)
+    : m_(m), t_(thread) {
+  auto ep = sup.alloc_endpoint(q.prod_page);
+  assert(ep && "producer page out of endpoint slots");
+  dev_va_ = *ep;
+  buf_.reserve(buf_lines);
+  for (std::size_t i = 0; i < buf_lines; ++i)
+    buf_.push_back(m_.alloc(kLineSize));
+}
+
+sim::Co<bool> Producer::try_enqueue(std::span<const std::uint64_t> words) {
+  co_return co_await try_enqueue_elems(ElemSize::kDword, words);
+}
+
+sim::Co<bool> Producer::try_enqueue_elems(
+    ElemSize sz, std::span<const std::uint64_t> elems) {
+  assert(!elems.empty() && elems.size() <= max_elems(sz));
+  const Addr line = buf_[cur_];
+  const auto n = static_cast<std::uint8_t>(elems.size());
+  const auto width = static_cast<unsigned>(elem_bytes(sz));
+
+  // Fill the data region high-to-low, then arm the control word (Fig. 10).
+  for (std::uint8_t i = 0; i < n; ++i)
+    co_await t_.store(line + elem_offset(sz, i, n), elems[i], width);
+  co_await t_.store(line + kCtrlOffset, pack_ctrl(sz, n), 2);
+
+  co_await m_.vl_port(t_.core->id()).vl_select(t_.tid, line);
+  const int rc = co_await m_.vl_port(t_.core->id()).vl_push(t_.tid, dev_va_);
+  if (rc == isa::kVlOk) {
+    cur_ = (cur_ + 1) % buf_.size();  // hardware zeroed the line for reuse
+    co_return true;
+  }
+  ++retries_;
+  co_return false;  // data still in the line; caller may retry the push
+}
+
+sim::Co<void> Producer::enqueue(std::span<const std::uint64_t> words) {
+  Tick backoff = kBackoffStart;
+  while (!co_await try_enqueue(words)) {
+    co_await t_.compute(backoff);  // paper's software response to back-pressure
+    backoff = std::min(backoff * 2, kBackoffMax);
+  }
+}
+
+sim::Co<void> Producer::enqueue1(std::uint64_t w) {
+  const std::uint64_t one[1] = {w};
+  co_await enqueue(std::span<const std::uint64_t>(one, 1));
+}
+
+sim::Co<void> Producer::enqueue_elems(ElemSize sz,
+                                      std::span<const std::uint64_t> elems) {
+  Tick backoff = kBackoffStart;
+  while (!co_await try_enqueue_elems(sz, elems)) {
+    co_await t_.compute(backoff);
+    backoff = std::min(backoff * 2, kBackoffMax);
+  }
+}
+
+// --- Consumer ----------------------------------------------------------------
+
+Consumer::Consumer(Machine& m, const QueueHandle& q, Supervisor& sup,
+                   sim::SimThread thread, std::size_t buf_lines)
+    : m_(m), t_(thread) {
+  auto ep = sup.alloc_endpoint(q.cons_page);
+  assert(ep && "consumer page out of endpoint slots");
+  dev_va_ = *ep;
+  buf_.reserve(buf_lines);
+  for (std::size_t i = 0; i < buf_lines; ++i)
+    buf_.push_back(m_.alloc(kLineSize));
+}
+
+sim::Co<std::optional<Frame>> Consumer::poll_once(Addr line) {
+  const auto ctrl =
+      static_cast<std::uint16_t>(co_await t_.load(line + kCtrlOffset, 2));
+  if (ctrl == 0) co_return std::nullopt;
+  Frame f;
+  f.size = ctrl_size(ctrl);
+  const std::uint8_t n = ctrl_count(ctrl);
+  const auto width = static_cast<unsigned>(elem_bytes(f.size));
+  f.elems.reserve(n);
+  for (std::uint8_t i = 0; i < n; ++i)
+    f.elems.push_back(
+        co_await t_.load(line + elem_offset(f.size, i, n), width));
+  // Mark the line clean so the next injection is distinguishable.
+  co_await t_.store(line + kCtrlOffset, 0, 2);
+  co_return f;
+}
+
+sim::Co<Frame> Consumer::dequeue_frame() {
+  const Addr line = buf_[cur_];
+  // Data may already have landed from a previous registration.
+  if (auto got = co_await poll_once(line)) {
+    cur_ = (cur_ + 1) % buf_.size();
+    co_return *got;
+  }
+  isa::VlPort& port = m_.vl_port(t_.core->id());
+  co_await port.vl_select(t_.tid, line);
+  co_await port.vl_fetch(t_.tid, dev_va_);
+
+  int polls = 0;
+  for (;;) {
+    if (auto got = co_await poll_once(line)) {
+      cur_ = (cur_ + 1) % buf_.size();
+      co_return *got;
+    }
+    co_await t_.compute(kPollInterval);
+    if (++polls >= kRefetchThreshold) {
+      // Re-issue the request (sets the pushable tag again); registration is
+      // idempotent per consumer target so this is loss-free (§ III-B).
+      polls = 0;
+      ++refetches_;
+      co_await port.vl_select(t_.tid, line);
+      co_await port.vl_fetch(t_.tid, dev_va_);
+    }
+  }
+}
+
+void Consumer::migrate(sim::SimThread to) {
+  const CoreId old_core = t_.core->id();
+  if (to.core->id() != old_core) {
+    // The OS migration path unsets the pushable flag before the thread can
+    // run elsewhere (§ III-B), exactly like a context switch would.
+    for (const Addr line : buf_)
+      m_.mem().set_pushable(old_core, line, false);
+  }
+  t_ = to;
+}
+
+sim::Co<std::vector<std::uint64_t>> Consumer::dequeue() {
+  Frame f = co_await dequeue_frame();
+  co_return std::move(f.elems);
+}
+
+sim::Co<std::uint64_t> Consumer::dequeue1() {
+  std::vector<std::uint64_t> v = co_await dequeue();
+  assert(v.size() == 1);
+  co_return v[0];
+}
+
+sim::Co<std::optional<std::vector<std::uint64_t>>> Consumer::try_dequeue(
+    int poll_budget) {
+  const Addr line = buf_[cur_];
+  if (auto got = co_await poll_once(line)) {
+    cur_ = (cur_ + 1) % buf_.size();
+    co_return std::move(got->elems);
+  }
+  isa::VlPort& port = m_.vl_port(t_.core->id());
+  co_await port.vl_select(t_.tid, line);
+  co_await port.vl_fetch(t_.tid, dev_va_);
+  for (int i = 0; i < poll_budget; ++i) {
+    if (auto got = co_await poll_once(line)) {
+      cur_ = (cur_ + 1) % buf_.size();
+      co_return std::move(got->elems);
+    }
+    co_await t_.compute(kPollInterval);
+  }
+  co_return std::nullopt;
+}
+
+// --- VlQueueLib ---------------------------------------------------------------
+
+QueueHandle VlQueueLib::open(const std::string& name) {
+  const int desc = sup_.shm_open(name);
+  assert(desc >= 0 && "out of SQIs");
+  QueueHandle q;
+  q.desc = desc;
+  q.sqi = Supervisor::desc_sqi(desc);
+  q.vlrd_id = Supervisor::desc_device(desc);
+  auto pp = sup_.vl_mmap(desc, Prot::kWrite);
+  auto cp = sup_.vl_mmap(desc, Prot::kRead);
+  assert(pp && cp);
+  q.prod_page = *pp;
+  q.cons_page = *cp;
+  return q;
+}
+
+}  // namespace vl::runtime

@@ -1,0 +1,204 @@
+#pragma once
+// User-space VL queue library (paper § III-C3/III-D, Figs. 8b & 10).
+//
+// Message line format (Fig. 10): a 2 B control region at the most
+// significant bytes (offsets 62..63) of each transported 64 B line; the
+// remaining 62 B carry payload. Within the control region, 2 bits encode
+// the element size, 6 bits a line-relative offset/head pointer, and one
+// byte is reserved. Valid data fills the data region from higher addresses
+// toward the LSB. Up to 7 doublewords fit per line.
+//
+// Each endpoint owns a small circular buffer of cacheable user-space lines
+// (posix_memalign-style allocation), kept cache-local: producers reuse
+// lines the hardware zeroed after copy-over; consumers re-arm lines after
+// draining them.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "runtime/supervisor.hpp"
+
+namespace vl::runtime {
+
+// --- Fig. 10 control-region codec -----------------------------------------
+
+inline constexpr std::size_t kCtrlOffset = 62;   ///< control @ line MSBs
+inline constexpr std::size_t kMaxWordsPerLine = 7;
+
+/// Size codes (2 bits): byte / half / word / doubleword.
+enum class ElemSize : std::uint8_t { kByte = 0, kHalf = 1, kWord = 2, kDword = 3 };
+
+/// Bytes per element for a size code.
+inline constexpr std::size_t elem_bytes(ElemSize sz) {
+  return std::size_t{1} << static_cast<std::uint8_t>(sz);
+}
+
+/// Elements of `sz` that fit in the 62 B data region.
+inline constexpr std::uint8_t max_elems(ElemSize sz) {
+  return static_cast<std::uint8_t>(kCtrlOffset / elem_bytes(sz));
+}
+
+/// Pack control: [15:14] size code, [13:8] offset/head (here: element
+/// count), [7:0] reserved. A zero control word means "line empty/clean".
+inline constexpr std::uint16_t pack_ctrl(ElemSize sz, std::uint8_t count) {
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(sz) << 14) |
+      (static_cast<std::uint16_t>(count & 0x3f) << 8));
+}
+inline constexpr std::uint8_t ctrl_count(std::uint16_t ctrl) {
+  return static_cast<std::uint8_t>((ctrl >> 8) & 0x3f);
+}
+inline constexpr ElemSize ctrl_size(std::uint16_t ctrl) {
+  return static_cast<ElemSize>((ctrl >> 14) & 0x3);
+}
+/// Payload offset of element i of n (size `sz`): valid data fills the data
+/// region from the higher addresses toward the LSB, so the n used slots
+/// occupy the top of the region (a 1-element frame sits just under the
+/// control word) and lower slots stay clean.
+inline constexpr std::size_t elem_offset(ElemSize sz, std::uint8_t i,
+                                         std::uint8_t n) {
+  return (max_elems(sz) - n + i) * elem_bytes(sz);
+}
+
+/// Dword special case (the common framing).
+inline constexpr std::size_t dword_offset(std::uint8_t i, std::uint8_t n) {
+  return elem_offset(ElemSize::kDword, i, n);
+}
+
+// --- endpoints --------------------------------------------------------------
+
+/// Handle for an open VL queue: queue descriptor (routing device + SQI)
+/// plus producer/consumer page mappings. Obtained from VlQueueLib::open().
+struct QueueHandle {
+  int desc = 0;                ///< Supervisor descriptor (device*kMaxSqi+sqi).
+  std::uint32_t vlrd_id = 0;   ///< Routing device serving this queue.
+  Sqi sqi = 0;                 ///< SQI within that device's linkTab.
+  Addr prod_page = 0;
+  Addr cons_page = 0;
+};
+
+/// Producer endpoint: local circular buffer + mapped device address.
+class Producer {
+ public:
+  Producer(Machine& m, const QueueHandle& q, Supervisor& sup,
+           sim::SimThread thread, std::size_t buf_lines = 8);
+
+  /// Enqueue up to 7 doublewords as one message line. Non-blocking attempt;
+  /// false when the VLRD NACKs (back-pressure).
+  sim::Co<bool> try_enqueue(std::span<const std::uint64_t> words);
+
+  /// Enqueue elements of any Fig. 10 size code (byte/half/word/dword) —
+  /// values are truncated to the element width; up to max_elems(sz) per
+  /// line. Non-blocking attempt.
+  sim::Co<bool> try_enqueue_elems(ElemSize sz,
+                                  std::span<const std::uint64_t> elems);
+
+  /// Blocking enqueue: retries with exponential backoff on back-pressure.
+  sim::Co<void> enqueue(std::span<const std::uint64_t> words);
+  sim::Co<void> enqueue1(std::uint64_t w);
+  sim::Co<void> enqueue_elems(ElemSize sz,
+                              std::span<const std::uint64_t> elems);
+
+  /// OS thread migration: subsequent enqueues issue from `to`'s core. A
+  /// producer holds no cross-call device state (the selection latch is
+  /// per-op), so migration is just a rebind.
+  void migrate(sim::SimThread to) { t_ = to; }
+
+  std::uint64_t retries() const { return retries_; }
+  Addr endpoint_va() const { return dev_va_; }
+  sim::SimThread thread() const { return t_; }
+
+ private:
+  Machine& m_;
+  sim::SimThread t_;
+  Addr dev_va_ = 0;
+  std::vector<Addr> buf_;  // user-space lines (circular)
+  std::size_t cur_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+/// One decoded message line: the Fig. 10 size code and its elements
+/// (values zero-extended to 64 bits).
+struct Frame {
+  ElemSize size = ElemSize::kDword;
+  std::vector<std::uint64_t> elems;
+};
+
+/// Consumer endpoint.
+class Consumer {
+ public:
+  Consumer(Machine& m, const QueueHandle& q, Supervisor& sup,
+           sim::SimThread thread, std::size_t buf_lines = 8);
+
+  /// Blocking dequeue of one message line (1..7 dwords). Registers demand
+  /// with the VLRD, then polls the line's control region; after a context
+  /// switch (or long silence) the request is re-issued, which is safe
+  /// because VLRD registration is idempotent per consumer target.
+  sim::Co<std::vector<std::uint64_t>> dequeue();
+  sim::Co<std::uint64_t> dequeue1();
+
+  /// Blocking dequeue decoding any Fig. 10 element size.
+  sim::Co<Frame> dequeue_frame();
+
+  /// Non-blocking probe: one fetch registration + bounded poll.
+  sim::Co<std::optional<std::vector<std::uint64_t>>> try_dequeue(
+      int poll_budget = 64);
+
+  /// OS thread migration (§ III-B): clears every "pushable" tag this
+  /// endpoint armed on the old core, so in-flight injections are rejected
+  /// and their data stays with the VLRD; the next dequeue from `to`'s core
+  /// re-registers demand and recovers the message. Lines already injected
+  /// into the endpoint buffer remain readable — the new core pulls them
+  /// through ordinary coherence.
+  void migrate(sim::SimThread to);
+
+  std::uint64_t refetches() const { return refetches_; }
+  Addr endpoint_va() const { return dev_va_; }
+  sim::SimThread thread() const { return t_; }
+
+ private:
+  sim::Co<std::optional<Frame>> poll_once(Addr line);
+
+  Machine& m_;
+  sim::SimThread t_;
+  Addr dev_va_ = 0;
+  std::vector<Addr> buf_;
+  std::size_t cur_ = 0;
+  std::uint64_t refetches_ = 0;
+};
+
+/// Library facade tying Supervisor + endpoints together (Fig. 8b flow).
+class VlQueueLib {
+ public:
+  explicit VlQueueLib(Machine& m)
+      : m_(m), sup_(m.cfg().vlrd.num_devices) {
+    if (m.cfg().vlrd.addressing == sim::Addressing::kAddrTable)
+      sup_.attach_addr_table(&m.cluster().addr_table());
+  }
+
+  /// Steps (1)-(5) of Fig. 8b: shm_open the name, mmap producer and
+  /// consumer pages.
+  QueueHandle open(const std::string& name);
+
+  Producer make_producer(const QueueHandle& q, sim::SimThread t,
+                         std::size_t buf_lines = 8) {
+    return Producer(m_, q, sup_, t, buf_lines);
+  }
+  Consumer make_consumer(const QueueHandle& q, sim::SimThread t,
+                         std::size_t buf_lines = 8) {
+    return Consumer(m_, q, sup_, t, buf_lines);
+  }
+
+  Supervisor& supervisor() { return sup_; }
+  Machine& machine() { return m_; }
+
+ private:
+  Machine& m_;
+  Supervisor sup_;
+};
+
+}  // namespace vl::runtime

@@ -1,0 +1,78 @@
+#include "sim/core.hpp"
+
+namespace vl::sim {
+
+Co<void> Core::acquire_port(int tid) {
+  co_await port_.lock();
+  if (resident_ != tid) {
+    if (resident_ != -1) {
+      ++ctx_switches_;
+      for (auto& h : hooks_) h(resident_, tid);
+      const int old = resident_;
+      resident_ = tid;
+      (void)old;
+      co_await Delay(eq_, cfg_.ctx_switch_cost);
+    } else {
+      resident_ = tid;
+    }
+  }
+}
+
+Co<MemResult> Core::issue(int tid, MemRequest req) {
+  co_await acquire_port(tid);
+  co_await Delay(eq_, cfg_.issue_cost);
+  req.core = id_;
+  AsyncOp<MemResult> op;
+  mem_.issue(req, [&op](MemResult r) { op.complete(r); });
+  MemResult r = co_await op;
+  release_port();
+  co_return r;
+}
+
+Co<void> Core::compute(int tid, std::uint64_t cycles) {
+  co_await acquire_port(tid);
+  co_await Delay(eq_, cycles);
+  release_port();
+}
+
+Co<std::uint64_t> Core::load(int tid, Addr a, unsigned size) {
+  MemResult r = co_await issue(tid, {MemOp::kLoad, a, size, 0, 0, nullptr, id_});
+  co_return r.value;
+}
+
+Co<void> Core::store(int tid, Addr a, std::uint64_t v, unsigned size) {
+  co_await issue(tid, {MemOp::kStore, a, size, v, 0, nullptr, id_});
+}
+
+Co<bool> Core::cas64(int tid, Addr a, std::uint64_t expected,
+                     std::uint64_t desired) {
+  MemRequest req{MemOp::kCas64, a, 8, expected, desired, nullptr, id_};
+  co_await Delay(eq_, cfg_.atomic_extra);
+  MemResult r = co_await issue(tid, req);
+  co_return r.ok;
+}
+
+Co<std::uint64_t> Core::fetch_add64(int tid, Addr a, std::uint64_t delta) {
+  MemRequest req{MemOp::kFetchAdd64, a, 8, delta, 0, nullptr, id_};
+  co_await Delay(eq_, cfg_.atomic_extra);
+  MemResult r = co_await issue(tid, req);
+  co_return r.value;
+}
+
+Co<std::uint64_t> Core::swap64(int tid, Addr a, std::uint64_t v) {
+  MemRequest req{MemOp::kSwap64, a, 8, v, 0, nullptr, id_};
+  co_await Delay(eq_, cfg_.atomic_extra);
+  MemResult r = co_await issue(tid, req);
+  co_return r.value;
+}
+
+Co<void> Core::load_line(int tid, Addr a, void* out) {
+  co_await issue(tid, {MemOp::kLoadLine, a, 64, 0, 0, out, id_});
+}
+
+Co<void> Core::store_line(int tid, Addr a, const void* in) {
+  co_await issue(tid,
+                 {MemOp::kStoreLine, a, 64, 0, 0, const_cast<void*>(in), id_});
+}
+
+}  // namespace vl::sim

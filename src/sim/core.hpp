@@ -1,0 +1,122 @@
+#pragma once
+// In-order timing core model.
+//
+// Each Core owns one issue port; software threads bound to the core
+// serialize through it (the paper's FIR benchmark runs two threads per core
+// and the resulting context switches are what defeat VL cache injection
+// there, so thread residency is modelled explicitly). Switching the resident
+// thread costs CoreConfig::ctx_switch_cost cycles and fires registered
+// hooks — the VL port uses those to drop its latched selection and clear
+// "pushable" tag bits, exactly as § III-B requires.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/async_mutex.hpp"
+#include "sim/config.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/mem_port.hpp"
+#include "sim/task.hpp"
+
+namespace vl::sim {
+
+class Core;
+
+/// A software thread bound to a core. Thin value type passed to every op.
+struct SimThread {
+  Core* core = nullptr;
+  int tid = -1;
+
+  // Convenience forwarding (definitions after Core).
+  Co<void> compute(std::uint64_t cycles) const;
+  Co<std::uint64_t> load(Addr a, unsigned size = 8) const;
+  Co<void> store(Addr a, std::uint64_t v, unsigned size = 8) const;
+  Co<bool> cas64(Addr a, std::uint64_t expected, std::uint64_t desired) const;
+  Co<std::uint64_t> fetch_add64(Addr a, std::uint64_t delta) const;
+  Co<std::uint64_t> swap64(Addr a, std::uint64_t v) const;
+  Co<void> load_line(Addr a, void* out) const;
+  Co<void> store_line(Addr a, const void* in) const;
+};
+
+class Core {
+ public:
+  using CtxSwitchHook = std::function<void(int old_tid, int new_tid)>;
+
+  Core(EventQueue& eq, CoreId id, MemoryPort& mem, const CoreConfig& cfg)
+      : eq_(eq), id_(id), mem_(mem), cfg_(cfg), port_(eq) {}
+
+  EventQueue& eq() { return eq_; }
+  CoreId id() const { return id_; }
+  const CoreConfig& cfg() const { return cfg_; }
+
+  /// Register a software thread on this core; returns its tid.
+  SimThread make_thread() { return SimThread{this, next_tid_++}; }
+  int thread_count() const { return next_tid_; }
+  int resident_tid() const { return resident_; }
+
+  void add_ctx_switch_hook(CtxSwitchHook h) {
+    hooks_.push_back(std::move(h));
+  }
+
+  /// Number of context switches taken on this core.
+  std::uint64_t ctx_switches() const { return ctx_switches_; }
+
+  // --- awaitable operations ------------------------------------------------
+  Co<void> compute(int tid, std::uint64_t cycles);
+  Co<std::uint64_t> load(int tid, Addr a, unsigned size);
+  Co<void> store(int tid, Addr a, std::uint64_t v, unsigned size);
+  Co<bool> cas64(int tid, Addr a, std::uint64_t expected, std::uint64_t desired);
+  Co<std::uint64_t> fetch_add64(int tid, Addr a, std::uint64_t delta);
+  Co<std::uint64_t> swap64(int tid, Addr a, std::uint64_t v);
+  Co<void> load_line(int tid, Addr a, void* out);
+  Co<void> store_line(int tid, Addr a, const void* in);
+
+  /// Acquire the issue port as `tid`, paying a context switch if the
+  /// resident thread changes. Used directly by the VL ISA port as well.
+  Co<void> acquire_port(int tid);
+  void release_port() { port_.unlock(); }
+
+ private:
+  Co<MemResult> issue(int tid, MemRequest req);
+
+  EventQueue& eq_;
+  CoreId id_;
+  MemoryPort& mem_;
+  CoreConfig cfg_;
+  AsyncMutex port_;
+  int next_tid_ = 0;
+  int resident_ = -1;
+  std::uint64_t ctx_switches_ = 0;
+  std::vector<CtxSwitchHook> hooks_;
+};
+
+// --- SimThread forwarding ----------------------------------------------------
+inline Co<void> SimThread::compute(std::uint64_t cycles) const {
+  return core->compute(tid, cycles);
+}
+inline Co<std::uint64_t> SimThread::load(Addr a, unsigned size) const {
+  return core->load(tid, a, size);
+}
+inline Co<void> SimThread::store(Addr a, std::uint64_t v, unsigned size) const {
+  return core->store(tid, a, v, size);
+}
+inline Co<bool> SimThread::cas64(Addr a, std::uint64_t expected,
+                                 std::uint64_t desired) const {
+  return core->cas64(tid, a, expected, desired);
+}
+inline Co<std::uint64_t> SimThread::fetch_add64(Addr a,
+                                                std::uint64_t delta) const {
+  return core->fetch_add64(tid, a, delta);
+}
+inline Co<std::uint64_t> SimThread::swap64(Addr a, std::uint64_t v) const {
+  return core->swap64(tid, a, v);
+}
+inline Co<void> SimThread::load_line(Addr a, void* out) const {
+  return core->load_line(tid, a, out);
+}
+inline Co<void> SimThread::store_line(Addr a, const void* in) const {
+  return core->store_line(tid, a, in);
+}
+
+}  // namespace vl::sim

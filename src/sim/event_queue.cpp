@@ -1,0 +1,35 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace vl::sim {
+
+void EventQueue::schedule_at(Tick when, Fn fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  heap_.push(Ev{when, seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the small header and move the functor by re-popping.
+  Ev ev = std::move(const_cast<Ev&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.when;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && step()) ++n;
+  return n;
+}
+
+void EventQueue::run_until(Tick t) {
+  while (!heap_.empty() && heap_.top().when <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace vl::sim

@@ -1,0 +1,60 @@
+#pragma once
+// Discrete-event simulation kernel.
+//
+// A single EventQueue provides the global simulated timeline. Events are
+// (tick, sequence) ordered, so two events scheduled for the same tick fire
+// in scheduling order — this makes every simulation run fully deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vl::sim {
+
+class EventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  Tick now() const { return now_; }
+
+  /// Schedule fn at absolute tick `when` (must be >= now()).
+  void schedule_at(Tick when, Fn fn);
+
+  /// Schedule fn `delta` ticks from now.
+  void schedule_in(Tick delta, Fn fn) { schedule_at(now_ + delta, std::move(fn)); }
+
+  /// Run one event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+  /// Run until simulated time reaches `t` (events at t still fire) or the
+  /// queue drains.
+  void run_until(Tick t);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Ev {
+    Tick when;
+    std::uint64_t seq;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  Tick now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Ev, std::vector<Ev>, Later> heap_;
+};
+
+}  // namespace vl::sim

@@ -1,0 +1,149 @@
+#pragma once
+// Awaitable synchronization primitives for simulated threads.
+//
+// Workloads mostly communicate through the message channels under test,
+// but harness code frequently needs phase structure around them — "start
+// all producers at once", "wait until every worker finished the warm-up
+// lap", "bound the number of in-flight batches". These primitives provide
+// that without touching the modelled memory system: they are *harness*
+// constructs, so they cost zero simulated coherence traffic and advance
+// time only where an explicit latency is configured.
+//
+//   Barrier    — classic N-party phase barrier, reusable across phases.
+//   Semaphore  — counting semaphore with FIFO wakeup.
+//   Event      — one-shot broadcast gate (set() releases all waiters,
+//                including future ones).
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace vl::sim {
+
+/// N-party reusable barrier. The last arriver releases everyone at the
+/// same tick (wakeups are scheduled, not inline, so no waiter resumes
+/// inside another's arrive()).
+class Barrier {
+ public:
+  Barrier(EventQueue& eq, std::uint32_t parties)
+      : eq_(eq), parties_(parties) {}
+
+  /// Awaitable arrival: suspends unless this is the last party.
+  auto arrive() {
+    struct Awaiter {
+      Barrier& b;
+      bool await_ready() {
+        if (b.waiting_.size() + 1 == b.parties_) {
+          b.release_all();
+          return true;  // last arriver passes straight through
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        b.waiting_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::uint32_t parties() const { return parties_; }
+  std::uint64_t generations() const { return generations_; }
+
+ private:
+  void release_all() {
+    ++generations_;
+    auto batch = std::move(waiting_);
+    waiting_.clear();
+    for (auto h : batch) eq_.schedule_in(0, [h] { h.resume(); });
+  }
+
+  EventQueue& eq_;
+  std::uint32_t parties_;
+  std::vector<std::coroutine_handle<>> waiting_;
+  std::uint64_t generations_ = 0;
+};
+
+/// Counting semaphore with FIFO wakeup order.
+class Semaphore {
+ public:
+  Semaphore(EventQueue& eq, std::uint64_t initial)
+      : eq_(eq), count_(initial) {}
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& s;
+      bool await_ready() {
+        if (s.count_ > 0) {
+          --s.count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        s.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Release one permit; ownership transfers directly to the oldest
+  /// waiter if any (so count() stays 0 while a queue exists).
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      eq_.schedule_in(0, [h] { h.resume(); });
+    } else {
+      ++count_;
+    }
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+ private:
+  EventQueue& eq_;
+  std::uint64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// One-shot broadcast gate.
+class Event {
+ public:
+  explicit Event(EventQueue& eq) : eq_(eq) {}
+
+  auto wait() {
+    struct Awaiter {
+      Event& e;
+      bool await_ready() const { return e.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        e.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Release all current waiters; later wait()s pass through. Idempotent.
+  void set() {
+    if (set_) return;
+    set_ = true;
+    auto batch = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : batch) eq_.schedule_in(0, [h] { h.resume(); });
+  }
+
+  bool is_set() const { return set_; }
+
+ private:
+  EventQueue& eq_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace vl::sim

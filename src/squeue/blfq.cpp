@@ -1,0 +1,79 @@
+#include "squeue/blfq.hpp"
+
+#include <cassert>
+
+namespace vl::squeue {
+
+namespace {
+constexpr Tick kEmptyBackoff = 32;
+constexpr Tick kContendedBackoff = 4;
+}  // namespace
+
+SimBlfq::SimBlfq(runtime::Machine& m, std::size_t capacity)
+    : m_(m), cap_(capacity), mask_(capacity - 1) {
+  assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+  tail_ = m_.alloc(kLineSize);
+  head_ = m_.alloc(kLineSize);
+  cells_ = m_.alloc(capacity * kCellStride);
+  // Sequence initialization (functional, pre-run): cell i starts at seq i.
+  for (std::uint64_t i = 0; i < capacity; ++i)
+    m_.mem().backing().write(cell_meta(i), i, 8);
+}
+
+sim::Co<void> SimBlfq::send(sim::SimThread t, Msg msg) {
+  for (;;) {
+    const std::uint64_t pos = co_await t.load(tail_, 8);
+    const std::uint64_t seq = co_await t.load(cell_meta(pos), 8);
+    const auto dif = static_cast<std::int64_t>(seq - pos);
+    if (dif == 0) {
+      // Claim the slot by advancing the shared tail — the contended CAS.
+      if (co_await t.cas64(tail_, pos, pos + 1)) {
+        const Addr data = cell_data(pos);
+        co_await t.store(data, msg.n, 1);
+        for (std::uint8_t i = 0; i < msg.n; ++i)
+          co_await t.store(data + 8 + i * 8, msg.w[i], 8);
+        // Publish: consumers wait for seq == pos + 1.
+        co_await t.store(cell_meta(pos), pos + 1, 8);
+        co_return;
+      }
+      co_await t.compute(kContendedBackoff);
+    } else if (dif < 0) {
+      co_await t.compute(kEmptyBackoff);  // ring wrapped: slot still in use
+    } else {
+      co_await t.compute(kContendedBackoff);  // lost the race; reload tail
+    }
+  }
+}
+
+sim::Co<Msg> SimBlfq::recv(sim::SimThread t) {
+  for (;;) {
+    const std::uint64_t pos = co_await t.load(head_, 8);
+    const std::uint64_t seq = co_await t.load(cell_meta(pos), 8);
+    const auto dif = static_cast<std::int64_t>(seq - (pos + 1));
+    if (dif == 0) {
+      if (co_await t.cas64(head_, pos, pos + 1)) {
+        const Addr data = cell_data(pos);
+        Msg msg;
+        msg.n = static_cast<std::uint8_t>(co_await t.load(data, 1));
+        for (std::uint8_t i = 0; i < msg.n; ++i)
+          msg.w[i] = co_await t.load(data + 8 + i * 8, 8);
+        // Recycle the slot for the producer one lap ahead.
+        co_await t.store(cell_meta(pos), pos + cap_, 8);
+        co_return msg;
+      }
+      co_await t.compute(kContendedBackoff);
+    } else if (dif < 0) {
+      co_await t.compute(kEmptyBackoff);  // empty
+    } else {
+      co_await t.compute(kContendedBackoff);
+    }
+  }
+}
+
+std::uint64_t SimBlfq::depth() const {
+  const std::uint64_t tail = m_.mem().backing().read(tail_, 8);
+  const std::uint64_t head = m_.mem().backing().read(head_, 8);
+  return tail >= head ? tail - head : 0;
+}
+
+}  // namespace vl::squeue

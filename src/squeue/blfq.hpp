@@ -1,0 +1,52 @@
+#pragma once
+// SimBlfq: the Boost-Lock-Free-Queue baseline executed through the
+// simulated coherence hierarchy.
+//
+// Structure: a bounded MPMC ring with per-cell sequence numbers
+// (Dmitry Vyukov's algorithm — the same shared-state pattern as BLFQ:
+// producers CAS a shared tail index, consumers CAS a shared head index).
+// Those two hot words are what Fig. 1/3/4 are about: every CAS needs
+// exclusive ownership, so N contenders drive ~N invalidations and S->M
+// upgrades per operation through the cache model — organically, because
+// every access below is a real simulated load/store/CAS.
+//
+// Each cell spans two cache lines: a metadata line (sequence word) and a
+// payload line, mirroring a 64 B-payload node in a real queue. BLFQ has no
+// back-pressure (it is node-based/unbounded in the paper); we size the ring
+// large enough that incast/FIR occupancy spills past the LLC exactly the
+// way the paper's Fig. 11c shows. If the ring does fill, producers spin —
+// by then the experiment's point has long been made.
+
+#include "squeue/channel.hpp"
+#include "runtime/machine.hpp"
+
+namespace vl::squeue {
+
+class SimBlfq : public Channel {
+ public:
+  /// `capacity` must be a power of two.
+  SimBlfq(runtime::Machine& m, std::size_t capacity);
+
+  sim::Co<void> send(sim::SimThread t, Msg msg) override;
+  sim::Co<Msg> recv(sim::SimThread t) override;
+  std::uint64_t depth() const override;
+
+ private:
+  Addr cell_meta(std::uint64_t pos) const {
+    return cells_ + (pos & mask_) * kCellStride;
+  }
+  Addr cell_data(std::uint64_t pos) const {
+    return cell_meta(pos) + kLineSize;
+  }
+
+  static constexpr Addr kCellStride = 2 * kLineSize;
+
+  runtime::Machine& m_;
+  std::size_t cap_;
+  std::uint64_t mask_;
+  Addr tail_ = 0;   ///< shared enqueue index (its own line)
+  Addr head_ = 0;   ///< shared dequeue index (its own line)
+  Addr cells_ = 0;
+};
+
+}  // namespace vl::squeue

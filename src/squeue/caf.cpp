@@ -1,0 +1,56 @@
+#include "squeue/caf.hpp"
+
+#include <cassert>
+
+namespace vl::squeue {
+
+namespace {
+constexpr Tick kRetryBackoff = 48;
+}
+
+sim::Co<bool> SimCaf::dev_enq(sim::SimThread t, std::uint64_t v) {
+  co_await t.core->acquire_port(t.tid);
+  auto& m = dev_.machine();
+  const Tick arrive = m.mem().device_hop(0);
+  co_await sim::DelayUntil(m.eq(), arrive);
+  const bool ok = dev_.enq(q_, v);
+  const Tick resp =
+      lat_ > m.cfg().cache.bus_hop ? lat_ - m.cfg().cache.bus_hop : 0;
+  co_await sim::Delay(m.eq(), resp);
+  t.core->release_port();
+  co_return ok;
+}
+
+sim::Co<bool> SimCaf::dev_deq(sim::SimThread t, std::uint64_t& out) {
+  co_await t.core->acquire_port(t.tid);
+  auto& m = dev_.machine();
+  const Tick arrive = m.mem().device_hop(0);
+  co_await sim::DelayUntil(m.eq(), arrive);
+  const bool ok = dev_.deq(q_, out);
+  const Tick resp =
+      lat_ > m.cfg().cache.bus_hop ? lat_ - m.cfg().cache.bus_hop : 0;
+  co_await sim::Delay(m.eq(), resp);
+  t.core->release_port();
+  co_return ok;
+}
+
+sim::Co<void> SimCaf::send(sim::SimThread t, Msg msg) {
+  // One register transfer per payload word — the cost of a register-
+  // granularity interface. Frame length is fixed per channel.
+  assert(msg.n == words_ && "SimCaf channels carry fixed-size frames");
+  for (std::uint8_t i = 0; i < msg.n; ++i)
+    while (!co_await dev_enq(t, msg.w[i])) co_await t.compute(kRetryBackoff);
+}
+
+sim::Co<Msg> SimCaf::recv(sim::SimThread t) {
+  Msg msg;
+  msg.n = words_;
+  for (std::uint8_t i = 0; i < words_; ++i) {
+    std::uint64_t v = 0;
+    while (!co_await dev_deq(t, v)) co_await t.compute(kRetryBackoff);
+    msg.w[i] = v;
+  }
+  co_return msg;
+}
+
+}  // namespace vl::squeue

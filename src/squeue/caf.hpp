@@ -1,0 +1,89 @@
+#pragma once
+// SimCaf: model of CAF, the "Core to Core Communication Acceleration
+// Framework" (Wang et al., PACT'16) the paper compares against in Fig. 15.
+//
+// The two architectural differences the paper calls out (§ IV-B):
+//   i.  CAF partitions buffer space between queues and applies credit
+//       management for QoS — modelled as a fixed per-queue credit budget;
+//       an enqueue with no credit is NACKed and the producer retries.
+//   ii. Enqueue/dequeue transfer 64-bit register values between the core
+//       and the central Queue Management Device — so a 64 B message costs
+//       ~8 device round trips where VL pushes one whole cache line.
+//
+// The device stores queued words in internal SRAM (no cache/DRAM traffic
+// for queued payloads, like VL), but its register-granularity interface is
+// the bottleneck Fig. 15's ping-pong exposes.
+
+#include <deque>
+#include <vector>
+
+#include "squeue/channel.hpp"
+#include "runtime/machine.hpp"
+
+namespace vl::squeue {
+
+/// The central Queue Management Device: one per machine, shared by all
+/// CAF channels.
+class CafDevice {
+ public:
+  CafDevice(runtime::Machine& m, std::uint32_t credits_per_queue = 64)
+      : m_(m), credits_(credits_per_queue) {}
+
+  /// Allocate a device queue id.
+  std::uint32_t open_queue() {
+    queues_.emplace_back();
+    return static_cast<std::uint32_t>(queues_.size() - 1);
+  }
+
+  /// One 64-bit enqueue register write. False = out of credits.
+  bool enq(std::uint32_t q, std::uint64_t v) {
+    auto& dq = queues_.at(q);
+    if (dq.size() >= credits_) return false;
+    dq.push_back(v);
+    return true;
+  }
+
+  /// One 64-bit dequeue register read. False = queue empty.
+  bool deq(std::uint32_t q, std::uint64_t& out) {
+    auto& dq = queues_.at(q);
+    if (dq.empty()) return false;
+    out = dq.front();
+    dq.pop_front();
+    return true;
+  }
+
+  std::uint64_t depth(std::uint32_t q) const { return queues_.at(q).size(); }
+  runtime::Machine& machine() { return m_; }
+
+ private:
+  runtime::Machine& m_;
+  std::uint32_t credits_;
+  std::vector<std::deque<std::uint64_t>> queues_;
+};
+
+/// CAF channel with a fixed frame length (`msg_words` register transfers
+/// per message). CAF's native transfer unit is one 64-bit value; wider
+/// messages are a sequence of transfers, which is only interleaving-safe
+/// when a single producer and single consumer use the channel (the paper's
+/// CAF benchmarks pass single pointers; Fig. 15's ping-pong is 1:1).
+class SimCaf : public Channel {
+ public:
+  SimCaf(CafDevice& dev, std::uint8_t msg_words = 1, Tick device_lat = 14)
+      : dev_(dev), q_(dev.open_queue()), words_(msg_words), lat_(device_lat) {}
+
+  sim::Co<void> send(sim::SimThread t, Msg msg) override;
+  sim::Co<Msg> recv(sim::SimThread t) override;
+  std::uint64_t depth() const override { return dev_.depth(q_) / words_; }
+
+ private:
+  /// One register-granularity device round trip.
+  sim::Co<bool> dev_enq(sim::SimThread t, std::uint64_t v);
+  sim::Co<bool> dev_deq(sim::SimThread t, std::uint64_t& out);
+
+  CafDevice& dev_;
+  std::uint32_t q_;
+  std::uint8_t words_;
+  Tick lat_;
+};
+
+}  // namespace vl::squeue

@@ -1,0 +1,70 @@
+#pragma once
+// Uniform M:N message-channel abstraction over every queue implementation
+// the paper compares (BLFQ / ZMQ / VL / VL-ideal / CAF), so each benchmark
+// workload runs unmodified over all of them.
+//
+// A message is 1..7 doublewords — the largest payload a single VL line
+// carries alongside its 2 B control region (Fig. 10). How a backend moves
+// those words is its own business: BLFQ/ZMQ copy them into shared ring
+// cells, VL packs them into one pushed line, CAF transfers them one 64-bit
+// register value at a time through its queue-management device.
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/core.hpp"
+#include "sim/task.hpp"
+
+namespace vl::squeue {
+
+struct Msg {
+  std::array<std::uint64_t, 7> w{};
+  std::uint8_t n = 0;
+
+  static Msg one(std::uint64_t v) {
+    Msg m;
+    m.w[0] = v;
+    m.n = 1;
+    return m;
+  }
+  static Msg words(std::initializer_list<std::uint64_t> ws) {
+    Msg m;
+    assert(ws.size() >= 1 && ws.size() <= 7);
+    for (auto v : ws) m.w[m.n++] = v;
+    return m;
+  }
+  bool operator==(const Msg& o) const {
+    if (n != o.n) return false;
+    for (std::uint8_t i = 0; i < n; ++i)
+      if (w[i] != o.w[i]) return false;
+    return true;
+  }
+};
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Blocking send (applies the backend's back-pressure policy, if any).
+  virtual sim::Co<void> send(sim::SimThread t, Msg msg) = 0;
+
+  /// Blocking receive of one message.
+  virtual sim::Co<Msg> recv(sim::SimThread t) = 0;
+
+  /// Current queued-message estimate (test/diagnostic only; 0 if unknown).
+  virtual std::uint64_t depth() const { return 0; }
+
+  // Single-word convenience wrappers.
+  sim::Co<void> send1(sim::SimThread t, std::uint64_t v) {
+    co_await send(t, Msg::one(v));
+  }
+  sim::Co<std::uint64_t> recv1(sim::SimThread t) {
+    const Msg m = co_await recv(t);
+    co_return m.w[0];
+  }
+};
+
+}  // namespace vl::squeue

@@ -1,0 +1,50 @@
+#include "squeue/factory.hpp"
+
+#include "squeue/blfq.hpp"
+#include "squeue/vl_channel.hpp"
+#include "squeue/zmq.hpp"
+
+namespace vl::squeue {
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kBlfq: return "BLFQ";
+    case Backend::kZmq: return "ZMQ";
+    case Backend::kVl: return "VL64";
+    case Backend::kVlIdeal: return "VL(ideal)";
+    case Backend::kCaf: return "CAF";
+  }
+  return "?";
+}
+
+sim::SystemConfig config_for(Backend b) {
+  return b == Backend::kVlIdeal ? sim::SystemConfig::table3_ideal()
+                                : sim::SystemConfig::table3();
+}
+
+ChannelFactory::ChannelFactory(runtime::Machine& m, Backend b)
+    : m_(m), backend_(b), vl_lib_(m), caf_dev_(m) {}
+
+std::unique_ptr<Channel> ChannelFactory::make(const std::string& name,
+                                              std::size_t capacity_hint,
+                                              std::uint8_t msg_words) {
+  switch (backend_) {
+    case Backend::kBlfq:
+      // BLFQ is unbounded in the paper; a deep ring lets occupancy grow
+      // past the LLC on incast/FIR the way a node-based queue would.
+      return std::make_unique<SimBlfq>(m_, capacity_hint ? capacity_hint
+                                                         : 4096);
+    case Backend::kZmq:
+      // ZeroMQ's default high-water mark is 1000 messages; round to pow2.
+      return std::make_unique<SimZmq>(m_, capacity_hint ? capacity_hint
+                                                        : 1024);
+    case Backend::kVl:
+    case Backend::kVlIdeal:
+      return std::make_unique<VlChannel>(vl_lib_, name);
+    case Backend::kCaf:
+      return std::make_unique<SimCaf>(caf_dev_, msg_words);
+  }
+  return nullptr;
+}
+
+}  // namespace vl::squeue

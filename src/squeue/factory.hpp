@@ -1,0 +1,45 @@
+#pragma once
+// Backend selection: one factory hands out channels for whichever queue
+// scheme an experiment sweeps, so workloads are backend-agnostic.
+
+#include <memory>
+#include <string>
+
+#include "runtime/machine.hpp"
+#include "runtime/vl_queue.hpp"
+#include "squeue/caf.hpp"
+#include "squeue/channel.hpp"
+
+namespace vl::squeue {
+
+enum class Backend { kBlfq, kZmq, kVl, kVlIdeal, kCaf };
+
+const char* to_string(Backend b);
+
+/// System configuration appropriate for a backend (VL-ideal flips the
+/// VLRD into its unbounded zero-latency mode; everything else is Table III).
+sim::SystemConfig config_for(Backend b);
+
+class ChannelFactory {
+ public:
+  ChannelFactory(runtime::Machine& m, Backend b);
+
+  /// Create an M:N channel. `capacity_hint` sizes software rings (0 picks
+  /// the backend default); `name` must be unique per machine (it becomes
+  /// the VL shm handle); `msg_words` fixes the frame length for register-
+  /// granularity backends (CAF).
+  std::unique_ptr<Channel> make(const std::string& name,
+                                std::size_t capacity_hint = 0,
+                                std::uint8_t msg_words = 1);
+
+  Backend backend() const { return backend_; }
+  runtime::Machine& machine() { return m_; }
+
+ private:
+  runtime::Machine& m_;
+  Backend backend_;
+  runtime::VlQueueLib vl_lib_;
+  CafDevice caf_dev_;
+};
+
+}  // namespace vl::squeue

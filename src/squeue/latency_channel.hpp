@@ -1,0 +1,54 @@
+#pragma once
+// Per-message latency instrumentation for any Channel backend.
+//
+// § II motivates VL with queueing behaviour — transient rate mismatches,
+// bursty occupancy, Little's-law pressure on buffers — all of which show up
+// in the *distribution* of message latencies, not just aggregate runtime.
+// LatencyChannel wraps a backend and timestamps every message: send()
+// appends the current tick as an extra payload word; recv() strips it and
+// records (now - sent) in an exact sample store. `bench/latency_tail`
+// prints mean/P50/P99 per backend from this wrapper.
+//
+// The timestamp occupies one payload word, so wrapped messages may carry at
+// most 6 user dwords (the Fig. 10 line fits 7).
+
+#include "common/stats.hpp"
+#include "squeue/channel.hpp"
+
+namespace vl::squeue {
+
+class LatencyChannel : public Channel {
+ public:
+  /// `ns_per_tick` scales recorded latencies into nanoseconds
+  /// (SystemConfig::ns_per_tick); pass 1.0 to record raw ticks.
+  LatencyChannel(Channel& inner, sim::EventQueue& eq, double ns_per_tick)
+      : inner_(inner), eq_(eq), ns_per_tick_(ns_per_tick) {}
+
+  sim::Co<void> send(sim::SimThread t, Msg msg) override {
+    assert(msg.n < 7 && "latency stamping needs one free payload word");
+    msg.w[msg.n++] = eq_.now();
+    co_await inner_.send(t, msg);
+  }
+
+  sim::Co<Msg> recv(sim::SimThread t) override {
+    Msg msg = co_await inner_.recv(t);
+    assert(msg.n >= 1);
+    const Tick sent = msg.w[--msg.n];
+    latencies_.record(static_cast<double>(eq_.now() - sent) * ns_per_tick_);
+    co_return msg;
+  }
+
+  std::uint64_t depth() const override { return inner_.depth(); }
+
+  /// Recorded end-to-end latencies (enqueue call to dequeue completion).
+  const Samples& latencies() const { return latencies_; }
+  Samples& latencies() { return latencies_; }
+
+ private:
+  Channel& inner_;
+  sim::EventQueue& eq_;
+  double ns_per_tick_;
+  Samples latencies_;
+};
+
+}  // namespace vl::squeue

@@ -1,0 +1,85 @@
+#include "squeue/locks.hpp"
+
+namespace vl::squeue {
+
+namespace {
+constexpr Tick kPause = 6;
+}
+
+sim::Co<void> SimCasLock::acquire(sim::SimThread t) {
+  while (!co_await t.cas64(a_, 0, 1)) co_await t.compute(kPause);
+}
+
+sim::Co<void> SimCasLock::release(sim::SimThread t) {
+  co_await t.store(a_, 0, 8);
+}
+
+sim::Co<void> SimSpinLock::acquire(sim::SimThread t) {
+  for (;;) {
+    if (co_await t.swap64(a_, 1) == 0) co_return;
+    std::uint64_t v;
+    do {
+      co_await t.compute(kPause);
+      v = co_await t.load(a_, 8);  // local spin: line stays Shared
+    } while (v != 0);
+  }
+}
+
+sim::Co<void> SimSpinLock::release(sim::SimThread t) {
+  co_await t.store(a_, 0, 8);
+}
+
+sim::Co<void> SimTicketLock::acquire(sim::SimThread t) {
+  const std::uint64_t ticket = co_await t.fetch_add64(a_, 1);
+  for (;;) {
+    const std::uint64_t serving = co_await t.load(a_ + 8, 8);
+    if (serving == ticket) co_return;
+    co_await t.compute(kPause * (ticket - serving));  // proportional backoff
+  }
+}
+
+sim::Co<void> SimTicketLock::release(sim::SimThread t) {
+  const std::uint64_t serving = co_await t.load(a_ + 8, 8);
+  co_await t.store(a_ + 8, serving + 1, 8);
+}
+
+Addr SimMcsLock::node_for(sim::SimThread t) {
+  const auto key = std::make_pair(t.core->id(), t.tid);
+  auto it = nodes_.find(key);
+  if (it == nodes_.end())
+    it = nodes_.emplace(key, m_.alloc(kLineSize)).first;
+  return it->second;
+}
+
+sim::Co<void> SimMcsLock::acquire(sim::SimThread t) {
+  const Addr node = node_for(t);
+  co_await t.store(node, 1, 8);      // locked flag armed
+  co_await t.store(node + 8, 0, 8);  // next = nil
+  const Addr pred = co_await t.swap64(tail_, node);
+  if (pred == 0) co_return;  // uncontended: we own the lock
+  co_await t.store(pred + 8, node, 8);  // link behind the predecessor
+  // Local spin: only this thread's own node line is read, so waiting adds
+  // no traffic on any shared line — the MCS property.
+  for (;;) {
+    const std::uint64_t locked = co_await t.load(node, 8);
+    if (locked == 0) co_return;
+    co_await t.compute(kPause);
+  }
+}
+
+sim::Co<void> SimMcsLock::release(sim::SimThread t) {
+  const Addr node = node_for(t);
+  std::uint64_t next = co_await t.load(node + 8, 8);
+  if (next == 0) {
+    // No visible successor: try to swing the tail back to empty.
+    if (co_await t.cas64(tail_, node, 0)) co_return;
+    // A successor is mid-enqueue; wait for its link to appear.
+    do {
+      co_await t.compute(kPause);
+      next = co_await t.load(node + 8, 8);
+    } while (next == 0);
+  }
+  co_await t.store(next, 0, 8);  // hand the lock to the successor
+}
+
+}  // namespace vl::squeue

@@ -1,0 +1,51 @@
+#include "squeue/vl_channel.hpp"
+
+namespace vl::squeue {
+
+runtime::Producer& VlChannel::producer_for(sim::SimThread t) {
+  const Key k{t.core->id(), t.tid};
+  auto it = producers_.find(k);
+  if (it == producers_.end()) {
+    it = producers_
+             .emplace(k, std::make_unique<runtime::Producer>(
+                             lib_.machine(), q_, lib_.supervisor(), t,
+                             buf_lines_))
+             .first;
+  }
+  return *it->second;
+}
+
+runtime::Consumer& VlChannel::consumer_for(sim::SimThread t) {
+  const Key k{t.core->id(), t.tid};
+  auto it = consumers_.find(k);
+  if (it == consumers_.end()) {
+    it = consumers_
+             .emplace(k, std::make_unique<runtime::Consumer>(
+                             lib_.machine(), q_, lib_.supervisor(), t,
+                             buf_lines_))
+             .first;
+  }
+  return *it->second;
+}
+
+sim::Co<void> VlChannel::send(sim::SimThread t, Msg msg) {
+  runtime::Producer& p = producer_for(t);
+  co_await p.enqueue(std::span<const std::uint64_t>(msg.w.data(), msg.n));
+}
+
+sim::Co<Msg> VlChannel::recv(sim::SimThread t) {
+  runtime::Consumer& c = consumer_for(t);
+  const std::vector<std::uint64_t> words = co_await c.dequeue();
+  Msg msg;
+  msg.n = static_cast<std::uint8_t>(words.size());
+  for (std::uint8_t i = 0; i < msg.n; ++i) msg.w[i] = words[i];
+  co_return msg;
+}
+
+std::uint64_t VlChannel::producer_retries() const {
+  std::uint64_t n = 0;
+  for (const auto& [k, p] : producers_) n += p->retries();
+  return n;
+}
+
+}  // namespace vl::squeue

@@ -1,0 +1,39 @@
+#pragma once
+// VlChannel: the Channel adapter over the VL runtime library. Each calling
+// thread lazily opens its own endpoint (unique 64 B device-address offset +
+// private user-space line buffer) the first time it sends or receives —
+// exactly the paper's model where every producer/consumer owns endpoint
+// state and *no* queue state is shared between threads.
+
+#include <map>
+#include <memory>
+
+#include "runtime/vl_queue.hpp"
+#include "squeue/channel.hpp"
+
+namespace vl::squeue {
+
+class VlChannel : public Channel {
+ public:
+  VlChannel(runtime::VlQueueLib& lib, const std::string& name,
+            std::size_t buf_lines = 8)
+      : lib_(lib), q_(lib.open(name)), buf_lines_(buf_lines) {}
+
+  sim::Co<void> send(sim::SimThread t, Msg msg) override;
+  sim::Co<Msg> recv(sim::SimThread t) override;
+
+  std::uint64_t producer_retries() const;
+
+ private:
+  using Key = std::pair<CoreId, int>;  // (core, tid)
+  runtime::Producer& producer_for(sim::SimThread t);
+  runtime::Consumer& consumer_for(sim::SimThread t);
+
+  runtime::VlQueueLib& lib_;
+  runtime::QueueHandle q_;
+  std::size_t buf_lines_;
+  std::map<Key, std::unique_ptr<runtime::Producer>> producers_;
+  std::map<Key, std::unique_ptr<runtime::Consumer>> consumers_;
+};
+
+}  // namespace vl::squeue

@@ -1,0 +1,100 @@
+#include "squeue/zmq.hpp"
+
+#include <cassert>
+
+namespace vl::squeue {
+
+namespace {
+constexpr Tick kSpinBackoff = 8;
+constexpr Tick kFullBackoff = 64;
+
+// The simulation is fully deterministic, so identical fixed backoffs can
+// phase-lock contending spinners into a periodic schedule where one class of
+// threads (e.g. empty-polling consumers) holds the lock at every instant the
+// other class attempts its CAS — a livelock no real machine exhibits, because
+// real timing noise breaks the phase. Mix a per-thread, per-attempt jitter
+// into every backoff to restore that asymmetry deterministically.
+Tick jitter(const sim::SimThread& t, std::uint32_t attempt, Tick base) {
+  std::uint32_t h = static_cast<std::uint32_t>(t.core->id()) * 2654435761u ^
+                    static_cast<std::uint32_t>(t.tid) * 40503u ^
+                    attempt * 2246822519u;
+  h ^= h >> 15;
+  return base + (h % (base + attempt % 16 + 1));
+}
+}  // namespace
+
+SimZmq::SimZmq(runtime::Machine& m, std::size_t hwm, Tick sw_overhead)
+    : m_(m), hwm_(hwm), mask_(hwm - 1), overhead_(sw_overhead) {
+  assert(hwm >= 2 && (hwm & (hwm - 1)) == 0);
+  lock_ = m_.alloc(kLineSize);
+  meta_ = m_.alloc(kLineSize);
+  cells_ = m_.alloc(hwm * kCellStride);
+}
+
+sim::Co<void> SimZmq::lock(sim::SimThread t) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (co_await t.cas64(lock_, 0, 1)) co_return;
+    // Test-and-test-and-set: spin on a local (Shared) copy.
+    std::uint64_t v;
+    do {
+      co_await t.compute(jitter(t, ++attempt, kSpinBackoff));
+      v = co_await t.load(lock_, 8);
+    } while (v != 0);
+  }
+}
+
+sim::Co<void> SimZmq::unlock(sim::SimThread t) {
+  co_await t.store(lock_, 0, 8);
+}
+
+sim::Co<void> SimZmq::send(sim::SimThread t, Msg msg) {
+  co_await t.compute(overhead_);  // socket/envelope software path
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    co_await lock(t);
+    const std::uint64_t head = co_await t.load(meta_, 8);
+    const std::uint64_t tail = co_await t.load(meta_ + 8, 8);
+    if (tail - head >= hwm_) {
+      // High-water mark: release and wait (the back-pressure path).
+      co_await unlock(t);
+      co_await t.compute(jitter(t, attempt, kFullBackoff));
+      continue;
+    }
+    const Addr data = cell(tail);
+    co_await t.store(data, msg.n, 1);
+    for (std::uint8_t i = 0; i < msg.n; ++i)
+      co_await t.store(data + 8 + i * 8, msg.w[i], 8);
+    co_await t.store(meta_ + 8, tail + 1, 8);
+    co_await unlock(t);
+    co_return;
+  }
+}
+
+sim::Co<Msg> SimZmq::recv(sim::SimThread t) {
+  co_await t.compute(overhead_);
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    co_await lock(t);
+    const std::uint64_t head = co_await t.load(meta_, 8);
+    const std::uint64_t tail = co_await t.load(meta_ + 8, 8);
+    if (head == tail) {  // empty
+      co_await unlock(t);
+      co_await t.compute(jitter(t, attempt, kFullBackoff));
+      continue;
+    }
+    const Addr data = cell(head);
+    Msg msg;
+    msg.n = static_cast<std::uint8_t>(co_await t.load(data, 1));
+    for (std::uint8_t i = 0; i < msg.n; ++i)
+      msg.w[i] = co_await t.load(data + 8 + i * 8, 8);
+    co_await t.store(meta_, head + 1, 8);
+    co_await unlock(t);
+    co_return msg;
+  }
+}
+
+std::uint64_t SimZmq::depth() const {
+  const std::uint64_t head = m_.mem().backing().read(meta_, 8);
+  const std::uint64_t tail = m_.mem().backing().read(meta_ + 8, 8);
+  return tail - head;
+}
+
+}  // namespace vl::squeue

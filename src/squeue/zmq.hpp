@@ -1,0 +1,48 @@
+#pragma once
+// SimZmq: ZeroMQ-style comparison queue (§ IV-A, "ZMQ 4.2.1").
+//
+// Behavioural model, matching the two properties Fig. 11 exercises:
+//   1. More per-message software overhead than BLFQ (ZeroMQ's socket layer,
+//      message envelopes, batching logic) — modelled as fixed extra compute
+//      cycles around each operation. This is why ZMQ loses on the
+//      latency-bound halo/bitonic kernels.
+//   2. A high-water-mark back-pressure mechanism: producers block when the
+//      channel holds `hwm` messages, so incast/FIR occupancy never spills
+//      to DRAM. This is why ZMQ beats BLFQ on those two.
+// Synchronization is a spin lock over the channel state (lock word, ring
+// indices and cells in shared, coherent memory), which yields the elevated
+// snoop/upgrade traffic Fig. 13 measures for ZMQ.
+
+#include "squeue/channel.hpp"
+#include "runtime/machine.hpp"
+
+namespace vl::squeue {
+
+class SimZmq : public Channel {
+ public:
+  /// `hwm` (power of two) is the high-water mark / ring capacity.
+  SimZmq(runtime::Machine& m, std::size_t hwm, Tick sw_overhead = 250);
+
+  sim::Co<void> send(sim::SimThread t, Msg msg) override;
+  sim::Co<Msg> recv(sim::SimThread t) override;
+  std::uint64_t depth() const override;
+
+ private:
+  sim::Co<void> lock(sim::SimThread t);
+  sim::Co<void> unlock(sim::SimThread t);
+  Addr cell(std::uint64_t pos) const {
+    return cells_ + (pos & mask_) * kCellStride;
+  }
+
+  static constexpr Addr kCellStride = 2 * kLineSize;
+
+  runtime::Machine& m_;
+  std::size_t hwm_;
+  std::uint64_t mask_;
+  Tick overhead_;
+  Addr lock_ = 0;   ///< spin-lock word (own line)
+  Addr meta_ = 0;   ///< head (+0) and tail (+8), lock-protected, one line
+  Addr cells_ = 0;
+};
+
+}  // namespace vl::squeue

@@ -1,0 +1,22 @@
+#include "vlrd/addr_table.hpp"
+
+namespace vl::vlrd {
+
+bool AddrTable::insert(Addr page_va, std::uint32_t vlrd_id, Sqi sqi) {
+  if (auto it = map_.find(frame(page_va)); it != map_.end()) {
+    it->second = AddrTableEntry{vlrd_id, sqi};  // re-map in place
+    return true;
+  }
+  if (map_.size() >= capacity_) return false;  // CAM full
+  map_.emplace(frame(page_va), AddrTableEntry{vlrd_id, sqi});
+  return true;
+}
+
+void AddrTable::erase(Addr page_va) { map_.erase(frame(page_va)); }
+
+std::optional<AddrTableEntry> AddrTable::lookup(Addr va) const {
+  if (auto it = map_.find(frame(va)); it != map_.end()) return it->second;
+  return std::nullopt;
+}
+
+}  // namespace vl::vlrd

@@ -1,0 +1,64 @@
+// incast (Ember): 15 producers firehose one master consumer over a single
+// 15:1 channel. The consumer is the bottleneck, so occupancy builds up:
+// BLFQ (no back-pressure) spills its growing ring past the LLC into DRAM,
+// while ZMQ's high-water mark and VL's bounded routing-device buffers keep
+// data on the fast path — the Fig. 11c effect.
+
+#include "workloads/runner.hpp"
+
+namespace vl::workloads {
+
+namespace {
+
+using squeue::Channel;
+using sim::Co;
+using sim::SimThread;
+
+constexpr int kProducers = 15;
+constexpr Tick kProduceCompute = 12;
+constexpr Tick kConsumeCompute = 220;  // consumer is the service bottleneck
+
+Co<void> producer(Channel& ch, SimThread t, int id, int per) {
+  for (int i = 0; i < per; ++i) {
+    co_await t.compute(kProduceCompute);
+    co_await ch.send1(t, static_cast<std::uint64_t>(id) * 1'000'000 + i);
+  }
+}
+
+Co<void> master(Channel& ch, SimThread t, int total, std::uint64_t* checksum) {
+  for (int i = 0; i < total; ++i) {
+    const std::uint64_t v = co_await ch.recv1(t);
+    *checksum += v;
+    co_await t.compute(kConsumeCompute);
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_incast(runtime::Machine& m, squeue::ChannelFactory& f,
+                          int scale) {
+  // Deep ring for the unbounded-BLFQ behaviour; bounded backends ignore
+  // excess and apply their own back-pressure.
+  auto ch = f.make("incast", /*capacity_hint=*/16384);
+  const int per = 600 * scale;
+  std::uint64_t checksum = 0;
+
+  const auto mem0 = m.mem().stats();
+  const Tick t0 = m.now();
+  for (int p = 0; p < kProducers; ++p)
+    sim::spawn(producer(*ch, m.thread_on(static_cast<CoreId>(p)), p, per));
+  sim::spawn(master(*ch, m.thread_on(15), kProducers * per, &checksum));
+  m.run();
+
+  WorkloadResult r;
+  r.workload = "incast";
+  r.backend = squeue::to_string(f.backend());
+  r.ticks = m.now() - t0;
+  r.ns = m.ns(r.ticks);
+  r.messages = static_cast<std::uint64_t>(kProducers) * per;
+  r.mem = m.mem().stats().diff(mem0);
+  r.vlrd = m.vlrd_stats();
+  return r;
+}
+
+}  // namespace vl::workloads

@@ -1,0 +1,65 @@
+// ping-pong (Ember): one message bounces between two threads through a
+// pair of 1:1 channels. The paper's biggest VL win (11.36x over BLFQ):
+// round-trip latency is pure queue overhead, and VL's path is one line
+// push + one stash with zero shared state.
+
+#include "workloads/runner.hpp"
+
+namespace vl::workloads {
+
+namespace {
+
+using squeue::Channel;
+using squeue::Msg;
+using sim::Co;
+using sim::SimThread;
+
+Co<void> ping(Channel& fwd, Channel& bwd, SimThread t, int rounds,
+              int msg_words) {
+  Msg msg;
+  msg.n = static_cast<std::uint8_t>(msg_words);
+  for (int r = 0; r < rounds; ++r) {
+    for (int w = 0; w < msg_words; ++w)
+      msg.w[w] = static_cast<std::uint64_t>(r) * 8 + w;
+    co_await fwd.send(t, msg);
+    const Msg back = co_await bwd.recv(t);
+    (void)back;
+  }
+}
+
+Co<void> pong(Channel& fwd, Channel& bwd, SimThread t, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    Msg msg = co_await fwd.recv(t);
+    co_await bwd.send(t, msg);  // echo
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_pingpong(runtime::Machine& m, squeue::ChannelFactory& f,
+                            int scale, int msg_words) {
+  auto fwd = f.make("pp_fwd", 0, static_cast<std::uint8_t>(msg_words));
+  auto bwd = f.make("pp_bwd", 0, static_cast<std::uint8_t>(msg_words));
+  const int rounds = 200 * scale;
+
+  const auto mem0 = m.mem().stats();
+  const auto vlrd0 = m.vlrd_stats();
+  const Tick t0 = m.now();
+
+  sim::spawn(ping(*fwd, *bwd, m.thread_on(0), rounds, msg_words));
+  sim::spawn(pong(*fwd, *bwd, m.thread_on(1), rounds));
+  m.run();
+
+  WorkloadResult r;
+  r.workload = "ping-pong";
+  r.backend = squeue::to_string(f.backend());
+  r.ticks = m.now() - t0;
+  r.ns = m.ns(r.ticks);
+  r.messages = static_cast<std::uint64_t>(2 * rounds);
+  r.mem = m.mem().stats().diff(mem0);
+  r.vlrd = m.vlrd_stats();
+  (void)vlrd0;
+  return r;
+}
+
+}  // namespace vl::workloads

@@ -1,0 +1,126 @@
+// pipeline: 4-stage network-packet processing (the CAF paper's workload):
+//   S1 (1 thread)  --(1:4)-->  S2 (4 threads)  --(4:4)-->  S3 (4 threads)
+//   --(4:1)-->  S4 (1 thread)  --(1:1 credits)-->  S1
+// Messages carry pointers to 2 KiB packet payloads that live in ordinary
+// cacheable memory; S2 parses (reads) the payload, S3 rewrites it. A fixed
+// pool of packet buffers cycles via the credit channel, so the workload
+// mixes queue traffic with heavy payload coherence traffic.
+// Poison-pill termination: one sentinel per worker flows down the pipe.
+
+#include <memory>
+#include <vector>
+
+#include "workloads/runner.hpp"
+
+namespace vl::workloads {
+
+namespace {
+
+using squeue::Channel;
+using sim::Co;
+using sim::SimThread;
+
+constexpr std::uint64_t kPoison = ~std::uint64_t{0};
+constexpr int kStage2 = 4, kStage3 = 4;
+constexpr std::size_t kPacketLines = 32;  // 2 KiB payload
+constexpr int kPoolPackets = 8;
+
+Co<void> s1_source(Channel& out, Channel& credits, SimThread t, int packets,
+                   const std::vector<Addr>* pool) {
+  for (int i = 0; i < packets; ++i) {
+    // Reuse a pooled buffer; after the first lap, wait for its credit.
+    if (i >= kPoolPackets) (void)co_await credits.recv1(t);
+    const Addr pkt = (*pool)[i % kPoolPackets];
+    co_await t.store(pkt, static_cast<std::uint64_t>(i), 8);  // header
+    co_await out.send1(t, pkt);
+  }
+  for (int w = 0; w < kStage2; ++w) co_await out.send1(t, kPoison);
+  // Drain remaining credits so the run quiesces deterministically.
+  for (int i = 0; i < std::min(packets, kPoolPackets); ++i)
+    (void)co_await credits.recv1(t);
+}
+
+Co<void> s2_parse(Channel& in, Channel& out, SimThread t) {
+  for (;;) {
+    const std::uint64_t v = co_await in.recv1(t);
+    if (v == kPoison) {
+      co_await out.send1(t, kPoison);
+      co_return;
+    }
+    // Parse: read the whole payload.
+    std::uint64_t acc = 0;
+    for (std::size_t l = 0; l < kPacketLines; ++l)
+      acc += co_await t.load(v + l * kLineSize, 8);
+    co_await t.compute(100);
+    (void)acc;
+    co_await out.send1(t, v);
+  }
+}
+
+Co<void> s3_rewrite(Channel& in, Channel& out, SimThread t) {
+  for (;;) {
+    const std::uint64_t v = co_await in.recv1(t);
+    if (v == kPoison) {
+      co_await out.send1(t, kPoison);
+      co_return;
+    }
+    for (std::size_t l = 0; l < kPacketLines; ++l)
+      co_await t.store(v + l * kLineSize, l, 8);
+    co_await t.compute(100);
+    co_await out.send1(t, v);
+  }
+}
+
+Co<void> s4_sink(Channel& in, Channel& credits, SimThread t, int* done) {
+  int poisons = 0;
+  while (poisons < kStage3) {
+    const std::uint64_t v = co_await in.recv1(t);
+    if (v == kPoison) {
+      ++poisons;
+      continue;
+    }
+    ++*done;
+    co_await t.compute(40);
+    co_await credits.send1(t, v);  // return the buffer to S1
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_pipeline(runtime::Machine& m, squeue::ChannelFactory& f,
+                            int scale) {
+  auto c1 = f.make("pipe_c1", /*capacity_hint=*/256);
+  auto c2 = f.make("pipe_c2", /*capacity_hint=*/256);
+  auto c3 = f.make("pipe_c3", /*capacity_hint=*/256);
+  auto credits = f.make("pipe_credits", /*capacity_hint=*/64);
+
+  std::vector<Addr> pool;
+  for (int i = 0; i < kPoolPackets; ++i)
+    pool.push_back(m.alloc(kPacketLines * kLineSize));
+
+  const int packets = 40 * scale;
+  int done = 0;
+
+  const auto mem0 = m.mem().stats();
+  const Tick t0 = m.now();
+  // Cores: S1 on 0; S2 on 1..4; S3 on 5..8; S4 on 9.
+  sim::spawn(s1_source(*c1, *credits, m.thread_on(0), packets, &pool));
+  for (int w = 0; w < kStage2; ++w)
+    sim::spawn(s2_parse(*c1, *c2, m.thread_on(static_cast<CoreId>(1 + w))));
+  for (int w = 0; w < kStage3; ++w)
+    sim::spawn(s3_rewrite(*c2, *c3, m.thread_on(static_cast<CoreId>(5 + w))));
+  sim::spawn(s4_sink(*c3, *credits, m.thread_on(9), &done));
+  m.run();
+
+  WorkloadResult r;
+  r.workload = done == packets ? "pipeline" : "pipeline(LOST PACKETS!)";
+  r.backend = squeue::to_string(f.backend());
+  r.ticks = m.now() - t0;
+  r.ns = m.ns(r.ticks);
+  r.messages = static_cast<std::uint64_t>(packets) * 4;
+  r.mem = m.mem().stats().diff(mem0);
+  r.vlrd = m.vlrd_stats();
+  return r;
+}
+
+}  // namespace vl::workloads

@@ -1,0 +1,27 @@
+#pragma once
+// Per-run measurement record: simulated wall time plus the coherence and
+// device counters the paper's figures plot.
+
+#include <cstdint>
+#include <string>
+
+#include "mem/stats.hpp"
+#include "vlrd/vlrd.hpp"
+
+namespace vl::workloads {
+
+struct WorkloadResult {
+  std::string workload;
+  std::string backend;
+  Tick ticks = 0;
+  double ns = 0;
+  std::uint64_t messages = 0;
+  mem::MemStats mem;         ///< Diffed over the region of interest.
+  vlrd::VlrdStats vlrd;
+
+  double ns_per_msg() const {
+    return messages ? ns / static_cast<double>(messages) : 0.0;
+  }
+};
+
+}  // namespace vl::workloads

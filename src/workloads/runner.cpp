@@ -1,0 +1,132 @@
+#include "workloads/runner.hpp"
+
+#include <memory>
+
+namespace vl::workloads {
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::kPingPong: return "ping-pong";
+    case Kind::kHalo: return "halo";
+    case Kind::kSweep: return "sweep";
+    case Kind::kIncast: return "incast";
+    case Kind::kFir: return "FIR";
+    case Kind::kBitonic: return "bitonic";
+    case Kind::kPipeline: return "pipeline";
+    case Kind::kAllreduce: return "allreduce";
+    case Kind::kScatterGather: return "scatter-gather";
+  }
+  return "?";
+}
+
+WorkloadResult run(Kind kind, const RunConfig& rc) {
+  runtime::Machine m(squeue::config_for(rc.backend));
+  squeue::ChannelFactory f(m, rc.backend);
+  switch (kind) {
+    case Kind::kPingPong: return run_pingpong(m, f, rc.scale);
+    case Kind::kHalo: return run_halo(m, f, rc.scale);
+    case Kind::kSweep: return run_sweep(m, f, rc.scale);
+    case Kind::kIncast: return run_incast(m, f, rc.scale);
+    case Kind::kFir: return run_fir(m, f, rc.scale);
+    case Kind::kBitonic:
+      return run_bitonic(m, f, rc.scale, rc.bitonic_workers);
+    case Kind::kPipeline: return run_pipeline(m, f, rc.scale);
+    case Kind::kAllreduce: return run_allreduce(m, f, rc.scale);
+    case Kind::kScatterGather: return run_scatter_gather(m, f, rc.scale);
+  }
+  return {};
+}
+
+namespace {
+
+using squeue::Channel;
+using sim::Co;
+using sim::SimThread;
+
+// Fig. 14 ping-pong pair that runs until told to stop (when STREAM ends).
+Co<void> interf_ping(Channel& fwd, Channel& bwd, SimThread t,
+                     const bool* stop, std::uint64_t* msgs) {
+  while (!*stop) {
+    co_await fwd.send1(t, 1);
+    (void)co_await bwd.recv1(t);
+    *msgs += 2;
+  }
+  co_await fwd.send1(t, ~std::uint64_t{0});  // release the pong side
+}
+
+Co<void> interf_pong(Channel& fwd, Channel& bwd, SimThread t) {
+  for (;;) {
+    const std::uint64_t v = co_await fwd.recv1(t);
+    if (v == ~std::uint64_t{0}) co_return;
+    co_await bwd.send1(t, v);
+  }
+}
+
+}  // namespace
+
+InterferenceResult run_stream_interference(squeue::Backend backend,
+                                           bool with_pingpong, int scale) {
+  runtime::Machine m(squeue::config_for(backend));
+  squeue::ChannelFactory f(m, backend);
+
+  StreamParams sp;
+  sp.iters = scale;
+
+  InterferenceResult out;
+  if (!with_pingpong) {
+    out.stream = run_stream(m, sp);
+    return out;
+  }
+
+  auto fwd = f.make("if_fwd");
+  auto bwd = f.make("if_bwd");
+  bool stop = false;
+
+  // Spawn the ping-pong pair first; STREAM completion flips the stop flag.
+  sim::spawn(interf_ping(*fwd, *bwd, m.thread_on(0), &stop,
+                         &out.pingpong_msgs));
+  sim::spawn(interf_pong(*fwd, *bwd, m.thread_on(1)));
+
+  // Inline STREAM with a completion hook: run_stream() drives the event
+  // loop itself, so replicate its body with the stop flag at the end.
+  const std::size_t per_thread = sp.lines_per_array / sp.threads;
+  const Addr a = m.alloc(sp.lines_per_array * kLineSize);
+  const Addr b = m.alloc(sp.lines_per_array * kLineSize);
+  const Addr c = m.alloc(sp.lines_per_array * kLineSize);
+
+  const auto mem0 = m.mem().stats();
+  const Tick t0 = m.now();
+  int remaining = sp.threads;
+  Tick stream_end = 0;
+  for (int th = 0; th < sp.threads; ++th) {
+    const Addr off = th * per_thread * kLineSize;
+    sim::spawn([](SimThread t, Addr a, Addr b, Addr c, std::size_t lines,
+                  int iters, int* remaining, bool* stop,
+                  Tick* end) -> Co<void> {
+      for (int it = 0; it < iters; ++it) {
+        for (std::size_t i = 0; i < lines; ++i) {
+          const Addr o = i * kLineSize;
+          const std::uint64_t vb = co_await t.load(b + o, 8);
+          const std::uint64_t vc = co_await t.load(c + o, 8);
+          co_await t.compute(1);
+          co_await t.store(a + o, vb + 3 * vc, 8);
+        }
+      }
+      if (--*remaining == 0) {
+        *stop = true;
+        *end = t.core->eq().now();
+      }
+    }(m.thread_on(sp.first_core + static_cast<CoreId>(th)), a + off, b + off,
+      c + off, per_thread, sp.iters, &remaining, &stop, &stream_end));
+  }
+  m.run();
+
+  out.stream.workload = "STREAM+pingpong";
+  out.stream.backend = squeue::to_string(backend);
+  out.stream.ticks = stream_end - t0;
+  out.stream.ns = m.ns(out.stream.ticks);
+  out.stream.mem = m.mem().stats().diff(mem0);
+  return out;
+}
+
+}  // namespace vl::workloads

@@ -1,0 +1,87 @@
+#pragma once
+// Benchmark workloads (paper Table II) over the backend-agnostic Channel
+// API, plus the STREAM interference composite (Fig. 14).
+//
+//   ping-pong  data back and forth between two threads          (1:1) x2
+//   halo       exchange with grid neighbours                    (1:1) x48
+//   sweep      wavefront corner-to-corner (and back)            (1:1) x48
+//   incast     15 producers -> 1 master                         (15:1) x1
+//   FIR        32-stage filter pipeline, 2 threads/core         (1:1) x31
+//   bitonic    master/worker bitonic sort                       (1:N)+(M:1)
+//   pipeline   4-stage packet pipeline, 2 KiB payloads          (1:4)+(4:4)+(4:1)+(1:1)
+//
+// Every run builds a fresh Table III machine, executes the kernel, and
+// reports simulated time plus coherence/DRAM/device counters.
+
+#include <memory>
+
+#include "runtime/machine.hpp"
+#include "squeue/factory.hpp"
+#include "workloads/result.hpp"
+
+namespace vl::workloads {
+
+enum class Kind {
+  kPingPong,
+  kHalo,
+  kSweep,
+  kIncast,
+  kFir,
+  kBitonic,
+  kPipeline,
+  kAllreduce,       // extension: tree reduce + broadcast
+  kScatterGather,   // extension: fork/join rounds
+};
+
+const char* to_string(Kind k);
+
+struct RunConfig {
+  squeue::Backend backend = squeue::Backend::kBlfq;
+  int scale = 1;            ///< Message-count multiplier (tests use small).
+  int bitonic_workers = 15; ///< Worker threads for bitonic (Fig. 12 sweep).
+};
+
+/// Build a machine for `backend`, run the kernel, return measurements.
+WorkloadResult run(Kind kind, const RunConfig& rc);
+
+// Individual kernels, composable on an existing machine (fig. 14 needs
+// STREAM co-scheduled with ping-pong on one system).
+WorkloadResult run_pingpong(runtime::Machine& m, squeue::ChannelFactory& f,
+                            int scale, int msg_words = 7);
+WorkloadResult run_halo(runtime::Machine& m, squeue::ChannelFactory& f,
+                        int scale);
+WorkloadResult run_sweep(runtime::Machine& m, squeue::ChannelFactory& f,
+                         int scale);
+WorkloadResult run_incast(runtime::Machine& m, squeue::ChannelFactory& f,
+                          int scale);
+WorkloadResult run_fir(runtime::Machine& m, squeue::ChannelFactory& f,
+                       int scale);
+WorkloadResult run_bitonic(runtime::Machine& m, squeue::ChannelFactory& f,
+                           int scale, int workers);
+WorkloadResult run_pipeline(runtime::Machine& m, squeue::ChannelFactory& f,
+                            int scale);
+WorkloadResult run_allreduce(runtime::Machine& m, squeue::ChannelFactory& f,
+                             int scale);
+WorkloadResult run_scatter_gather(runtime::Machine& m,
+                                  squeue::ChannelFactory& f, int scale);
+
+/// STREAM triad kernel (no queues): `threads` cores stream three arrays of
+/// `lines_per_array` cache lines, `iters` times.
+struct StreamParams {
+  int threads = 4;
+  std::size_t lines_per_array = 8192;  // 3 x 512 KiB: well past the LLC
+  int iters = 1;
+  CoreId first_core = 2;  // leave cores 0/1 for the ping-pong pair
+};
+WorkloadResult run_stream(runtime::Machine& m, const StreamParams& p);
+
+/// Fig. 14 composite: STREAM co-scheduled with a ping-pong pair using the
+/// given backend (or STREAM alone when `with_pingpong` is false).
+struct InterferenceResult {
+  WorkloadResult stream;
+  std::uint64_t pingpong_msgs = 0;
+};
+InterferenceResult run_stream_interference(squeue::Backend backend,
+                                           bool with_pingpong, int scale = 1);
+
+}  // namespace vl::workloads

@@ -1,0 +1,78 @@
+// scatter-gather (Ember-style extension): a master scatters task
+// descriptors to a worker pool over one 1:N channel and gathers results
+// over one N:1 channel — the fork/join idiom behind bulk-synchronous
+// phases. Unlike bitonic (which also uses 1:N + M:1), the workers here are
+// stateless and the master re-balances every round, so *queue* throughput
+// — not worker compute — bounds the fork/join rate at small grain sizes.
+
+#include "workloads/runner.hpp"
+
+namespace vl::workloads {
+
+namespace {
+
+using squeue::Channel;
+using sim::Co;
+using sim::SimThread;
+
+constexpr int kWorkers = 6;
+constexpr Tick kGrainCompute = 120;  // per-task work (fine-grained)
+constexpr Tick kMasterCompute = 15;  // per-result integration
+
+Co<void> worker(Channel& scatter, Channel& gather, SimThread t, int tasks) {
+  for (int i = 0; i < tasks; ++i) {
+    const std::uint64_t task = co_await scatter.recv1(t);
+    co_await t.compute(kGrainCompute);
+    co_await gather.send1(t, task * 2 + 1);  // a recognizable transform
+  }
+}
+
+Co<void> master(Channel& scatter, Channel& gather, SimThread t, int rounds,
+                int tasks_per_round, std::uint64_t* checksum) {
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < tasks_per_round; ++i)
+      co_await scatter.send1(
+          t, static_cast<std::uint64_t>(r) * tasks_per_round + i);
+    for (int i = 0; i < tasks_per_round; ++i) {
+      *checksum += co_await gather.recv1(t);
+      co_await t.compute(kMasterCompute);
+    }
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_scatter_gather(runtime::Machine& m,
+                                  squeue::ChannelFactory& f, int scale) {
+  auto scatter = f.make("sg_scatter", 256);
+  auto gather = f.make("sg_gather", 256);
+  const int rounds = 25 * scale;
+  const int tasks_per_round = 24;  // 4 tasks per worker per round
+  std::uint64_t checksum = 0;
+
+  const auto mem0 = m.mem().stats();
+  const Tick t0 = m.now();
+  const int per_worker = rounds * tasks_per_round / kWorkers;
+  for (int w = 0; w < kWorkers; ++w)
+    sim::spawn(worker(*scatter, *gather,
+                      m.thread_on(static_cast<CoreId>(1 + w)), per_worker));
+  sim::spawn(master(*scatter, *gather, m.thread_on(0), rounds,
+                    tasks_per_round, &checksum));
+  m.run();
+
+  WorkloadResult r;
+  r.workload = "scatter-gather";
+  r.backend = squeue::to_string(f.backend());
+  r.ticks = m.now() - t0;
+  r.ns = m.ns(r.ticks);
+  r.messages = static_cast<std::uint64_t>(rounds) * tasks_per_round * 2;
+  r.mem = m.mem().stats().diff(mem0);
+  r.vlrd = m.vlrd_stats();
+  // Checksum: sum over all tasks of (task*2 + 1).
+  const std::uint64_t n = static_cast<std::uint64_t>(rounds) * tasks_per_round;
+  const std::uint64_t expect = n * (n - 1) + n;  // sum(2k+1, k=0..n-1) = n^2
+  if (checksum != expect) r.workload += "!";
+  return r;
+}
+
+}  // namespace vl::workloads

@@ -1,0 +1,92 @@
+// sweep (Ember): a wavefront propagates from the top-left corner of a 4x4
+// grid to the bottom-right, then sweeps back — each cell waits for its
+// upstream neighbours, computes, and feeds its downstream neighbours.
+// 48 directed 1:1 channels (24 forward + 24 backward); the dependency
+// chain serializes most of the communication, which is why queue choice
+// matters least here (paper: VL only 1.10x on sweep).
+
+#include <map>
+#include <memory>
+
+#include "workloads/runner.hpp"
+
+namespace vl::workloads {
+
+namespace {
+
+using squeue::Channel;
+using sim::Co;
+using sim::SimThread;
+
+constexpr int kDim = 4;
+constexpr Tick kCellCompute = 60;
+
+int cell(int r, int c) { return r * kDim + c; }
+
+using ChanMap = std::map<std::pair<int, int>, std::unique_ptr<Channel>>;
+
+Co<void> sweep_thread(ChanMap& ch, SimThread t, int r, int c, int sweeps) {
+  const int id = cell(r, c);
+  for (int s = 0; s < sweeps; ++s) {
+    // Forward wave: wait for up and left, feed down and right.
+    std::uint64_t acc = static_cast<std::uint64_t>(s);
+    if (r > 0) acc += co_await ch[{cell(r - 1, c), id}]->recv1(t);
+    if (c > 0) acc += co_await ch[{cell(r, c - 1), id}]->recv1(t);
+    co_await t.compute(kCellCompute);
+    if (r < kDim - 1) co_await ch[{id, cell(r + 1, c)}]->send1(t, acc);
+    if (c < kDim - 1) co_await ch[{id, cell(r, c + 1)}]->send1(t, acc);
+
+    // Backward wave: wait for down and right, feed up and left.
+    std::uint64_t back = acc;
+    if (r < kDim - 1) back += co_await ch[{cell(r + 1, c), id}]->recv1(t);
+    if (c < kDim - 1) back += co_await ch[{cell(r, c + 1), id}]->recv1(t);
+    co_await t.compute(kCellCompute);
+    if (r > 0) co_await ch[{id, cell(r - 1, c)}]->send1(t, back);
+    if (c > 0) co_await ch[{id, cell(r, c - 1)}]->send1(t, back);
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_sweep(runtime::Machine& m, squeue::ChannelFactory& f,
+                         int scale) {
+  ChanMap ch;
+  int links = 0;
+  for (int r = 0; r < kDim; ++r) {
+    for (int c = 0; c < kDim; ++c) {
+      const int id = cell(r, c);
+      // Forward (down, right) and backward (up, left) edges.
+      const int tr[4] = {r + 1, r, r - 1, r};
+      const int tc[4] = {c, c + 1, c, c - 1};
+      for (int d = 0; d < 4; ++d) {
+        if (tr[d] < 0 || tr[d] >= kDim || tc[d] < 0 || tc[d] >= kDim) continue;
+        const int v = cell(tr[d], tc[d]);
+        ch[{id, v}] = f.make("sweep_" + std::to_string(id) + "_" +
+                                 std::to_string(v),
+                             /*capacity_hint=*/64);
+        ++links;
+      }
+    }
+  }
+
+  const int sweeps = 10 * scale;
+  const auto mem0 = m.mem().stats();
+  const Tick t0 = m.now();
+  for (int r = 0; r < kDim; ++r)
+    for (int c = 0; c < kDim; ++c)
+      sim::spawn(sweep_thread(ch, m.thread_on(static_cast<CoreId>(cell(r, c))),
+                              r, c, sweeps));
+  m.run();
+
+  WorkloadResult res;
+  res.workload = "sweep";
+  res.backend = squeue::to_string(f.backend());
+  res.ticks = m.now() - t0;
+  res.ns = m.ns(res.ticks);
+  res.messages = static_cast<std::uint64_t>(links) * sweeps;
+  res.mem = m.mem().stats().diff(mem0);
+  res.vlrd = m.vlrd_stats();
+  return res;
+}
+
+}  // namespace vl::workloads

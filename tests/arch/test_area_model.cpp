@@ -1,0 +1,49 @@
+#include "arch/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vl::arch {
+namespace {
+
+TEST(AreaModel, Table3ConfigMatchesPublishedNumbers) {
+  AreaModel m{sim::VlrdConfig{}};
+  const AreaBreakdown b = m.estimate();
+  EXPECT_NEAR(b.buffers_mm2, AreaModel::kPaperBufferMm2, 1e-9);
+  EXPECT_NEAR(b.total_mm2, AreaModel::kPaperTotalMm2, 1e-9);
+  // "our design is 13% of the single-core area"
+  EXPECT_NEAR(b.pct_of_a72, 13.0, 0.7);
+  // "less than 1% of overall SoC area" (16 cores)
+  EXPECT_LT(b.pct_of_16core, 1.0);
+}
+
+TEST(AreaModel, StorageIsAboutFiveKiB) {
+  // Table III: "64 entries per prodBuf, consBuf and linkTab (about 5 KiB)".
+  AreaModel m{sim::VlrdConfig{}};
+  const AreaBreakdown b = m.estimate();
+  const double kib = static_cast<double>(b.total_bits) / 8.0 / 1024.0;
+  EXPECT_GT(kib, 4.0);
+  EXPECT_LT(kib, 7.0);
+}
+
+TEST(AreaModel, AreaScalesWithBufferDepth) {
+  sim::VlrdConfig small;
+  small.prod_entries = small.cons_entries = small.link_entries = 16;
+  sim::VlrdConfig big;
+  big.prod_entries = big.cons_entries = big.link_entries = 256;
+  const auto a = AreaModel{small}.estimate();
+  const auto c = AreaModel{big}.estimate();
+  EXPECT_LT(a.buffers_mm2, c.buffers_mm2);
+  // Roughly linear in entries (index widths grow slowly).
+  EXPECT_NEAR(c.buffers_mm2 / a.buffers_mm2, 16.0, 4.0);
+}
+
+TEST(AreaModel, DataFieldDominatesProducerBuffer) {
+  AreaModel m{sim::VlrdConfig{}};
+  const AreaBreakdown b = m.estimate();
+  // 64 x 512 data bits = 32768; prodBuf must dominate total storage.
+  EXPECT_GT(b.prod_buf_bits, b.cons_buf_bits);
+  EXPECT_GT(b.prod_buf_bits, b.link_tab_bits * 10);
+}
+
+}  // namespace
+}  // namespace vl::arch

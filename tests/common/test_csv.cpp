@@ -1,0 +1,56 @@
+// CsvWriter tests: RFC-4180 quoting rules, row-width enforcement, and the
+// fluent row builder used by bench/run_matrix.
+
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vl {
+namespace {
+
+TEST(Csv, HeaderAndPlainRows) {
+  CsvWriter w({"a", "b"});
+  w.row({"1", "2"});
+  EXPECT_EQ(w.str(), "a,b\n1,2\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(Csv, EscapeOnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(CsvWriter::escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("has\nnewline"), "\"has\nnewline\"");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(Csv, QuotedCellsRoundTripInDocument) {
+  CsvWriter w({"name", "note"});
+  w.row({"x,y", "say \"hi\""});
+  EXPECT_EQ(w.str(), "name,note\n\"x,y\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, RowBuilderMixedTypes) {
+  CsvWriter w({"s", "f", "u"});
+  w.add().col(std::string("id")).col(3.14159, 2).col(std::uint64_t{42});
+  EXPECT_EQ(w.str(), "s,f,u\nid,3.14,42\n");
+}
+
+TEST(Csv, BuilderWritesOnDestruction) {
+  CsvWriter w({"only"});
+  {
+    auto r = w.add();
+    r.col(std::string("deferred"));
+    EXPECT_EQ(w.rows_written(), 1u);  // not yet flushed
+  }
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+#ifndef NDEBUG
+TEST(Csv, WidthMismatchAsserts) {
+  CsvWriter w({"a", "b"});
+  EXPECT_DEATH(w.row({"only-one"}), "width");
+}
+#endif
+
+}  // namespace
+}  // namespace vl

@@ -1,0 +1,80 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vl {
+namespace {
+
+TEST(StatSet, AddAndGet) {
+  StatSet s;
+  EXPECT_EQ(s.get("x"), 0u);
+  s.add("x");
+  s.add("x", 4);
+  EXPECT_EQ(s.get("x"), 5u);
+}
+
+TEST(StatSet, DiffDropsNonPositive) {
+  StatSet a, b;
+  a.add("grew", 10);
+  a.add("same", 3);
+  b.add("grew", 4);
+  b.add("same", 3);
+  b.add("only_base", 7);
+  StatSet d = a.diff(b);
+  EXPECT_EQ(d.get("grew"), 6u);
+  EXPECT_EQ(d.get("same"), 0u);
+  EXPECT_EQ(d.get("only_base"), 0u);
+}
+
+TEST(StatSet, Merge) {
+  StatSet a, b;
+  a.add("x", 2);
+  b.add("x", 3);
+  b.add("y", 1);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 5u);
+  EXPECT_EQ(a.get("y"), 1u);
+}
+
+TEST(Summary, WelfordMeanVariance) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.record(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.record(-1.0);
+  h.record(0.0);
+  h.record(9.999);
+  h.record(10.0);
+  h.record(5.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[9], 1u);
+  EXPECT_EQ(h.buckets()[5], 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+}
+
+TEST(Geomean, MatchesHandComputation) {
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+  EXPECT_EQ(geomean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace vl

@@ -1,0 +1,33 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vl {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.25"});
+  t.add_row({"b", "10"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+  // Numeric cells right-align: "10" should be preceded by spaces to match
+  // the "value" column width.
+  EXPECT_NE(out.find("  10"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(2.0949, 2), "2.09");
+  EXPECT_EQ(TextTable::num(1.0, 0), "1");
+}
+
+TEST(TextTable, HandlesShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.render());
+}
+
+}  // namespace
+}  // namespace vl

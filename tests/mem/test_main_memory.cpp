@@ -1,0 +1,57 @@
+#include "mem/main_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vl::mem {
+namespace {
+
+TEST(MainMemory, FreshLinesReadZero) {
+  MainMemory m;
+  EXPECT_EQ(m.read(0x1234, 8), 0u);
+  EXPECT_EQ(m.resident_lines(), 0u);  // reads don't allocate
+}
+
+TEST(MainMemory, ScalarRoundTrip) {
+  MainMemory m;
+  m.write(0x100, 0xa5, 1);
+  m.write(0x108, 0xbeef, 2);
+  m.write(0x110, 0x12345678, 4);
+  m.write(0x118, 0xdeadbeefcafebabe, 8);
+  EXPECT_EQ(m.read(0x100, 1), 0xa5u);
+  EXPECT_EQ(m.read(0x108, 2), 0xbeefu);
+  EXPECT_EQ(m.read(0x110, 4), 0x12345678u);
+  EXPECT_EQ(m.read(0x118, 8), 0xdeadbeefcafebabeull);
+}
+
+TEST(MainMemory, WritesWithinOneLineShareStorage) {
+  MainMemory m;
+  m.write(0x200, 0xff, 1);
+  m.write(0x23f, 0xee, 1);  // last byte of same line
+  EXPECT_EQ(m.resident_lines(), 1u);
+}
+
+TEST(MainMemory, LineRoundTrip) {
+  MainMemory m;
+  Line in{}, out{};
+  for (int i = 0; i < 64; ++i) in[i] = static_cast<std::uint8_t>(255 - i);
+  m.write_line(0x310, in.data());  // unaligned addr maps to its line
+  m.read_line(0x300, out.data());
+  EXPECT_EQ(in, out);
+}
+
+TEST(MainMemory, ZeroLineClears) {
+  MainMemory m;
+  m.write(0x400, 0xffffffffffffffff, 8);
+  m.zero_line(0x400);
+  EXPECT_EQ(m.read(0x400, 8), 0u);
+}
+
+TEST(MainMemory, SmallWriteDoesNotClobberNeighbors) {
+  MainMemory m;
+  m.write(0x500, 0x1111111111111111, 8);
+  m.write(0x502, 0xab, 1);
+  EXPECT_EQ(m.read(0x500, 8), 0x11111111'11ab1111ull);
+}
+
+}  // namespace
+}  // namespace vl::mem

@@ -1,0 +1,147 @@
+// MOESI protocol-variant tests (ablation, CacheConfig::protocol): the
+// Owned state must absorb the LLC writeback MESI pays whenever a dirty
+// line is read by another core, keep sourcing subsequent readers, and
+// still hand ownership over cleanly on writes and evictions.
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hpp"
+#include "sim/core.hpp"
+
+namespace vl::mem {
+namespace {
+
+using sim::Co;
+using sim::EventQueue;
+using sim::SimThread;
+using sim::spawn;
+
+struct MoesiFixture : ::testing::Test {
+  EventQueue eq;
+  sim::CacheConfig ccfg;
+  std::unique_ptr<Hierarchy> hier;
+  sim::CoreConfig ccore;
+  std::vector<std::unique_ptr<sim::Core>> cores;
+  std::vector<SimThread> threads;
+
+  void build(sim::Protocol proto) {
+    ccfg.protocol = proto;
+    hier = std::make_unique<Hierarchy>(eq, 4, ccfg);
+    for (CoreId i = 0; i < 4; ++i) {
+      cores.push_back(std::make_unique<sim::Core>(eq, i, *hier, ccore));
+      threads.push_back(cores.back()->make_thread());
+    }
+  }
+};
+
+TEST_F(MoesiFixture, ReadSnoopOfModifiedYieldsOwnedNotWriteback) {
+  build(sim::Protocol::kMoesi);
+  spawn([](SimThread w, SimThread r) -> Co<void> {
+    co_await w.store(0x1000, 7, 8);  // core 0: M
+    co_await r.load(0x1000, 8);      // core 1 reads: 0 -> O, 1 -> S
+  }(threads[0], threads[1]));
+  eq.run();
+  EXPECT_EQ(hier->l1_state(0, 0x1000), Mesi::kOwned);
+  EXPECT_EQ(hier->l1_state(1, 0x1000), Mesi::kShared);
+  EXPECT_EQ(hier->stats().writebacks, 0u);       // the MOESI saving
+  EXPECT_EQ(hier->stats().c2c_transfers, 1u);
+}
+
+TEST_F(MoesiFixture, MesiBaselinePaysTheWriteback) {
+  build(sim::Protocol::kMesi);
+  spawn([](SimThread w, SimThread r) -> Co<void> {
+    co_await w.store(0x1000, 7, 8);
+    co_await r.load(0x1000, 8);
+  }(threads[0], threads[1]));
+  eq.run();
+  EXPECT_EQ(hier->l1_state(0, 0x1000), Mesi::kShared);  // M -> S
+  EXPECT_EQ(hier->stats().writebacks, 1u);
+  EXPECT_EQ(hier->stats().c2c_transfers, 1u);
+}
+
+TEST_F(MoesiFixture, OwnerKeepsSourcingLaterReaders) {
+  build(sim::Protocol::kMoesi);
+  spawn([](SimThread w, SimThread r1, SimThread r2) -> Co<void> {
+    co_await w.store(0x1000, 7, 8);
+    co_await r1.load(0x1000, 8);
+    co_await r2.load(0x1000, 8);  // owner (still O) sources again
+  }(threads[0], threads[1], threads[2]));
+  eq.run();
+  EXPECT_EQ(hier->l1_state(0, 0x1000), Mesi::kOwned);
+  EXPECT_EQ(hier->l1_state(2, 0x1000), Mesi::kShared);
+  EXPECT_EQ(hier->stats().c2c_transfers, 2u);
+  EXPECT_EQ(hier->stats().writebacks, 0u);
+  EXPECT_EQ(hier->stats().dram_reads, 0u);  // never needed memory
+}
+
+TEST_F(MoesiFixture, WriteInvalidatesOwnerAndSharers) {
+  build(sim::Protocol::kMoesi);
+  spawn([](SimThread w, SimThread r, SimThread x) -> Co<void> {
+    co_await w.store(0x1000, 7, 8);   // 0: M
+    co_await r.load(0x1000, 8);       // 0: O, 1: S
+    co_await x.store(0x1000, 9, 8);   // 2 RFOs: all others I
+  }(threads[0], threads[1], threads[2]));
+  eq.run();
+  EXPECT_EQ(hier->l1_state(0, 0x1000), Mesi::kInvalid);
+  EXPECT_EQ(hier->l1_state(1, 0x1000), Mesi::kInvalid);
+  EXPECT_EQ(hier->l1_state(2, 0x1000), Mesi::kModified);
+  EXPECT_GE(hier->stats().invalidations, 2u);
+}
+
+TEST_F(MoesiFixture, OwnedUpgradeOnOwnWrite) {
+  build(sim::Protocol::kMoesi);
+  spawn([](SimThread w, SimThread r) -> Co<void> {
+    co_await w.store(0x1000, 7, 8);
+    co_await r.load(0x1000, 8);      // 0: O, 1: S
+    co_await w.store(0x1000, 8, 8);  // owner writes again: O -> M, 1 inval
+  }(threads[0], threads[1]));
+  eq.run();
+  EXPECT_EQ(hier->l1_state(0, 0x1000), Mesi::kModified);
+  EXPECT_EQ(hier->l1_state(1, 0x1000), Mesi::kInvalid);
+  EXPECT_GE(hier->stats().upgrades, 1u);
+}
+
+TEST_F(MoesiFixture, EvictedOwnerWritesBack) {
+  build(sim::Protocol::kMoesi);
+  // Make line X Owned on core 0, then stream enough conflicting lines
+  // through core 0's L1 set to evict it: the eviction must write back.
+  spawn([](SimThread w, SimThread r) -> Co<void> {
+    co_await w.store(0x1000, 7, 8);
+    co_await r.load(0x1000, 8);  // 0: O
+    // L1 is 32 KiB 2-way => 256 sets x 64 B; stride 16 KiB maps to the
+    // same set. Two fills evict the LRU way.
+    co_await w.load(0x1000 + 16 * 1024, 8);
+    co_await w.load(0x1000 + 32 * 1024, 8);
+    co_await w.load(0x1000 + 48 * 1024, 8);
+  }(threads[0], threads[1]));
+  eq.run();
+  EXPECT_EQ(hier->l1_state(0, 0x1000), Mesi::kInvalid);  // evicted
+  EXPECT_GE(hier->stats().writebacks, 1u);               // dirty data saved
+}
+
+TEST_F(MoesiFixture, ProducerConsumerTrafficCheaperUnderMoesi) {
+  // The ablation's point in miniature: a producer repeatedly writes a line
+  // a consumer repeatedly reads. MESI pays a writeback per handoff; MOESI
+  // pays none (until eviction).
+  auto run_proto = [](sim::Protocol proto) {
+    EventQueue eq;
+    sim::CacheConfig ccfg;
+    ccfg.protocol = proto;
+    Hierarchy hier(eq, 2, ccfg);
+    sim::CoreConfig ccore;
+    sim::Core c0(eq, 0, hier, ccore), c1(eq, 1, hier, ccore);
+    spawn([](SimThread w, SimThread r) -> Co<void> {
+      for (int i = 0; i < 20; ++i) {
+        co_await w.store(0x2000, static_cast<std::uint64_t>(i), 8);
+        (void)co_await r.load(0x2000, 8);
+      }
+    }(c0.make_thread(), c1.make_thread()));
+    eq.run();
+    return hier.stats().writebacks;
+  };
+  EXPECT_EQ(run_proto(sim::Protocol::kMoesi), 0u);
+  EXPECT_GE(run_proto(sim::Protocol::kMesi), 20u);
+}
+
+}  // namespace
+}  // namespace vl::mem

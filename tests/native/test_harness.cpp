@@ -1,0 +1,45 @@
+#include "native/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "native/lockhammer.hpp"
+
+namespace vl::native {
+namespace {
+
+TEST(Lockhammer, ReportsPlausibleNumbers) {
+  const auto r = run_lockhammer(LockKind::kCas, 2, 5000);
+  EXPECT_EQ(r.threads, 2);
+  EXPECT_EQ(r.total_ops, 10000u);
+  EXPECT_GT(r.ns_per_op, 0.0);
+  EXPECT_LT(r.ns_per_op, 1e7);  // sanity: < 10 ms per op
+}
+
+TEST(Lockhammer, AllKindsRun) {
+  for (auto k : {LockKind::kCas, LockKind::kSpin, LockKind::kTicket}) {
+    const auto r = run_lockhammer(k, 1, 2000);
+    EXPECT_GT(r.ns_per_op, 0.0) << to_string(k);
+  }
+}
+
+TEST(Harness, MpmcPushScalingRuns) {
+  const auto r = mpmc_push_scaling(2, 20000);
+  EXPECT_EQ(r.producers, 2);
+  EXPECT_EQ(r.total_msgs, 40000u);
+  EXPECT_GT(r.ns_per_push, 0.0);
+}
+
+TEST(Harness, LineTransferFloorPositive) {
+  const double ns = line_transfer_floor_ns(20000);
+  EXPECT_GT(ns, 0.0);
+  EXPECT_LT(ns, 1e6);
+}
+
+TEST(Lockhammer, ToStringNames) {
+  EXPECT_STREQ(to_string(LockKind::kCas), "cas_lock");
+  EXPECT_STREQ(to_string(LockKind::kSpin), "spin_lock");
+  EXPECT_STREQ(to_string(LockKind::kTicket), "ticket_lock");
+}
+
+}  // namespace
+}  // namespace vl::native

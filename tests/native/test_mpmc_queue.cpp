@@ -1,0 +1,117 @@
+#include "native/mpmc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace vl::native {
+namespace {
+
+TEST(MpmcQueue, SingleThreadFifo) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());  // empty
+}
+
+TEST(MpmcQueue, WrapsAroundManyLaps) {
+  MpmcQueue<int> q(4);
+  for (int lap = 0; lap < 100; ++lap) {
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.try_push(lap * 4 + i));
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(*q.try_pop(), lap * 4 + i);
+  }
+}
+
+TEST(MpmcQueue, SizeApprox) {
+  MpmcQueue<int> q(16);
+  EXPECT_EQ(q.size_approx(), 0u);
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.size_approx(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size_approx(), 1u);
+}
+
+TEST(MpmcQueue, MovesOnlyTypes) {
+  MpmcQueue<std::unique_ptr<int>> q(4);
+  q.push(std::make_unique<int>(42));
+  auto v = q.pop();
+  ASSERT_TRUE(v);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(MpmcQueue, ConcurrentMpmcExactlyOnce) {
+  constexpr int kProds = 4, kCons = 4;
+  constexpr std::uint64_t kPer = 20000;
+  MpmcQueue<std::uint64_t> q(1024);
+  std::vector<std::vector<std::uint64_t>> got(kCons);
+  std::vector<std::thread> threads;
+
+  for (int c = 0; c < kCons; ++c) {
+    threads.emplace_back([&, c] {
+      auto& out = got[c];
+      out.reserve(kPer * kProds / kCons);
+      for (std::uint64_t i = 0; i < kPer * kProds / kCons; ++i)
+        out.push_back(q.pop());
+    });
+  }
+  for (int p = 0; p < kProds; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPer; ++i)
+        q.push(static_cast<std::uint64_t>(p) * kPer + i);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<std::uint64_t> all;
+  for (auto& g : got) all.insert(all.end(), g.begin(), g.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kProds) * kPer);
+  // Exactly the set {0 .. kProds*kPer-1}: nothing lost, nothing duplicated.
+  for (std::uint64_t i = 0; i < all.size(); ++i) ASSERT_EQ(all[i], i);
+}
+
+TEST(MpmcQueue, PerProducerOrderPreserved) {
+  constexpr std::uint64_t kPer = 50000;
+  MpmcQueue<std::uint64_t> q(256);
+  std::vector<std::uint64_t> got;
+  got.reserve(2 * kPer);
+
+  std::thread consumer([&] {
+    for (std::uint64_t i = 0; i < 2 * kPer; ++i) got.push_back(q.pop());
+  });
+  std::thread p1([&] {
+    for (std::uint64_t i = 0; i < kPer; ++i) q.push(i * 2);  // evens
+  });
+  std::thread p2([&] {
+    for (std::uint64_t i = 0; i < kPer; ++i) q.push(i * 2 + 1);  // odds
+  });
+  p1.join();
+  p2.join();
+  consumer.join();
+
+  std::uint64_t last_even = 0, last_odd = 0;
+  bool first_even = true, first_odd = true;
+  for (std::uint64_t v : got) {
+    if (v % 2 == 0) {
+      if (!first_even) ASSERT_GT(v, last_even);
+      last_even = v;
+      first_even = false;
+    } else {
+      if (!first_odd) ASSERT_GT(v, last_odd);
+      last_odd = v;
+      first_odd = false;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vl::native

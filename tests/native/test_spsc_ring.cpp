@@ -1,0 +1,52 @@
+#include "native/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace vl::native {
+namespace {
+
+TEST(SpscRing, FifoSingleThread) {
+  SpscRing<int> r(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(r.try_push(i));
+  EXPECT_FALSE(r.try_push(9));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(*r.try_pop(), i);
+  EXPECT_FALSE(r.try_pop().has_value());
+}
+
+TEST(SpscRing, InterleavedPushPop) {
+  SpscRing<int> r(4);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(r.try_push(i));
+    EXPECT_EQ(*r.try_pop(), i);
+  }
+}
+
+TEST(SpscRing, TwoThreadStress) {
+  constexpr std::uint64_t kN = 200000;
+  SpscRing<std::uint64_t> r(64);
+  std::uint64_t expect = 0;
+  bool ok = true;
+
+  std::thread consumer([&] {
+    while (expect < kN) {
+      if (auto v = r.try_pop()) {
+        if (*v != expect) {
+          ok = false;
+          return;
+        }
+        ++expect;
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kN; ++i)
+    while (!r.try_push(i)) {
+    }
+  consumer.join();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(expect, kN);
+}
+
+}  // namespace
+}  // namespace vl::native

@@ -1,0 +1,52 @@
+#include "runtime/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vl::runtime {
+namespace {
+
+TEST(Machine, Table3ConfigBuilds16Cores) {
+  Machine m;
+  EXPECT_EQ(m.num_cores(), 16u);
+}
+
+TEST(Machine, AllocAlignsAndAdvances) {
+  Machine m;
+  const Addr a = m.alloc(10);
+  const Addr b = m.alloc(10);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 10);
+  const Addr c = m.alloc(100, 4096);
+  EXPECT_EQ(c % 4096, 0u);
+}
+
+TEST(Machine, AllocationsNeverReachDeviceWindow) {
+  Machine m;
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_FALSE(vlrd::is_device_addr(m.alloc(4096)));
+}
+
+TEST(Machine, NsConversionUses2GHz) {
+  Machine m;
+  EXPECT_DOUBLE_EQ(m.ns(2), 1.0);  // 2 ticks @ 0.5 ns
+}
+
+TEST(Machine, ThreadsOnDistinctCoresAreIndependent) {
+  Machine m;
+  auto t0 = m.thread_on(0);
+  auto t5 = m.thread_on(5);
+  EXPECT_EQ(t0.core->id(), 0u);
+  EXPECT_EQ(t5.core->id(), 5u);
+  EXPECT_EQ(t0.tid, 0);
+  EXPECT_EQ(t5.tid, 0);  // tids are per-core
+}
+
+TEST(Machine, IdealConfigPropagatesToVlrd) {
+  Machine m(sim::SystemConfig::table3_ideal());
+  // Ideal device never reports full buffers.
+  EXPECT_EQ(m.vlrd().prod_free_slots(), UINT32_MAX);
+}
+
+}  // namespace
+}  // namespace vl::runtime

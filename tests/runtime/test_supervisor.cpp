@@ -1,0 +1,157 @@
+// Supervisor (SQI allocation / mmap emulation) tests — paper § III-C1/C2.
+
+#include "runtime/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vl::runtime {
+namespace {
+
+TEST(Supervisor, ShmOpenAllocatesStableSqis) {
+  Supervisor sup;
+  const int a = sup.shm_open("queue_a");
+  const int b = sup.shm_open("queue_b");
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(sup.shm_open("queue_a"), a);  // reopen by name
+}
+
+TEST(Supervisor, SqiSpaceIsBounded) {
+  Supervisor sup;
+  for (int i = 0; i < Supervisor::kMaxSqi; ++i)
+    ASSERT_GE(sup.shm_open("q" + std::to_string(i)), 0);
+  EXPECT_EQ(sup.shm_open("one_too_many"), -1);
+}
+
+TEST(Supervisor, UnlinkRecyclesSqi) {
+  Supervisor sup;
+  for (int i = 0; i < Supervisor::kMaxSqi; ++i)
+    sup.shm_open("q" + std::to_string(i));
+  sup.shm_unlink("q7");
+  EXPECT_GE(sup.shm_open("fresh"), 0);
+}
+
+TEST(Supervisor, MmapReturnsDeviceAddresses) {
+  Supervisor sup;
+  const Sqi sqi = static_cast<Sqi>(sup.shm_open("q"));
+  auto prod = sup.vl_mmap(sqi, Prot::kWrite);
+  auto cons = sup.vl_mmap(sqi, Prot::kRead);
+  ASSERT_TRUE(prod && cons);
+  EXPECT_TRUE(vlrd::is_device_addr(*prod));
+  EXPECT_NE(*prod, *cons);  // distinct pages
+  EXPECT_EQ(vlrd::decode(*prod).sqi, sqi);
+  EXPECT_EQ(vlrd::decode(*cons).sqi, sqi);
+}
+
+TEST(Supervisor, MmapOfClosedSqiFails) {
+  Supervisor sup;
+  EXPECT_FALSE(sup.vl_mmap(5, Prot::kRead).has_value());
+}
+
+TEST(Supervisor, PageBudgetIs32PerSqi) {
+  Supervisor sup;
+  const Sqi sqi = static_cast<Sqi>(sup.shm_open("q"));
+  for (int i = 0; i < 32; ++i)
+    ASSERT_TRUE(sup.vl_mmap(sqi, Prot::kWrite).has_value()) << i;
+  EXPECT_FALSE(sup.vl_mmap(sqi, Prot::kWrite).has_value());
+}
+
+TEST(Supervisor, EndpointSubAllocationYields64Slots) {
+  Supervisor sup;
+  const Sqi sqi = static_cast<Sqi>(sup.shm_open("q"));
+  const Addr page = *sup.vl_mmap(sqi, Prot::kWrite);
+  std::set<Addr> eps;
+  for (int i = 0; i < 64; ++i) {
+    auto ep = sup.alloc_endpoint(page);
+    ASSERT_TRUE(ep.has_value());
+    EXPECT_EQ(*ep % 64, 0u);  // 64 B aligned (Fig. 9)
+    eps.insert(*ep);
+  }
+  EXPECT_EQ(eps.size(), 64u);
+  EXPECT_FALSE(sup.alloc_endpoint(page).has_value());  // page exhausted
+}
+
+TEST(Supervisor, FreedEndpointIsReusable) {
+  Supervisor sup;
+  const Sqi sqi = static_cast<Sqi>(sup.shm_open("q"));
+  const Addr page = *sup.vl_mmap(sqi, Prot::kRead);
+  const Addr ep = *sup.alloc_endpoint(page);
+  sup.free_endpoint(ep);
+  EXPECT_EQ(*sup.alloc_endpoint(page), ep);  // bit-vector reuse
+}
+
+TEST(Supervisor, EndpointsEncodeTheirSqiAndPage) {
+  Supervisor sup;
+  const Sqi sqi = static_cast<Sqi>(sup.shm_open("q"));
+  const Addr page = *sup.vl_mmap(sqi, Prot::kWrite);
+  const Addr ep = *sup.alloc_endpoint(page);
+  const auto d = vlrd::decode(ep);
+  EXPECT_EQ(d.sqi, sqi);
+  EXPECT_EQ(d.page, vlrd::decode(page).page);
+}
+
+// --- multi-device (Fig. 9 bits J:N+1) ---------------------------------------
+
+TEST(SupervisorMultiDevice, RoundRobinPlacement) {
+  Supervisor sup(3);
+  const int a = sup.shm_open("a");
+  const int b = sup.shm_open("b");
+  const int c = sup.shm_open("c");
+  const int d = sup.shm_open("d");
+  EXPECT_EQ(Supervisor::desc_device(a), 0u);
+  EXPECT_EQ(Supervisor::desc_device(b), 1u);
+  EXPECT_EQ(Supervisor::desc_device(c), 2u);
+  EXPECT_EQ(Supervisor::desc_device(d), 0u);  // wrapped
+  EXPECT_EQ(Supervisor::desc_sqi(a), Supervisor::desc_sqi(b));  // both 0
+}
+
+TEST(SupervisorMultiDevice, CapacityMultipliesByDeviceCount) {
+  Supervisor sup(2);
+  for (int i = 0; i < 2 * Supervisor::kMaxSqi; ++i)
+    ASSERT_GE(sup.shm_open("q" + std::to_string(i)), 0) << i;
+  EXPECT_EQ(sup.shm_open("one_too_many"), -1);
+}
+
+TEST(SupervisorMultiDevice, SpillsToOtherDeviceWhenPreferredFull) {
+  Supervisor sup(2);
+  // Fill device 0 and device 1 alternately, then unlink only device-0
+  // queues: new opens must keep succeeding on device 0 slots.
+  std::vector<int> descs;
+  for (int i = 0; i < 2 * Supervisor::kMaxSqi; ++i)
+    descs.push_back(sup.shm_open("q" + std::to_string(i)));
+  for (int i = 0; i < 2 * Supervisor::kMaxSqi; ++i)
+    if (Supervisor::desc_device(descs[i]) == 0)
+      sup.shm_unlink("q" + std::to_string(i));
+  // Preferred device alternates, but only device 0 has space now.
+  const int x = sup.shm_open("x");
+  const int y = sup.shm_open("y");
+  ASSERT_GE(x, 0);
+  ASSERT_GE(y, 0);
+  EXPECT_EQ(Supervisor::desc_device(x), 0u);
+  EXPECT_EQ(Supervisor::desc_device(y), 0u);
+}
+
+TEST(SupervisorMultiDevice, MmapEncodesDeviceBits) {
+  Supervisor sup(4);
+  sup.shm_open("a");                 // device 0
+  const int b = sup.shm_open("b");   // device 1
+  const Addr page = *sup.vl_mmap(b, Prot::kWrite);
+  EXPECT_EQ(vlrd::decode(page).vlrd_id, 1u);
+  const Addr ep = *sup.alloc_endpoint(page);
+  EXPECT_EQ(vlrd::decode(ep).vlrd_id, 1u);
+}
+
+TEST(SupervisorMultiDevice, DescriptorHelpersRoundTrip) {
+  for (std::uint32_t dev : {0u, 1u, 3u}) {
+    for (Sqi sqi : {Sqi{0}, Sqi{17}, Sqi{63}}) {
+      const int desc = static_cast<int>(dev) * Supervisor::kMaxSqi +
+                       static_cast<int>(sqi);
+      EXPECT_EQ(Supervisor::desc_device(desc), dev);
+      EXPECT_EQ(Supervisor::desc_sqi(desc), sqi);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vl::runtime

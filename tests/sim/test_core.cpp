@@ -1,0 +1,138 @@
+#include "sim/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hpp"
+
+namespace vl::sim {
+namespace {
+
+struct CoreFixture : ::testing::Test {
+  EventQueue eq;
+  CacheConfig ccfg;
+  mem::Hierarchy hier{eq, 2, ccfg};
+  CoreConfig cfg;
+  Core core0{eq, 0, hier, cfg};
+  Core core1{eq, 1, hier, cfg};
+};
+
+TEST_F(CoreFixture, StoreThenLoadRoundTrips) {
+  SimThread t = core0.make_thread();
+  std::uint64_t got = 0;
+  spawn([](SimThread th, std::uint64_t* out) -> Co<void> {
+    co_await th.store(0x1000, 0xdeadbeefcafe, 8);
+    *out = co_await th.load(0x1000, 8);
+  }(t, &got));
+  eq.run();
+  EXPECT_EQ(got, 0xdeadbeefcafeull);
+}
+
+TEST_F(CoreFixture, SubWordAccessesRespectSize) {
+  SimThread t = core0.make_thread();
+  std::uint64_t got = 0;
+  spawn([](SimThread th, std::uint64_t* out) -> Co<void> {
+    co_await th.store(0x2000, 0x11223344aabbccdd, 8);
+    *out = co_await th.load(0x2002, 2);  // bytes 2..3 little-endian
+  }(t, &got));
+  eq.run();
+  EXPECT_EQ(got, 0xaabbu);
+}
+
+TEST_F(CoreFixture, CasSucceedsOnceUnderContention) {
+  SimThread a = core0.make_thread();
+  SimThread b = core1.make_thread();
+  int successes = 0;
+  auto contender = [](SimThread th, int* succ) -> Co<void> {
+    bool ok = co_await th.cas64(0x3000, 0, 1);
+    if (ok) ++*succ;
+  };
+  spawn(contender(a, &successes));
+  spawn(contender(b, &successes));
+  eq.run();
+  EXPECT_EQ(successes, 1);
+}
+
+TEST_F(CoreFixture, FetchAddIsAtomicAcrossCores) {
+  SimThread a = core0.make_thread();
+  SimThread b = core1.make_thread();
+  auto adder = [](SimThread th) -> Co<void> {
+    for (int i = 0; i < 100; ++i) co_await th.fetch_add64(0x4000, 1);
+  };
+  spawn(adder(a));
+  spawn(adder(b));
+  eq.run();
+  EXPECT_EQ(hier.backing().read(0x4000, 8), 200u);
+}
+
+TEST_F(CoreFixture, SwapReturnsOldValue) {
+  SimThread t = core0.make_thread();
+  std::uint64_t old = 99;
+  spawn([](SimThread th, std::uint64_t* o) -> Co<void> {
+    co_await th.store(0x5000, 7, 8);
+    *o = co_await th.swap64(0x5000, 13);
+  }(t, &old));
+  eq.run();
+  EXPECT_EQ(old, 7u);
+  EXPECT_EQ(hier.backing().read(0x5000, 8), 13u);
+}
+
+TEST_F(CoreFixture, LineOpsMoveWholeLines) {
+  SimThread t = core0.make_thread();
+  std::array<std::uint8_t, 64> in{}, out{};
+  for (int i = 0; i < 64; ++i) in[i] = static_cast<std::uint8_t>(i * 3);
+  spawn([](SimThread th, void* src, void* dst) -> Co<void> {
+    co_await th.store_line(0x6000, src);
+    co_await th.load_line(0x6000, dst);
+  }(t, in.data(), out.data()));
+  eq.run();
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(CoreFixture, ComputeAdvancesTime) {
+  SimThread t = core0.make_thread();
+  spawn([](SimThread th) -> Co<void> { co_await th.compute(123); }(t));
+  eq.run();
+  EXPECT_EQ(eq.now(), 123u);
+}
+
+TEST_F(CoreFixture, TwoThreadsOnOneCoreSerializeAndPayCtxSwitch) {
+  SimThread t0 = core0.make_thread();
+  SimThread t1 = core0.make_thread();
+  auto worker = [](SimThread th) -> Co<void> {
+    for (int i = 0; i < 3; ++i) co_await th.compute(10);
+  };
+  spawn(worker(t0));
+  spawn(worker(t1));
+  eq.run();
+  // 6 compute blocks of 10 plus at least one context switch.
+  EXPECT_GE(eq.now(), 60u + core0.cfg().ctx_switch_cost);
+  EXPECT_GE(core0.ctx_switches(), 1u);
+}
+
+TEST_F(CoreFixture, CtxSwitchHookFires) {
+  SimThread t0 = core0.make_thread();
+  SimThread t1 = core0.make_thread();
+  std::vector<std::pair<int, int>> switches;
+  core0.add_ctx_switch_hook(
+      [&](int o, int n) { switches.emplace_back(o, n); });
+  spawn([](SimThread th) -> Co<void> { co_await th.compute(5); }(t0));
+  spawn([](SimThread th) -> Co<void> { co_await th.compute(5); }(t1));
+  eq.run();
+  ASSERT_FALSE(switches.empty());
+  EXPECT_EQ(switches[0], (std::pair<int, int>{0, 1}));
+}
+
+TEST_F(CoreFixture, SingleThreadNeverContextSwitches) {
+  SimThread t = core0.make_thread();
+  spawn([](SimThread th) -> Co<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await th.compute(1);
+      co_await th.store(0x7000, i, 8);
+    }
+  }(t));
+  eq.run();
+  EXPECT_EQ(core0.ctx_switches(), 0u);
+}
+
+}  // namespace
+}  // namespace vl::sim

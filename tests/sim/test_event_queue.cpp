@@ -1,0 +1,80 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vl::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(30, [&] { order.push_back(3); });
+  eq.schedule_at(10, [&] { order.push_back(1); });
+  eq.schedule_at(20, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) eq.schedule_at(5, [&, i] { order.push_back(i); });
+  eq.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue eq;
+  Tick seen = 0;
+  eq.schedule_at(100, [&] {
+    eq.schedule_in(5, [&] { seen = eq.now(); });
+  });
+  eq.run();
+  EXPECT_EQ(seen, 105u);
+}
+
+TEST(EventQueue, EventsCanCascade) {
+  EventQueue eq;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 100) eq.schedule_in(1, recur);
+  };
+  eq.schedule_in(1, recur);
+  eq.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue eq;
+  int fired = 0;
+  eq.schedule_at(10, [&] { ++fired; });
+  eq.schedule_at(20, [&] { ++fired; });
+  eq.schedule_at(30, [&] { ++fired; });
+  eq.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eq.now(), 20u);
+  eq.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunWithLimit) {
+  EventQueue eq;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) eq.schedule_at(i + 1, [&] { ++fired; });
+  EXPECT_EQ(eq.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(eq.pending(), 2u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenEmpty) {
+  EventQueue eq;
+  eq.run_until(500);
+  EXPECT_EQ(eq.now(), 500u);
+}
+
+}  // namespace
+}  // namespace vl::sim

@@ -1,0 +1,166 @@
+// Awaitable synchronization primitive tests: barrier phase semantics,
+// semaphore FIFO handoff and bounding, event broadcast including
+// late-arriving waiters.
+
+#include "sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace vl::sim {
+namespace {
+
+TEST(Barrier, ReleasesAllPartiesTogether) {
+  EventQueue eq;
+  Barrier bar(eq, 3);
+  int passed = 0;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](EventQueue& eq, Barrier& b, int delay, int* passed) -> Co<void> {
+      co_await Delay(eq, static_cast<Tick>(delay));
+      co_await b.arrive();
+      ++*passed;
+    }(eq, bar, 10 * (i + 1), &passed));
+  }
+  eq.run_until(29);
+  EXPECT_EQ(passed, 0);  // two waiting, third not arrived yet
+  eq.run();
+  EXPECT_EQ(passed, 3);
+  EXPECT_EQ(bar.generations(), 1u);
+}
+
+TEST(Barrier, ReusableAcrossPhases) {
+  EventQueue eq;
+  Barrier bar(eq, 2);
+  std::vector<int> order;
+  for (int id = 0; id < 2; ++id) {
+    spawn([](EventQueue& eq, Barrier& b, int id,
+             std::vector<int>* order) -> Co<void> {
+      for (int phase = 0; phase < 3; ++phase) {
+        co_await Delay(eq, static_cast<Tick>(id == 0 ? 5 : 11));
+        co_await b.arrive();
+        order->push_back(phase * 10 + id);
+      }
+    }(eq, bar, id, &order));
+  }
+  eq.run();
+  EXPECT_EQ(bar.generations(), 3u);
+  ASSERT_EQ(order.size(), 6u);
+  // Phases strictly ordered: all phase-k entries precede phase-k+1.
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LE(order[i - 1] / 10, order[i] / 10);
+}
+
+TEST(Barrier, LastArriverDoesNotSuspend) {
+  EventQueue eq;
+  Barrier bar(eq, 1);  // single party: arrive always passes through
+  bool done = false;
+  spawn([](Barrier& b, bool* done) -> Co<void> {
+    co_await b.arrive();
+    co_await b.arrive();
+    *done = true;
+  }(bar, &done));
+  eq.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(bar.generations(), 2u);
+}
+
+TEST(Semaphore, BoundsConcurrency) {
+  EventQueue eq;
+  Semaphore sem(eq, 2);
+  int in_flight = 0, max_in_flight = 0, completed = 0;
+  for (int i = 0; i < 6; ++i) {
+    spawn([](EventQueue& eq, Semaphore& s, int* in, int* maxin,
+             int* done) -> Co<void> {
+      co_await s.acquire();
+      ++*in;
+      *maxin = std::max(*maxin, *in);
+      co_await Delay(eq, 50);
+      --*in;
+      ++*done;
+      s.release();
+    }(eq, sem, &in_flight, &max_in_flight, &completed));
+  }
+  eq.run();
+  EXPECT_EQ(completed, 6);
+  EXPECT_EQ(max_in_flight, 2);
+  EXPECT_EQ(sem.count(), 2u);
+}
+
+TEST(Semaphore, FifoHandoff) {
+  EventQueue eq;
+  Semaphore sem(eq, 0);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](Semaphore& s, int id, std::vector<int>* order) -> Co<void> {
+      co_await s.acquire();
+      order->push_back(id);
+    }(sem, i, &order));
+  }
+  eq.run();
+  EXPECT_TRUE(order.empty());  // nothing released yet
+  EXPECT_EQ(sem.queue_length(), 3u);
+  for (int i = 0; i < 3; ++i) sem.release();
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sem.count(), 0u);  // permits handed to waiters, never pooled
+}
+
+TEST(Event, BroadcastsToAllWaiters) {
+  EventQueue eq;
+  Event ev(eq);
+  int released = 0;
+  for (int i = 0; i < 4; ++i) {
+    spawn([](Event& e, int* released) -> Co<void> {
+      co_await e.wait();
+      ++*released;
+    }(ev, &released));
+  }
+  eq.run();
+  EXPECT_EQ(released, 0);
+  ev.set();
+  eq.run();
+  EXPECT_EQ(released, 4);
+}
+
+TEST(Event, LateWaiterPassesThrough) {
+  EventQueue eq;
+  Event ev(eq);
+  ev.set();
+  ev.set();  // idempotent
+  bool done = false;
+  spawn([](Event& e, bool* done) -> Co<void> {
+    co_await e.wait();
+    *done = true;
+  }(ev, &done));
+  eq.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Event, StartGunAlignsThreads) {
+  // The common harness idiom: spawn threads that all block on the event,
+  // then set() it — every thread observes the same start tick.
+  EventQueue eq;
+  Event go(eq);
+  std::vector<Tick> starts;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](EventQueue& eq, Event& go, std::vector<Tick>* starts,
+             int id) -> Co<void> {
+      co_await Delay(eq, static_cast<Tick>(id * 7));  // stagger arrivals
+      co_await go.wait();
+      starts->push_back(eq.now());
+    }(eq, go, &starts, i));
+  }
+  eq.run_until(100);
+  go.set();
+  eq.run();
+  ASSERT_EQ(starts.size(), 3u);
+  EXPECT_EQ(starts[0], starts[1]);
+  EXPECT_EQ(starts[1], starts[2]);
+}
+
+}  // namespace
+}  // namespace vl::sim

@@ -1,0 +1,114 @@
+#include "squeue/blfq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace vl::squeue {
+namespace {
+
+using runtime::Machine;
+using sim::Co;
+using sim::SimThread;
+using sim::spawn;
+
+TEST(SimBlfq, SingleMessageRoundTrip) {
+  Machine m;
+  SimBlfq q(m, 16);
+  std::uint64_t got = 0;
+  spawn([](Channel& q, SimThread t) -> Co<void> {
+    co_await q.send1(t, 0xcafe);
+  }(q, m.thread_on(0)));
+  spawn([](Channel& q, SimThread t, std::uint64_t* out) -> Co<void> {
+    *out = co_await q.recv1(t);
+  }(q, m.thread_on(1), &got));
+  m.run();
+  EXPECT_EQ(got, 0xcafeu);
+}
+
+TEST(SimBlfq, FifoWithSingleProducer) {
+  Machine m;
+  SimBlfq q(m, 64);
+  std::vector<std::uint64_t> got;
+  spawn([](Channel& q, SimThread t) -> Co<void> {
+    for (std::uint64_t i = 0; i < 100; ++i) co_await q.send1(t, i);
+  }(q, m.thread_on(0)));
+  spawn([](Channel& q, SimThread t, std::vector<std::uint64_t>* out) -> Co<void> {
+    for (int i = 0; i < 100; ++i) out->push_back(co_await q.recv1(t));
+  }(q, m.thread_on(1), &got));
+  m.run();
+  ASSERT_EQ(got.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+}
+
+TEST(SimBlfq, MpmcDeliversEveryMessageExactlyOnce) {
+  Machine m;
+  SimBlfq q(m, 256);
+  constexpr int kProds = 4, kCons = 4, kPer = 50;
+  std::vector<std::uint64_t> got;
+  for (int p = 0; p < kProds; ++p) {
+    spawn([](Channel& q, SimThread t, int base) -> Co<void> {
+      for (int i = 0; i < kPer; ++i)
+        co_await q.send1(t, static_cast<std::uint64_t>(base * 1000 + i));
+    }(q, m.thread_on(static_cast<CoreId>(p)), p));
+  }
+  for (int c = 0; c < kCons; ++c) {
+    spawn([](Channel& q, SimThread t, std::vector<std::uint64_t>* out) -> Co<void> {
+      for (int i = 0; i < kProds * kPer / kCons; ++i)
+        out->push_back(co_await q.recv1(t));
+    }(q, m.thread_on(static_cast<CoreId>(kProds + c)), &got));
+  }
+  m.run();
+  std::sort(got.begin(), got.end());
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kProds * kPer));
+  EXPECT_EQ(std::adjacent_find(got.begin(), got.end()), got.end());  // unique
+  for (int p = 0; p < kProds; ++p)
+    EXPECT_TRUE(std::binary_search(got.begin(), got.end(),
+                                   static_cast<std::uint64_t>(p * 1000)));
+}
+
+TEST(SimBlfq, MultiWordMessagesSurviveIntact) {
+  Machine m;
+  SimBlfq q(m, 16);
+  const Msg sent = Msg::words({1, 2, 3, 4, 5, 6, 7});
+  Msg got;
+  spawn([](Channel& q, SimThread t, Msg msg) -> Co<void> {
+    co_await q.send(t, msg);
+  }(q, m.thread_on(0), sent));
+  spawn([](Channel& q, SimThread t, Msg* out) -> Co<void> {
+    *out = co_await q.recv(t);
+  }(q, m.thread_on(1), &got));
+  m.run();
+  EXPECT_EQ(got, sent);
+}
+
+TEST(SimBlfq, SharedIndicesGenerateCoherenceTraffic) {
+  // The motivating observation (Figs. 1/4): contended CAS on shared
+  // head/tail drives invalidations and upgrades.
+  Machine m;
+  SimBlfq q(m, 1024);
+  for (int p = 0; p < 4; ++p) {
+    spawn([](Channel& q, SimThread t) -> Co<void> {
+      for (int i = 0; i < 50; ++i) co_await q.send1(t, 1);
+    }(q, m.thread_on(static_cast<CoreId>(p))));
+  }
+  spawn([](Channel& q, SimThread t) -> Co<void> {
+    for (int i = 0; i < 200; ++i) (void)co_await q.recv1(t);
+  }(q, m.thread_on(5)));
+  m.run();
+  EXPECT_GT(m.mem().stats().invalidations, 100u);
+  EXPECT_GT(m.mem().stats().upgrades, 0u);
+}
+
+TEST(SimBlfq, DepthTracksOccupancy) {
+  Machine m;
+  SimBlfq q(m, 64);
+  spawn([](Channel& q, SimThread t) -> Co<void> {
+    for (std::uint64_t i = 0; i < 10; ++i) co_await q.send1(t, i);
+  }(q, m.thread_on(0)));
+  m.run();
+  EXPECT_EQ(q.depth(), 10u);
+}
+
+}  // namespace
+}  // namespace vl::squeue

@@ -1,0 +1,143 @@
+// Topology-parameterized channel properties: the M:N matrix every backend
+// must honour (the paper's Table II spans 1:1, 15:1, 1:N, M:1 and mixed
+// shapes), plus whole-simulation determinism — two identical runs must
+// produce bit-identical timing and traffic, which is what makes every
+// figure in this repo exactly reproducible.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "squeue/factory.hpp"
+
+namespace vl::squeue {
+namespace {
+
+using runtime::Machine;
+using sim::Co;
+using sim::SimThread;
+using sim::spawn;
+
+// --- M:N matrix --------------------------------------------------------------
+
+using Topo = std::tuple<Backend, int, int>;  // backend, producers, consumers
+
+class ChannelTopology : public ::testing::TestWithParam<Topo> {};
+
+TEST_P(ChannelTopology, ExactlyOnceWithPerProducerFifo) {
+  const auto [backend, prods, cons] = GetParam();
+  Machine m(config_for(backend));
+  ChannelFactory f(m, backend);
+  auto ch = f.make("topo");
+  // Totals chosen so every consumer receives the same share.
+  const int per_prod = 12 * cons;
+  const int total = prods * per_prod;
+  const int per_cons = total / cons;
+
+  for (int p = 0; p < prods; ++p) {
+    spawn([](Channel& q, SimThread t, int base, int n) -> Co<void> {
+      for (int i = 0; i < n; ++i)
+        co_await q.send1(t, static_cast<std::uint64_t>(base) * 10000 + i);
+    }(*ch, m.thread_on(static_cast<CoreId>(p)), p, per_prod));
+  }
+  std::vector<std::uint64_t> got;
+  for (int c = 0; c < cons; ++c) {
+    spawn([](Channel& q, SimThread t, std::vector<std::uint64_t>* out,
+             int n) -> Co<void> {
+      for (int i = 0; i < n; ++i) out->push_back(co_await q.recv1(t));
+    }(*ch, m.thread_on(static_cast<CoreId>(8 + c)), &got, per_cons));
+  }
+  m.run();
+
+  std::sort(got.begin(), got.end());
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(total));
+  EXPECT_EQ(std::adjacent_find(got.begin(), got.end()), got.end());
+  // Every expected value arrived.
+  for (int p = 0; p < prods; ++p)
+    for (int i = 0; i < per_prod; i += per_prod / 3)
+      EXPECT_TRUE(std::binary_search(
+          got.begin(), got.end(),
+          static_cast<std::uint64_t>(p) * 10000 + i));
+}
+
+std::string backend_name(Backend b) {
+  // to_string(kVlIdeal) is "VL(ideal)" — not a valid gtest name.
+  switch (b) {
+    case Backend::kBlfq: return "BLFQ";
+    case Backend::kZmq: return "ZMQ";
+    case Backend::kVl: return "VL";
+    case Backend::kVlIdeal: return "VLideal";
+    case Backend::kCaf: return "CAF";
+  }
+  return "unknown";
+}
+
+std::string topo_name(const ::testing::TestParamInfo<Topo>& info) {
+  const auto [b, p, c] = info.param;
+  return backend_name(b) + "_" + std::to_string(p) + "p" +
+         std::to_string(c) + "c";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ChannelTopology,
+    ::testing::Combine(::testing::Values(Backend::kBlfq, Backend::kZmq,
+                                         Backend::kVl, Backend::kVlIdeal,
+                                         Backend::kCaf),
+                       ::testing::Values(1, 4),
+                       ::testing::Values(1, 4)),
+    topo_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    Asymmetric, ChannelTopology,
+    ::testing::Values(Topo{Backend::kVl, 7, 2}, Topo{Backend::kVl, 2, 7},
+                      Topo{Backend::kBlfq, 7, 2}, Topo{Backend::kZmq, 2, 7},
+                      Topo{Backend::kCaf, 6, 3}),
+    topo_name);
+
+// --- determinism --------------------------------------------------------------
+
+class BackendDeterminism : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(BackendDeterminism, IdenticalRunsProduceIdenticalTimingAndTraffic) {
+  auto run_once = [&](std::uint64_t* ticks) {
+    Machine m(config_for(GetParam()));
+    ChannelFactory f(m, GetParam());
+    auto ch = f.make("det");
+    for (int p = 0; p < 3; ++p) {
+      spawn([](Channel& q, SimThread t, int base) -> Co<void> {
+        for (int i = 0; i < 20; ++i)
+          co_await q.send1(t, static_cast<std::uint64_t>(base * 100 + i));
+      }(*ch, m.thread_on(static_cast<CoreId>(p)), p));
+    }
+    spawn([](Channel& q, SimThread t) -> Co<void> {
+      for (int i = 0; i < 60; ++i) (void)co_await q.recv1(t);
+    }(*ch, m.thread_on(9)));
+    m.run();
+    *ticks = m.now();
+    return m.mem().stats();
+  };
+  std::uint64_t t1 = 0, t2 = 0;
+  const auto s1 = run_once(&t1);
+  const auto s2 = run_once(&t2);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(s1.snoops, s2.snoops);
+  EXPECT_EQ(s1.invalidations, s2.invalidations);
+  EXPECT_EQ(s1.upgrades, s2.upgrades);
+  EXPECT_EQ(s1.dram_reads, s2.dram_reads);
+  EXPECT_EQ(s1.dram_writes, s2.dram_writes);
+  EXPECT_EQ(s1.l1_hits, s2.l1_hits);
+  EXPECT_EQ(s1.l1_misses, s2.l1_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendDeterminism,
+                         ::testing::Values(Backend::kBlfq, Backend::kZmq,
+                                           Backend::kVl, Backend::kVlIdeal,
+                                           Backend::kCaf),
+                         [](const auto& info) {
+                           return backend_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace vl::squeue

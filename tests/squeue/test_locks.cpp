@@ -1,0 +1,157 @@
+#include "squeue/locks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace vl::squeue {
+namespace {
+
+using runtime::Machine;
+using sim::Co;
+using sim::SimThread;
+using sim::spawn;
+
+enum class LockKind { kCas, kSpin, kTicket, kMcs };
+
+std::unique_ptr<SimLock> make_lock(Machine& m, LockKind k) {
+  switch (k) {
+    case LockKind::kCas: return std::make_unique<SimCasLock>(m);
+    case LockKind::kSpin: return std::make_unique<SimSpinLock>(m);
+    case LockKind::kTicket: return std::make_unique<SimTicketLock>(m);
+    case LockKind::kMcs: return std::make_unique<SimMcsLock>(m);
+  }
+  return nullptr;
+}
+
+class LockParamTest : public ::testing::TestWithParam<LockKind> {};
+
+TEST_P(LockParamTest, MutualExclusionUnderContention) {
+  Machine m;
+  auto lock = make_lock(m, GetParam());
+  const Addr counter = m.alloc(kLineSize);
+  const Addr in_cs = m.alloc(kLineSize);
+  bool violated = false;
+
+  auto worker = [](SimLock& l, SimThread t, Addr counter, Addr in_cs,
+                   bool* violated) -> Co<void> {
+    for (int i = 0; i < 25; ++i) {
+      co_await l.acquire(t);
+      // Non-atomic read-modify-write: only safe under mutual exclusion.
+      const std::uint64_t flag = co_await t.load(in_cs, 8);
+      if (flag != 0) *violated = true;
+      co_await t.store(in_cs, 1, 8);
+      const std::uint64_t v = co_await t.load(counter, 8);
+      co_await t.compute(7);
+      co_await t.store(counter, v + 1, 8);
+      co_await t.store(in_cs, 0, 8);
+      co_await l.release(t);
+    }
+  };
+  for (CoreId c = 0; c < 6; ++c) spawn(worker(*lock, m.thread_on(c), counter, in_cs, &violated));
+  m.run();
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(m.mem().backing().read(counter, 8), 6u * 25u);
+}
+
+TEST_P(LockParamTest, ContentionCostGrowsWithThreads) {
+  // Fig. 2's shape: per-acquisition time rises with contender count.
+  auto time_per_op = [&](int threads) {
+    Machine m;
+    auto lock = make_lock(m, GetParam());
+    const int per = 30;
+    for (int c = 0; c < threads; ++c) {
+      spawn([](SimLock& l, SimThread t, int per) -> Co<void> {
+        for (int i = 0; i < per; ++i) {
+          co_await l.acquire(t);
+          co_await l.release(t);
+        }
+      }(*lock, m.thread_on(static_cast<CoreId>(c)), per));
+    }
+    m.run();
+    return static_cast<double>(m.now()) / (threads * per);
+  };
+  EXPECT_GT(time_per_op(8), time_per_op(1) * 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocks, LockParamTest,
+                         ::testing::Values(LockKind::kCas, LockKind::kSpin,
+                                           LockKind::kTicket, LockKind::kMcs),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case LockKind::kCas: return "Cas";
+                             case LockKind::kSpin: return "Spin";
+                             case LockKind::kTicket: return "Ticket";
+                             case LockKind::kMcs: return "Mcs";
+                           }
+                           return "?";
+                         });
+
+TEST(McsLock, IsFifoFair) {
+  Machine m;
+  SimMcsLock lock(m);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    spawn([](SimMcsLock& l, Machine& m, SimThread t, int id,
+             std::vector<int>* ord) -> Co<void> {
+      co_await sim::Delay(m.eq(), static_cast<Tick>(id) * 50);
+      co_await l.acquire(t);
+      ord->push_back(id);
+      co_await t.compute(400);
+      co_await l.release(t);
+    }(lock, m, m.thread_on(static_cast<CoreId>(i)), i, &order));
+  }
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(McsLock, WaitersDoNotBounceTheSharedLine) {
+  // The MCS property, measured: with many waiters parked, the spin lock's
+  // waiting traffic hits the lock line (snoops on release), while MCS
+  // waiters poll only their own node lines. Compare invalidations per
+  // acquisition under equal contention.
+  auto invals_per_op = [](bool mcs) {
+    Machine m;
+    std::unique_ptr<SimLock> l;
+    if (mcs)
+      l = std::make_unique<SimMcsLock>(m);
+    else
+      l = std::make_unique<SimCasLock>(m);
+    constexpr int kThreads = 8, kPer = 12;
+    for (CoreId c = 0; c < kThreads; ++c) {
+      spawn([](SimLock& l, SimThread t) -> Co<void> {
+        for (int i = 0; i < kPer; ++i) {
+          co_await l.acquire(t);
+          co_await t.compute(60);
+          co_await l.release(t);
+        }
+      }(*l, m.thread_on(c)));
+    }
+    m.run();
+    return static_cast<double>(m.mem().stats().invalidations) /
+           (kThreads * kPer);
+  };
+  EXPECT_LT(invals_per_op(true), invals_per_op(false));
+}
+
+TEST(TicketLock, IsFifoFair) {
+  Machine m;
+  SimTicketLock lock(m);
+  std::vector<int> order;
+  // Stagger arrival; ticket lock must grant in arrival order.
+  for (int i = 0; i < 4; ++i) {
+    spawn([](SimTicketLock& l, Machine& m, SimThread t, int id,
+             std::vector<int>* ord) -> Co<void> {
+      co_await sim::Delay(m.eq(), static_cast<Tick>(id) * 50);
+      co_await l.acquire(t);
+      ord->push_back(id);
+      co_await t.compute(400);  // hold long enough that all queue up
+      co_await l.release(t);
+    }(lock, m, m.thread_on(static_cast<CoreId>(i)), i, &order));
+  }
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace vl::squeue

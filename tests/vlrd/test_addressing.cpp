@@ -1,0 +1,59 @@
+// Fig. 9 device-PA bit-field encoding tests.
+
+#include "vlrd/addressing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vl::vlrd {
+namespace {
+
+TEST(Addressing, RoundTripAllFields) {
+  DeviceAddr in{/*vlrd_id=*/3, /*sqi=*/42, /*page=*/17, /*slot64=*/63};
+  const Addr a = encode(in);
+  EXPECT_TRUE(is_device_addr(a));
+  const DeviceAddr out = decode(a);
+  EXPECT_EQ(out.vlrd_id, 3u);
+  EXPECT_EQ(out.sqi, 42u);
+  EXPECT_EQ(out.page, 17u);
+  EXPECT_EQ(out.slot64, 63u);
+}
+
+TEST(Addressing, SqiLivesInBitsNTo18) {
+  const Addr a = encode({0, 1, 0, 0});
+  EXPECT_EQ((a >> 18) & 0x3f, 1u);
+  const Addr b = encode({0, 63, 0, 0});
+  EXPECT_EQ((b >> 18) & 0x3f, 63u);
+}
+
+TEST(Addressing, PageInBits17To12) {
+  const Addr a = encode({0, 0, 31, 0});
+  EXPECT_EQ((a >> 12) & 0x3f, 31u);
+}
+
+TEST(Addressing, EndpointsAre64ByteAligned) {
+  for (std::uint32_t slot = 0; slot < 64; ++slot) {
+    const Addr a = encode({0, 5, 2, slot});
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(decode(a).slot64, slot);
+  }
+}
+
+TEST(Addressing, DistinctEndpointsDistinctAddresses) {
+  const Addr a = encode({0, 1, 0, 0});
+  const Addr b = encode({0, 1, 0, 1});
+  const Addr c = encode({0, 1, 1, 0});
+  const Addr d = encode({0, 2, 0, 0});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(b - a, 64u);
+}
+
+TEST(Addressing, CacheableAddressesAreNotDevice) {
+  EXPECT_FALSE(is_device_addr(0x1000'0000));
+  EXPECT_FALSE(is_device_addr(0x0));
+  EXPECT_TRUE(is_device_addr(kDeviceBase));
+}
+
+}  // namespace
+}  // namespace vl::vlrd

@@ -1,0 +1,142 @@
+// Integration tests: every Table II workload completes correctly on every
+// queue backend (small scales — the benches run the full sizes), and the
+// cross-backend relationships the paper reports hold in miniature.
+
+#include <gtest/gtest.h>
+
+#include "workloads/runner.hpp"
+
+namespace vl::workloads {
+namespace {
+
+using squeue::Backend;
+
+struct Combo {
+  Kind kind;
+  Backend backend;
+};
+
+class WorkloadMatrix : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(WorkloadMatrix, CompletesAndReportsSaneNumbers) {
+  RunConfig rc;
+  rc.backend = GetParam().backend;
+  rc.scale = 1;
+  rc.bitonic_workers = 3;
+  const WorkloadResult r = run(GetParam().kind, rc);
+  EXPECT_GT(r.ticks, 0u);
+  EXPECT_GT(r.messages, 0u);
+  EXPECT_GT(r.ns, 0.0);
+  // Correctness sentinels embedded in the workload name must be absent.
+  EXPECT_EQ(r.workload.find('!'), std::string::npos) << r.workload;
+}
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> cs;
+  for (Kind k : {Kind::kPingPong, Kind::kHalo, Kind::kSweep, Kind::kIncast,
+                 Kind::kFir, Kind::kBitonic, Kind::kPipeline,
+                 Kind::kAllreduce, Kind::kScatterGather}) {
+    for (Backend b : {Backend::kBlfq, Backend::kZmq, Backend::kVl,
+                      Backend::kVlIdeal, Backend::kCaf}) {
+      cs.push_back({k, b});
+    }
+  }
+  return cs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, WorkloadMatrix,
+                         ::testing::ValuesIn(all_combos()),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param.kind);
+                           n += "_";
+                           n += squeue::to_string(info.param.backend);
+                           for (auto& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return n;
+                         });
+
+TEST(WorkloadRelations, VlBeatsBlfqOnPingPong) {
+  RunConfig rc;
+  rc.backend = Backend::kBlfq;
+  const auto blfq = run(Kind::kPingPong, rc);
+  rc.backend = Backend::kVl;
+  const auto vl = run(Kind::kPingPong, rc);
+  EXPECT_LT(vl.ns, blfq.ns);  // paper: 11.36x — here just require a win
+}
+
+TEST(WorkloadRelations, VlIdealAtLeastAsFastAsVl) {
+  RunConfig rc;
+  rc.backend = Backend::kVl;
+  const auto vl = run(Kind::kPingPong, rc);
+  rc.backend = Backend::kVlIdeal;
+  const auto ideal = run(Kind::kPingPong, rc);
+  EXPECT_LE(ideal.ns, vl.ns * 1.05);
+}
+
+TEST(WorkloadRelations, VlSnoopsFarBelowBlfq) {
+  RunConfig rc;
+  rc.backend = Backend::kBlfq;
+  const auto blfq = run(Kind::kPingPong, rc);
+  rc.backend = Backend::kVl;
+  const auto vl = run(Kind::kPingPong, rc);
+  EXPECT_LT(vl.mem.snoops * 5, blfq.mem.snoops);
+}
+
+TEST(WorkloadRelations, BlfqSpillsToDramOnIncastVlDoesNot) {
+  RunConfig rc;
+  rc.scale = 1;
+  rc.backend = Backend::kBlfq;
+  const auto blfq = run(Kind::kIncast, rc);
+  rc.backend = Backend::kVl;
+  const auto vl = run(Kind::kIncast, rc);
+  EXPECT_GT(blfq.mem.mem_txns(), 2 * vl.mem.mem_txns());
+}
+
+TEST(WorkloadRelations, FirContextSwitchesCauseInjectRetries) {
+  RunConfig rc;
+  rc.backend = Backend::kVl;
+  const auto vl = run(Kind::kFir, rc);
+  // Two threads per core -> frequent pushable-bit clears -> retries.
+  EXPECT_GT(vl.vlrd.inject_retry, 0u);
+}
+
+TEST(WorkloadRelations, BitonicScalesWithWorkersUnderVl) {
+  RunConfig rc;
+  rc.backend = Backend::kVl;
+  rc.scale = 2;
+  rc.bitonic_workers = 1;
+  const auto w1 = run(Kind::kBitonic, rc);
+  rc.bitonic_workers = 7;
+  const auto w7 = run(Kind::kBitonic, rc);
+  EXPECT_LT(w7.ns, w1.ns);  // more workers must help at this size
+}
+
+TEST(WorkloadRelations, VlWinsCollectives) {
+  // The extension collectives are hop-latency-bound, so VL's advantage
+  // carries over from the paper's halo/bitonic columns.
+  for (Kind k : {Kind::kAllreduce, Kind::kScatterGather}) {
+    RunConfig rc;
+    rc.scale = 1;
+    rc.backend = Backend::kBlfq;
+    const auto blfq = run(k, rc);
+    rc.backend = Backend::kVl;
+    const auto vl = run(k, rc);
+    EXPECT_LT(vl.ns, blfq.ns) << to_string(k);
+  }
+}
+
+TEST(WorkloadRelations, CafSlowerThanVlOnLineSizedPingPong) {
+  // Fig. 15: 64 B messages cost CAF ~7 register trips vs one VL line push.
+  runtime::Machine mc(squeue::config_for(Backend::kCaf));
+  squeue::ChannelFactory fc(mc, Backend::kCaf);
+  const auto caf = run_pingpong(mc, fc, 1, /*msg_words=*/7);
+
+  runtime::Machine mv(squeue::config_for(Backend::kVl));
+  squeue::ChannelFactory fv(mv, Backend::kVl);
+  const auto vl = run_pingpong(mv, fv, 1, /*msg_words=*/7);
+  EXPECT_LT(vl.ns, caf.ns);
+}
+
+}  // namespace
+}  // namespace vl::workloads
