@@ -27,4 +27,10 @@ inline constexpr std::size_t line_offset(Addr a) {
 /// Sentinel for "no index" in the VLRD's hardware linked lists.
 inline constexpr std::uint16_t kNil = 0xffff;
 
+/// Byte offset of the Fig. 10 message-line control region (2 B at the
+/// line's most significant bytes). Shared between the runtime's frame
+/// codec (runtime/vl_queue.hpp) and the routing device, which reads it to
+/// tell a drained consumer line (ctrl == 0) from an undrained one.
+inline constexpr std::size_t kLineCtrlOffset = 62;
+
 }  // namespace vl

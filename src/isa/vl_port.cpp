@@ -35,7 +35,24 @@ sim::Co<int> VlPort::vl_push(int tid, Addr dev_va) {
   }
   const Addr line = it->second;
   latched_.erase(it);  // selection ends on completion either way
+  const int rc = co_await push_selected(line, dev_va);
+  core_.release_port();
+  co_return rc;
+}
 
+sim::Co<int> VlPort::vl_select_push(int tid, Addr va, Addr dev_va) {
+  co_await core_.acquire_port(tid);
+  co_await sim::Delay(core_.eq(), core_.cfg().issue_cost);
+  latched_.erase(tid);  // the select overwrites any earlier latch
+  const Tick lat = hier_.select_line(core_.id(), line_of(va));
+  co_await sim::Delay(core_.eq(), lat);
+  co_await sim::Delay(core_.eq(), core_.cfg().issue_cost);
+  const int rc = co_await push_selected(line_of(va), dev_va);
+  core_.release_port();
+  co_return rc;
+}
+
+sim::Co<int> VlPort::push_selected(Addr line, Addr dev_va) {
   mem::Line data;
   hier_.peek_line(line, data.data());
   // Resolve the endpoint address; the CAM scheme costs one extra pipeline
@@ -43,10 +60,7 @@ sim::Co<int> VlPort::vl_push(int tid, Addr dev_va) {
   if (cfg_.addressing == sim::Addressing::kAddrTable)
     co_await sim::Delay(core_.eq(), cfg_.addr_table_extra);
   const auto res = devs_.resolve(dev_va);
-  if (!res) {
-    core_.release_port();
-    co_return kVlFault;
-  }
+  if (!res) co_return kVlFault;
   vlrd::Vlrd& dev = *res->first;
   const Sqi sqi = res->second;
 
@@ -69,7 +83,6 @@ sim::Co<int> VlPort::vl_push(int tid, Addr dev_va) {
     // the next enqueue without any further coherence traffic.
     hier_.zero_and_exclusive(core_.id(), line);
   }
-  core_.release_port();
   co_return ack ? kVlOk : kVlNack;
 }
 
@@ -83,17 +96,31 @@ sim::Co<int> VlPort::vl_fetch(int tid, Addr dev_va) {
   }
   const Addr line = it->second;
   latched_.erase(it);
+  const int rc = co_await fetch_selected(line, dev_va);
+  core_.release_port();
+  co_return rc;
+}
 
-  if (!hier_.set_pushable(core_.id(), line, true)) {
-    core_.release_port();
+sim::Co<int> VlPort::vl_select_fetch(int tid, Addr va, Addr dev_va) {
+  co_await core_.acquire_port(tid);
+  co_await sim::Delay(core_.eq(), core_.cfg().issue_cost);
+  latched_.erase(tid);  // the select overwrites any earlier latch
+  const Tick lat = hier_.select_line(core_.id(), line_of(va));
+  co_await sim::Delay(core_.eq(), lat);
+  co_await sim::Delay(core_.eq(), core_.cfg().issue_cost);
+  const int rc = co_await fetch_selected(line_of(va), dev_va);
+  core_.release_port();
+  co_return rc;
+}
+
+sim::Co<int> VlPort::fetch_selected(Addr line, Addr dev_va) {
+  if (!hier_.set_pushable(core_.id(), line, true))
     co_return kVlEvicted;  // line left the cache since vl_select
-  }
   if (cfg_.addressing == sim::Addressing::kAddrTable)
     co_await sim::Delay(core_.eq(), cfg_.addr_table_extra);
   const auto res = devs_.resolve(dev_va);
   if (!res) {
     hier_.set_pushable(core_.id(), line, false);
-    core_.release_port();
     co_return kVlFault;
   }
   vlrd::Vlrd& dev = *res->first;
@@ -113,7 +140,6 @@ sim::Co<int> VlPort::vl_fetch(int tid, Addr dev_va) {
   }
 
   if (!ack) hier_.set_pushable(core_.id(), line, false);
-  core_.release_port();
   co_return ack ? kVlOk : kVlNack;
 }
 

@@ -49,10 +49,26 @@ class VlPort {
   sim::Co<int> vl_push(int tid, Addr dev_va);
   sim::Co<int> vl_fetch(int tid, Addr dev_va);
 
+  // Fused select+op pairs: the two instructions issue back-to-back in one
+  // scheduling quantum (one port hold), the way a real thread executes
+  // them. Issuing them as separate port transactions is also legal — but
+  // when two endpoint threads time-share a core, the FIFO issue port then
+  // interleaves their ops, and every context switch clears the selection
+  // latch before the second instruction reads it: neither thread can ever
+  // complete a pair (a livelock the paper's FIR discussion does not
+  // intend — real timeslices span many instructions).
+  sim::Co<int> vl_select_push(int tid, Addr va, Addr dev_va);
+  sim::Co<int> vl_select_fetch(int tid, Addr va, Addr dev_va);
+
   /// True if `tid` currently holds a selection (test helper).
   bool has_selection(int tid) const { return latched_.count(tid) != 0; }
 
  private:
+  /// vl_push tail: the port is already held and `line` latched.
+  sim::Co<int> push_selected(Addr line, Addr dev_va);
+  /// vl_fetch tail: the port is already held and `line` latched.
+  sim::Co<int> fetch_selected(Addr line, Addr dev_va);
+
   sim::Core& core_;
   mem::Hierarchy& hier_;
   vlrd::Cluster& devs_;  ///< Routed per-access by the VA's VLRD-id bits.

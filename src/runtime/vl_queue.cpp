@@ -40,8 +40,11 @@ sim::Co<bool> Producer::try_enqueue_elems(
     co_await t_.store(line + elem_offset(sz, i, n), elems[i], width);
   co_await t_.store(line + kCtrlOffset, pack_ctrl(sz, n), 2);
 
-  co_await m_.vl_port(t_.core->id()).vl_select(t_.tid, line);
-  const int rc = co_await m_.vl_port(t_.core->id()).vl_push(t_.tid, dev_va_);
+  // Fused select+push: under core oversubscription, issuing them as two
+  // port transactions lets the sibling thread's ops interleave and the
+  // resulting context switch clears the selection latch every time.
+  const int rc =
+      co_await m_.vl_port(t_.core->id()).vl_select_push(t_.tid, line, dev_va_);
   if (rc == isa::kVlOk) {
     cur_ = (cur_ + 1) % buf_.size();  // hardware zeroed the line for reuse
     co_return true;
@@ -52,7 +55,12 @@ sim::Co<bool> Producer::try_enqueue_elems(
 
 sim::Co<void> Producer::enqueue(std::span<const std::uint64_t> words) {
   Tick backoff = kBackoffStart;
-  while (!co_await try_enqueue(words)) {
+  for (;;) {
+    // NB: the await must not sit in the loop condition — GCC 12 destroys
+    // condition temporaries before the suspended callee resumes, which
+    // tears down the in-flight coroutine (silent no-op).
+    const bool ok = co_await try_enqueue(words);
+    if (ok) break;
     co_await t_.compute(backoff);  // paper's software response to back-pressure
     backoff = std::min(backoff * 2, kBackoffMax);
   }
@@ -66,7 +74,9 @@ sim::Co<void> Producer::enqueue1(std::uint64_t w) {
 sim::Co<void> Producer::enqueue_elems(ElemSize sz,
                                       std::span<const std::uint64_t> elems) {
   Tick backoff = kBackoffStart;
-  while (!co_await try_enqueue_elems(sz, elems)) {
+  for (;;) {
+    const bool ok = co_await try_enqueue_elems(sz, elems);  // see enqueue()
+    if (ok) break;
     co_await t_.compute(backoff);
     backoff = std::min(backoff * 2, kBackoffMax);
   }
@@ -97,8 +107,17 @@ sim::Co<std::optional<Frame>> Consumer::poll_once(Addr line) {
   for (std::uint8_t i = 0; i < n; ++i)
     f.elems.push_back(
         co_await t_.load(line + elem_offset(f.size, i, n), width));
-  // Mark the line clean so the next injection is distinguishable.
+  // Mark the line clean so the next injection is distinguishable, and
+  // disarm its pushable tag. The tag was already consumed by the injection
+  // itself, but a re-issued vl_select can have re-armed it in the window
+  // between the injection landing and this poll observing it — in which
+  // case a stale registration for this line is also parked in the device,
+  // and an armed line would let the *next* message be silently injected
+  // here after we advance to a new ring line. Disarmed, that stale
+  // injection is rejected and the data recovers through the § III-B
+  // re-fetch path into the line we are actually watching.
   co_await t_.store(line + kCtrlOffset, 0, 2);
+  m_.mem().set_pushable(t_.core->id(), line, false);
   co_return f;
 }
 
@@ -109,9 +128,9 @@ sim::Co<Frame> Consumer::dequeue_frame() {
     cur_ = (cur_ + 1) % buf_.size();
     co_return *got;
   }
+  // Fused select+fetch (see Producer::try_enqueue_elems for why).
   isa::VlPort& port = m_.vl_port(t_.core->id());
-  co_await port.vl_select(t_.tid, line);
-  co_await port.vl_fetch(t_.tid, dev_va_);
+  co_await port.vl_select_fetch(t_.tid, line, dev_va_);
 
   int polls = 0;
   for (;;) {
@@ -125,8 +144,7 @@ sim::Co<Frame> Consumer::dequeue_frame() {
       // idempotent per consumer target so this is loss-free (§ III-B).
       polls = 0;
       ++refetches_;
-      co_await port.vl_select(t_.tid, line);
-      co_await port.vl_fetch(t_.tid, dev_va_);
+      co_await port.vl_select_fetch(t_.tid, line, dev_va_);
     }
   }
 }
@@ -161,8 +179,7 @@ sim::Co<std::optional<std::vector<std::uint64_t>>> Consumer::try_dequeue(
     co_return std::move(got->elems);
   }
   isa::VlPort& port = m_.vl_port(t_.core->id());
-  co_await port.vl_select(t_.tid, line);
-  co_await port.vl_fetch(t_.tid, dev_va_);
+  co_await port.vl_select_fetch(t_.tid, line, dev_va_);
   for (int i = 0; i < poll_budget; ++i) {
     if (auto got = co_await poll_once(line)) {
       cur_ = (cur_ + 1) % buf_.size();

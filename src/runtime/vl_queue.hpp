@@ -26,7 +26,7 @@ namespace vl::runtime {
 
 // --- Fig. 10 control-region codec -----------------------------------------
 
-inline constexpr std::size_t kCtrlOffset = 62;   ///< control @ line MSBs
+inline constexpr std::size_t kCtrlOffset = kLineCtrlOffset;  ///< @ line MSBs
 inline constexpr std::size_t kMaxWordsPerLine = 7;
 
 /// Size codes (2 bits): byte / half / word / doubleword.

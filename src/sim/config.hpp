@@ -21,6 +21,13 @@ struct CoreConfig {
   Tick issue_cost = 1;         ///< Port occupancy per issued memory op.
   Tick ctx_switch_cost = 1000; ///< Cycles to swap software threads on a core.
   Tick atomic_extra = 4;       ///< Extra ALU cycles for an RMW op.
+  /// Scheduling timeslice: a non-resident thread's op waits until the
+  /// resident thread has been on the core this long before forcing the
+  /// context switch. Without it, two threads polling on one core would
+  /// alternate (and pay ctx_switch_cost) on *every* op — real timeslices
+  /// span many instructions, which is what lets a VL select+fetch and the
+  /// subsequent injection land inside one residency (§ III-B).
+  Tick sched_quantum = 5000;
 };
 
 /// Coherence protocol variant (ablation): MESI (the default, matching the

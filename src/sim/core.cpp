@@ -3,18 +3,29 @@
 namespace vl::sim {
 
 Co<void> Core::acquire_port(int tid) {
-  co_await port_.lock();
-  if (resident_ != tid) {
-    if (resident_ != -1) {
-      ++ctx_switches_;
-      for (auto& h : hooks_) h(resident_, tid);
-      const int old = resident_;
+  for (;;) {
+    co_await port_.lock();
+    if (resident_ == tid) co_return;
+    if (resident_ == -1) {
       resident_ = tid;
-      (void)old;
-      co_await Delay(eq_, cfg_.ctx_switch_cost);
-    } else {
-      resident_ = tid;
+      resident_since_ = eq_.now();
+      co_return;
     }
+    // Another thread is resident: it keeps the core until its timeslice
+    // expires (otherwise two polling threads would context-switch on every
+    // op). Release the port while waiting so the resident thread can run.
+    const Tick slice_end = resident_since_ + cfg_.sched_quantum;
+    if (eq_.now() < slice_end) {
+      port_.unlock();
+      co_await DelayUntil(eq_, slice_end);
+      continue;
+    }
+    ++ctx_switches_;
+    for (auto& h : hooks_) h(resident_, tid);
+    resident_ = tid;
+    resident_since_ = eq_.now();
+    co_await Delay(eq_, cfg_.ctx_switch_cost);
+    co_return;
   }
 }
 

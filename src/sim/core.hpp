@@ -87,6 +87,7 @@ class Core {
   AsyncMutex port_;
   int next_tid_ = 0;
   int resident_ = -1;
+  Tick resident_since_ = 0;
   std::uint64_t ctx_switches_ = 0;
   std::vector<CtxSwitchHook> hooks_;
 };

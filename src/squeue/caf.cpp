@@ -38,18 +38,34 @@ sim::Co<void> SimCaf::send(sim::SimThread t, Msg msg) {
   // One register transfer per payload word — the cost of a register-
   // granularity interface. Frame length is fixed per channel.
   assert(msg.n == words_ && "SimCaf channels carry fixed-size frames");
-  for (std::uint8_t i = 0; i < msg.n; ++i)
-    while (!co_await dev_enq(t, msg.w[i])) co_await t.compute(kRetryBackoff);
+  co_await send_mu_.lock();  // device frame grant: no producer interleaving
+  for (std::uint8_t i = 0; i < msg.n; ++i) {
+    for (;;) {
+      // NB: the await must not sit in the loop condition — GCC 12 destroys
+      // condition temporaries before the suspended callee resumes, which
+      // tears down the in-flight coroutine (silent no-op).
+      const bool ok = co_await dev_enq(t, msg.w[i]);
+      if (ok) break;
+      co_await t.compute(kRetryBackoff);
+    }
+  }
+  send_mu_.unlock();
 }
 
 sim::Co<Msg> SimCaf::recv(sim::SimThread t) {
   Msg msg;
   msg.n = words_;
+  co_await recv_mu_.lock();  // device frame grant: no consumer interleaving
   for (std::uint8_t i = 0; i < words_; ++i) {
     std::uint64_t v = 0;
-    while (!co_await dev_deq(t, v)) co_await t.compute(kRetryBackoff);
+    for (;;) {
+      const bool ok = co_await dev_deq(t, v);  // see send() re loop conditions
+      if (ok) break;
+      co_await t.compute(kRetryBackoff);
+    }
     msg.w[i] = v;
   }
+  recv_mu_.unlock();
   co_return msg;
 }
 

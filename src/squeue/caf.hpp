@@ -17,6 +17,7 @@
 #include <deque>
 #include <vector>
 
+#include "sim/async_mutex.hpp"
 #include "squeue/channel.hpp"
 #include "runtime/machine.hpp"
 
@@ -63,13 +64,21 @@ class CafDevice {
 
 /// CAF channel with a fixed frame length (`msg_words` register transfers
 /// per message). CAF's native transfer unit is one 64-bit value; wider
-/// messages are a sequence of transfers, which is only interleaving-safe
-/// when a single producer and single consumer use the channel (the paper's
-/// CAF benchmarks pass single pointers; Fig. 15's ping-pong is 1:1).
+/// messages are a sequence of transfers. The device's credit manager hands
+/// a whole frame's worth of transfers to one endpoint at a time, modelled
+/// here as per-direction frame mutexes — without them, concurrent M:N
+/// producers would interleave words inside each other's frames, which the
+/// real hardware's per-queue credit grant forbids. 1:1 channels (the
+/// paper's Fig. 15 ping-pong) never contend on them.
 class SimCaf : public Channel {
  public:
   SimCaf(CafDevice& dev, std::uint8_t msg_words = 1, Tick device_lat = 14)
-      : dev_(dev), q_(dev.open_queue()), words_(msg_words), lat_(device_lat) {}
+      : dev_(dev),
+        q_(dev.open_queue()),
+        words_(msg_words),
+        lat_(device_lat),
+        send_mu_(dev.machine().eq()),
+        recv_mu_(dev.machine().eq()) {}
 
   sim::Co<void> send(sim::SimThread t, Msg msg) override;
   sim::Co<Msg> recv(sim::SimThread t) override;
@@ -84,6 +93,8 @@ class SimCaf : public Channel {
   std::uint32_t q_;
   std::uint8_t words_;
   Tick lat_;
+  sim::AsyncMutex send_mu_;  ///< Frame-grant serialization, producer side.
+  sim::AsyncMutex recv_mu_;  ///< Frame-grant serialization, consumer side.
 };
 
 }  // namespace vl::squeue

@@ -7,7 +7,14 @@ constexpr Tick kPause = 6;
 }
 
 sim::Co<void> SimCasLock::acquire(sim::SimThread t) {
-  while (!co_await t.cas64(a_, 0, 1)) co_await t.compute(kPause);
+  for (;;) {
+    // NB: the await must not sit in the loop condition — GCC 12 destroys
+    // condition temporaries before the suspended callee resumes, which
+    // tears down the in-flight coroutine (silent no-op).
+    const bool ok = co_await t.cas64(a_, 0, 1);
+    if (ok) co_return;
+    co_await t.compute(kPause);
+  }
 }
 
 sim::Co<void> SimCasLock::release(sim::SimThread t) {

@@ -42,6 +42,10 @@ sim::Co<Msg> VlChannel::recv(sim::SimThread t) {
   co_return msg;
 }
 
+std::uint64_t VlChannel::depth() const {
+  return lib_.machine().cluster().device(q_.vlrd_id).queued_data(q_.sqi);
+}
+
 std::uint64_t VlChannel::producer_retries() const {
   std::uint64_t n = 0;
   for (const auto& [k, p] : producers_) n += p->retries();

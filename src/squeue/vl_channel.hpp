@@ -22,6 +22,12 @@ class VlChannel : public Channel {
   sim::Co<void> send(sim::SimThread t, Msg msg) override;
   sim::Co<Msg> recv(sim::SimThread t) override;
 
+  /// Message lines queued in the routing device for this channel's SQI
+  /// (one line == one message). Lines already injected into a consumer's
+  /// endpoint buffer but not yet drained are not counted — depth() is the
+  /// device-resident backlog, the quantity back-pressure acts on.
+  std::uint64_t depth() const override;
+
   std::uint64_t producer_retries() const;
 
  private:

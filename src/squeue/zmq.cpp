@@ -21,6 +21,18 @@ Tick jitter(const sim::SimThread& t, std::uint32_t attempt, Tick base) {
   h ^= h >> 15;
   return base + (h % (base + attempt % 16 + 1));
 }
+
+// Empty-queue / high-water retries additionally back off exponentially:
+// with enough pollers (e.g. 7 consumers against 2 producers), per-attempt
+// jitter alone still lets the polling class occupy the lock at every free
+// instant. Growing the idle class's sleep opens windows the other class is
+// guaranteed to hit. Real ZeroMQ parks blocked sockets on a futex for the
+// same reason.
+Tick retry_backoff(const sim::SimThread& t, std::uint32_t attempt) {
+  const Tick scaled = kFullBackoff
+                      << (attempt < 6 ? attempt : std::uint32_t{6});
+  return jitter(t, attempt, scaled);
+}
 }  // namespace
 
 SimZmq::SimZmq(runtime::Machine& m, std::size_t hwm, Tick sw_overhead)
@@ -56,7 +68,7 @@ sim::Co<void> SimZmq::send(sim::SimThread t, Msg msg) {
     if (tail - head >= hwm_) {
       // High-water mark: release and wait (the back-pressure path).
       co_await unlock(t);
-      co_await t.compute(jitter(t, attempt, kFullBackoff));
+      co_await t.compute(retry_backoff(t, attempt));
       continue;
     }
     const Addr data = cell(tail);
@@ -77,7 +89,7 @@ sim::Co<Msg> SimZmq::recv(sim::SimThread t) {
     const std::uint64_t tail = co_await t.load(meta_ + 8, 8);
     if (head == tail) {  // empty
       co_await unlock(t);
-      co_await t.compute(jitter(t, attempt, kFullBackoff));
+      co_await t.compute(retry_backoff(t, attempt));
       continue;
     }
     const Addr data = cell(head);

@@ -1,0 +1,199 @@
+#pragma once
+// Arrival processes on the simulated clock.
+//
+// A traffic producer asks its ArrivalProcess for the gap (in ticks) until
+// its next message. All stochastic processes draw from common/rng seeded by
+// the scenario runner, so a (scenario, seed) pair replays the exact same
+// arrival sequence on every backend — cross-backend comparisons see
+// identical offered load.
+//
+// Four process families cover the scenario space:
+//   kDeterministic  fixed inter-arrival gap (closed-form offered rate)
+//   kPoisson        exponential gaps — memoryless "many independent users"
+//   kBursty         2-state MMPP: exponential dwell in a burst state (fast
+//                   gaps) and an idle state (slow gaps); models on/off
+//                   tenants and incast micro-bursts
+//   kDiurnal        Poisson whose rate is modulated sinusoidally over a
+//                   cycle — a compressed day/night load ramp
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace vl::traffic {
+
+enum class ArrivalKind { kDeterministic, kPoisson, kBursty, kDiurnal };
+
+const char* to_string(ArrivalKind k);
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kDeterministic;
+  /// Mean inter-arrival gap in ticks (for kBursty: the gap in burst state).
+  double mean_gap = 100.0;
+  // --- kBursty ---
+  double idle_gap = 1000.0;    ///< Mean gap while idle.
+  double burst_dwell = 2000.0; ///< Mean ticks spent bursting before idling.
+  double idle_dwell = 4000.0;  ///< Mean ticks idling before the next burst.
+  // --- kDiurnal ---
+  double amplitude = 0.8;      ///< Rate swing fraction in [0, 1).
+  double cycle = 50000.0;      ///< Ticks per full diurnal cycle.
+
+  static ArrivalSpec deterministic(double gap) {
+    return {ArrivalKind::kDeterministic, gap, 0, 0, 0, 0, 0};
+  }
+  static ArrivalSpec poisson(double gap) {
+    return {ArrivalKind::kPoisson, gap, 0, 0, 0, 0, 0};
+  }
+  static ArrivalSpec bursty(double burst_gap, double idle_gap,
+                            double burst_dwell, double idle_dwell) {
+    return {ArrivalKind::kBursty, burst_gap, idle_gap, burst_dwell,
+            idle_dwell, 0, 0};
+  }
+  static ArrivalSpec diurnal(double gap, double amplitude, double cycle) {
+    return {ArrivalKind::kDiurnal, gap, 0, 0, 0, amplitude, cycle};
+  }
+};
+
+/// Gap generator; `now` is the producer's current simulated tick so that
+/// time-varying processes (diurnal) can evaluate their rate envelope.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  virtual Tick next_gap(Tick now) = 0;
+};
+
+namespace detail {
+
+/// Exponential variate with the given mean, floored at 1 tick so producers
+/// always make forward progress on the event queue.
+inline Tick exp_gap(Xoshiro256& rng, double mean) {
+  const double u = rng.uniform();  // [0, 1)
+  const double g = -mean * std::log1p(-u);
+  return g < 1.0 ? Tick{1} : static_cast<Tick>(g);
+}
+
+}  // namespace detail
+
+class DeterministicArrival final : public ArrivalProcess {
+ public:
+  explicit DeterministicArrival(double gap)
+      : gap_(gap < 1.0 ? Tick{1} : static_cast<Tick>(gap)) {}
+  Tick next_gap(Tick) override { return gap_; }
+
+ private:
+  Tick gap_;
+};
+
+class PoissonArrival final : public ArrivalProcess {
+ public:
+  PoissonArrival(double mean_gap, std::uint64_t seed)
+      : mean_(mean_gap), rng_(seed) {}
+  Tick next_gap(Tick) override { return detail::exp_gap(rng_, mean_); }
+
+ private:
+  double mean_;
+  Xoshiro256 rng_;
+};
+
+/// 2-state Markov-modulated Poisson process. State dwell times are
+/// exponential; gaps are exponential with the current state's mean. A gap
+/// that crosses the state boundary is re-drawn in the new state starting
+/// from the boundary (the standard MMPP thinning-free construction).
+class MmppArrival final : public ArrivalProcess {
+ public:
+  MmppArrival(const ArrivalSpec& s, std::uint64_t seed)
+      : spec_(s), rng_(seed) {
+    state_end_ = 0;  // forces a dwell draw on the first call
+  }
+
+  Tick next_gap(Tick now) override {
+    Tick t = now;
+    Tick gap = 0;
+    for (;;) {
+      if (t >= state_end_) {
+        bursting_ = state_end_ == 0 ? true : !bursting_;
+        const double dwell =
+            bursting_ ? spec_.burst_dwell : spec_.idle_dwell;
+        state_end_ = t + detail::exp_gap(rng_, dwell);
+      }
+      const double mean = bursting_ ? spec_.mean_gap : spec_.idle_gap;
+      const Tick g = detail::exp_gap(rng_, mean);
+      if (t + g <= state_end_) return gap + g;
+      // Arrival would land past the state switch: advance to the boundary
+      // and continue drawing in the new state.
+      gap += state_end_ - t;
+      t = state_end_;
+    }
+  }
+
+  bool bursting() const { return bursting_; }
+
+ private:
+  ArrivalSpec spec_;
+  Xoshiro256 rng_;
+  bool bursting_ = false;
+  Tick state_end_ = 0;
+};
+
+/// Non-homogeneous Poisson with sinusoidal rate envelope:
+///   rate(t) = (1 / mean_gap) * (1 + amplitude * sin(2*pi*t / cycle))
+/// sampled by drawing an exponential gap at the instantaneous rate — an
+/// adequate approximation while gaps are short relative to the cycle.
+class DiurnalArrival final : public ArrivalProcess {
+ public:
+  DiurnalArrival(const ArrivalSpec& s, std::uint64_t seed)
+      : spec_(s), rng_(seed) {}
+
+  double rate_at(Tick now) const {
+    const double phase =
+        2.0 * M_PI * static_cast<double>(now) / spec_.cycle;
+    return (1.0 / spec_.mean_gap) *
+           (1.0 + spec_.amplitude * std::sin(phase));
+  }
+
+  Tick next_gap(Tick now) override {
+    const double r = rate_at(now);
+    // Rate can approach zero at the trough; clamp the local mean gap so a
+    // single draw cannot stall a producer for more than a cycle.
+    double mean = r > 0.0 ? 1.0 / r : spec_.cycle;
+    if (mean > spec_.cycle) mean = spec_.cycle;
+    return detail::exp_gap(rng_, mean);
+  }
+
+ private:
+  ArrivalSpec spec_;
+  Xoshiro256 rng_;
+};
+
+/// Instantiate the process a spec describes. `seed` should already be
+/// stream-split per producer (see traffic::Engine) so no two producers
+/// share an RNG sequence.
+inline std::unique_ptr<ArrivalProcess> make_arrival(const ArrivalSpec& s,
+                                                    std::uint64_t seed) {
+  switch (s.kind) {
+    case ArrivalKind::kDeterministic:
+      return std::make_unique<DeterministicArrival>(s.mean_gap);
+    case ArrivalKind::kPoisson:
+      return std::make_unique<PoissonArrival>(s.mean_gap, seed);
+    case ArrivalKind::kBursty:
+      return std::make_unique<MmppArrival>(s, seed);
+    case ArrivalKind::kDiurnal:
+      return std::make_unique<DiurnalArrival>(s, seed);
+  }
+  return nullptr;
+}
+
+inline const char* to_string(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kDeterministic: return "deterministic";
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBursty: return "bursty";
+    case ArrivalKind::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+}  // namespace vl::traffic

@@ -1,0 +1,334 @@
+#include "traffic/engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "sim/task.hpp"
+
+namespace vl::traffic {
+
+namespace {
+
+using squeue::Channel;
+using squeue::Msg;
+using sim::Co;
+using sim::SimThread;
+
+constexpr std::uint64_t kTickMask = (std::uint64_t{1} << 48) - 1;
+constexpr std::uint64_t kPillTenant = 0xff;
+
+std::uint64_t stamp(int tenant, int pid, Tick now) {
+  return (static_cast<std::uint64_t>(tenant) << 56) |
+         (static_cast<std::uint64_t>(pid) << 48) | (now & kTickMask);
+}
+
+/// Derive an independent RNG stream for one actor of the run. Xoshiro
+/// seeding splitmixes the value, so consecutive salts give uncorrelated
+/// streams.
+std::uint64_t split_seed(std::uint64_t seed, std::uint64_t salt) {
+  return seed ^ (0x9e3779b97f4a7c15ull * (salt + 1));
+}
+
+struct StageChannel {
+  std::unique_ptr<Channel> ch;
+  int workers = 1;
+  std::string label;
+};
+
+struct Stage {
+  std::vector<StageChannel> channels;
+  int workers_remaining = 0;
+};
+
+struct Ctx {
+  runtime::Machine& m;
+  const ScenarioSpec& spec;
+  squeue::Backend backend;
+  std::uint64_t seed;
+
+  std::vector<Stage> stages;
+  std::vector<std::unique_ptr<Channel>> acks;  // per producer, closed loop
+  std::vector<TenantMetrics> tenants;
+  std::vector<DepthSeries> depths;  // parallel to flattened stage channels
+
+  int producers_remaining = 0;
+  sim::AsyncOp<int> producers_done;
+  int consumers_remaining = 0;  // final-stage workers
+  bool all_done = false;
+
+  std::uint8_t payload_words(const TenantSpec& t) const {
+    // CAF channels carry fixed single-word frames (multi-word register
+    // sequences interleave under M:N sharing), so CAF runs stamp-only.
+    return backend == squeue::Backend::kCaf ? std::uint8_t{1} : t.msg_words;
+  }
+
+  Msg make_pill() const {
+    Msg p;
+    p.n = 1;
+    p.w[0] = kPillTenant << 56;
+    return p;
+  }
+};
+
+Co<void> producer(Ctx& cx, SimThread t, int tenant_id, int pid) {
+  const TenantSpec& ts = cx.spec.tenants[static_cast<std::size_t>(tenant_id)];
+  auto arrival = make_arrival(ts.arrival, split_seed(cx.seed, pid));
+  Xoshiro256 route_rng(split_seed(cx.seed, 0x4000 + pid));
+  Channel* ack = cx.spec.closed_loop
+                     ? cx.acks[static_cast<std::size_t>(pid)].get()
+                     : nullptr;
+  auto& eq = cx.m.eq();
+  auto& tm = cx.tenants[static_cast<std::size_t>(tenant_id)];
+  Stage& s0 = cx.stages.front();
+  const auto nch = static_cast<std::uint64_t>(s0.channels.size());
+  const std::uint8_t words = cx.payload_words(ts);
+  const std::uint64_t target = ts.messages_per_producer;
+  int outstanding = 0;
+
+  for (std::uint64_t i = 0; i < target; ++i) {
+    const Tick gap = arrival->next_gap(eq.now());
+    if (gap) co_await sim::Delay(eq, gap);
+    if (cx.spec.produce_compute) co_await t.compute(cx.spec.produce_compute);
+
+    std::uint64_t c = 0;
+    if (nch > 1)
+      c = cx.spec.topology == Topology::kFanOut ? i % nch
+                                                : route_rng.below(nch);
+    Channel& ch = *s0.channels[c].ch;
+
+    ++tm.generated;
+    if (ts.drop_depth && ch.depth() >= ts.drop_depth) {
+      ++tm.dropped;
+      continue;
+    }
+    if (ack)
+      while (outstanding >= cx.spec.window) {
+        co_await ack->recv1(t);
+        --outstanding;
+      }
+
+    Msg msg;
+    msg.n = words;
+    msg.w[0] = stamp(tenant_id, pid, eq.now());
+    for (std::uint8_t w = 1; w < words; ++w)
+      msg.w[w] = (static_cast<std::uint64_t>(tenant_id) << 32) | i;
+    co_await ch.send(t, msg);
+    ++tm.sent;
+    if (ack) ++outstanding;
+  }
+  if (ack)
+    while (outstanding > 0) {
+      co_await ack->recv1(t);
+      --outstanding;
+    }
+  if (--cx.producers_remaining == 0) cx.producers_done.complete(0);
+}
+
+Co<void> worker(Ctx& cx, SimThread t, int stage_idx, int chan_idx) {
+  Stage& st = cx.stages[static_cast<std::size_t>(stage_idx)];
+  Channel& ch = *st.channels[static_cast<std::size_t>(chan_idx)].ch;
+  const bool final_stage =
+      stage_idx + 1 == static_cast<int>(cx.stages.size());
+  auto& eq = cx.m.eq();
+
+  for (;;) {
+    Msg msg = co_await ch.recv(t);
+    const std::uint64_t tenant = msg.w[0] >> 56;
+    if (tenant == kPillTenant) break;
+    if (cx.spec.consume_compute) co_await t.compute(cx.spec.consume_compute);
+    if (final_stage) {
+      auto& tm = cx.tenants[static_cast<std::size_t>(tenant)];
+      ++tm.delivered;
+      tm.latency.record((eq.now() - msg.w[0]) & kTickMask);
+      if (cx.spec.closed_loop) {
+        const auto pid = static_cast<std::size_t>((msg.w[0] >> 48) & 0xff);
+        co_await cx.acks[pid]->send1(t, 1);
+      }
+    } else {
+      // Pipeline relay: preserve the stamp so latency stays end-to-end.
+      co_await cx.stages[static_cast<std::size_t>(stage_idx) + 1]
+          .channels.front()
+          .ch->send(t, msg);
+    }
+  }
+
+  if (--st.workers_remaining == 0 && !final_stage) {
+    // Last worker of this stage: all payload is already enqueued
+    // downstream, so pills sent now arrive after it.
+    Stage& next = cx.stages[static_cast<std::size_t>(stage_idx) + 1];
+    for (auto& nc : next.channels)
+      for (int k = 0; k < nc.workers; ++k)
+        co_await nc.ch->send(t, cx.make_pill());
+  }
+  if (final_stage && --cx.consumers_remaining == 0) cx.all_done = true;
+}
+
+Co<void> coordinator(Ctx& cx, SimThread t) {
+  co_await cx.producers_done;
+  for (auto& sc : cx.stages.front().channels)
+    for (int k = 0; k < sc.workers; ++k)
+      co_await sc.ch->send(t, cx.make_pill());
+}
+
+Co<void> depth_sampler(Ctx& cx) {
+  for (;;) {
+    std::size_t i = 0;
+    for (auto& st : cx.stages)
+      for (auto& sc : st.channels) {
+        auto& d = cx.depths[i++];
+        d.depth.record(static_cast<double>(sc.ch->depth()));
+        ++d.samples;
+      }
+    if (cx.all_done) break;
+    co_await sim::Delay(cx.m.eq(), cx.spec.depth_sample_period);
+  }
+}
+
+}  // namespace
+
+EngineResult Engine::run(const ScenarioSpec& raw, std::uint64_t seed,
+                         int scale) {
+  const std::string err = validate(raw);
+  if (!err.empty())
+    throw std::invalid_argument("invalid scenario '" + raw.name + "': " + err);
+  const ScenarioSpec spec = scaled(raw, scale);
+
+  Ctx cx{m_, spec, f_.backend(), seed, {}, {}, {}, {}, 0, {}, 0, false};
+
+  // --- wire the topology ----------------------------------------------------
+  std::uint8_t frame = 1;
+  for (const auto& t : spec.tenants)
+    frame = std::max(frame, cx.payload_words(t));
+
+  const int nstages = spec.topology == Topology::kPipeline ? spec.stages : 1;
+  for (int s = 0; s < nstages; ++s) {
+    Stage st;
+    const int nchan =
+        (spec.topology == Topology::kFanOut || spec.topology == Topology::kMesh)
+            ? spec.consumers
+            : 1;
+    const int workers_per_chan = nchan == 1 ? spec.consumers : 1;
+    for (int c = 0; c < nchan; ++c) {
+      StageChannel sc;
+      sc.label = "s" + std::to_string(s) + "c" + std::to_string(c);
+      sc.ch = f_.make(sc.label, spec.capacity_hint, frame);
+      sc.workers = workers_per_chan;
+      st.workers_remaining += workers_per_chan;
+      st.channels.push_back(std::move(sc));
+    }
+    cx.stages.push_back(std::move(st));
+  }
+  for (auto& st : cx.stages)
+    for (auto& sc : st.channels) {
+      DepthSeries d;
+      d.channel = sc.label;
+      cx.depths.push_back(std::move(d));
+    }
+
+  if (spec.closed_loop)
+    for (int p = 0; p < spec.producers; ++p)
+      cx.acks.push_back(f_.make("ack" + std::to_string(p), 0, 1));
+
+  for (const auto& t : spec.tenants) {
+    TenantMetrics tm;
+    tm.tenant = t.name;
+    cx.tenants.push_back(std::move(tm));
+  }
+
+  // --- spawn the actors -----------------------------------------------------
+  const std::vector<int> split = tenant_producer_split(spec);
+  cx.producers_remaining = 0;
+  for (int n : split) cx.producers_remaining += n;
+  cx.consumers_remaining = cx.stages.back().workers_remaining;
+
+  CoreId core = 0;
+  auto next_thread = [&] {
+    const CoreId c = core;
+    core = (core + 1) % m_.num_cores();
+    return m_.thread_on(c);
+  };
+
+  int pid = 0;
+  for (std::size_t ti = 0; ti < split.size(); ++ti)
+    for (int k = 0; k < split[ti]; ++k)
+      sim::spawn(
+          producer(cx, next_thread(), static_cast<int>(ti), pid++));
+  for (std::size_t s = 0; s < cx.stages.size(); ++s)
+    for (std::size_t c = 0; c < cx.stages[s].channels.size(); ++c)
+      for (int w = 0; w < cx.stages[s].channels[c].workers; ++w)
+        sim::spawn(worker(cx, next_thread(), static_cast<int>(s),
+                          static_cast<int>(c)));
+  sim::spawn(coordinator(cx, next_thread()));
+  sim::spawn(depth_sampler(cx));
+
+  const Tick t0 = m_.now();
+  m_.run();
+
+  // --- collect --------------------------------------------------------------
+  EngineResult r;
+  r.scenario = spec.name;
+  r.backend = squeue::to_string(f_.backend());
+  r.seed = seed;
+  r.scale = scale;
+  r.metrics.tenants = std::move(cx.tenants);
+  r.metrics.depths = std::move(cx.depths);
+  r.metrics.ticks = m_.now() - t0;
+  r.metrics.ns = m_.ns(r.metrics.ticks);
+  return r;
+}
+
+std::string EngineResult::csv() const {
+  std::vector<std::string> header = {"scenario", "backend", "seed", "scale"};
+  for (auto& col : ScenarioMetrics::csv_header()) header.push_back(col);
+  CsvWriter w(header);
+  for (auto& row : metrics.csv_rows()) {
+    std::vector<std::string> full = {scenario, backend, std::to_string(seed),
+                                     std::to_string(scale)};
+    for (auto& cell : row) full.push_back(cell);
+    w.row(std::move(full));
+  }
+  return w.str();
+}
+
+std::string EngineResult::table() const {
+  return "scenario=" + scenario + " backend=" + backend +
+         " seed=" + std::to_string(seed) + " scale=" + std::to_string(scale) +
+         " ticks=" + std::to_string(metrics.ticks) + "\n" + metrics.table();
+}
+
+sim::SystemConfig machine_config_for(const ScenarioSpec& spec,
+                                     squeue::Backend backend) {
+  sim::SystemConfig cfg = squeue::config_for(backend);
+  const bool has_relay_cycle =
+      spec.topology == Topology::kPipeline || spec.closed_loop;
+  if (backend == squeue::Backend::kVl && has_relay_cycle) {
+    std::uint32_t channels =
+        spec.topology == Topology::kPipeline ? static_cast<std::uint32_t>(
+                                                   std::max(spec.stages, 1))
+        : (spec.topology == Topology::kFanOut ||
+           spec.topology == Topology::kMesh)
+            ? static_cast<std::uint32_t>(std::max(spec.consumers, 1))
+            : 1u;
+    if (spec.closed_loop)
+      channels += static_cast<std::uint32_t>(std::max(spec.producers, 0));
+    cfg.vlrd.per_sqi_quota =
+        std::max(1u, (cfg.vlrd.prod_entries - 1) / channels);
+  }
+  return cfg;
+}
+
+EngineResult run_scenario(const std::string& name, squeue::Backend backend,
+                          std::uint64_t seed, int scale) {
+  const ScenarioSpec* spec = find_scenario(name);
+  if (!spec) throw std::invalid_argument("unknown scenario: " + name);
+  runtime::Machine m(machine_config_for(*spec, backend));
+  squeue::ChannelFactory f(m, backend);
+  Engine eng(m, f);
+  return eng.run(*spec, seed, scale);
+}
+
+}  // namespace vl::traffic

@@ -1,0 +1,74 @@
+#pragma once
+// The traffic engine: instantiates a ScenarioSpec over a ChannelFactory,
+// spawns producer / relay / consumer SimThreads, drives open- or
+// closed-loop load, and collects per-tenant latency + queue-depth metrics.
+//
+// Message framing: word 0 of every payload message carries
+//   [63:56] tenant id   [55:48] producer id   [47:0] send tick
+// so any final-stage consumer can attribute latency to a tenant and route
+// closed-loop acks back to the producer, with no out-of-band lookup state.
+// Remaining words are deterministic filler to the tenant's msg_words.
+//
+// Termination uses pilot pills: when the last producer finishes, a
+// coordinator thread enqueues one poison pill per first-stage consumer;
+// a pipeline stage's last-to-finish worker forwards pills to the next
+// stage. Since every backend's queue object delivers accepted messages in
+// arrival order, pills enqueued strictly after all payload sends complete
+// are delivered last, so no payload is stranded behind a stopped worker.
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/machine.hpp"
+#include "squeue/factory.hpp"
+#include "traffic/metrics.hpp"
+#include "traffic/scenario.hpp"
+
+namespace vl::traffic {
+
+struct EngineResult {
+  std::string scenario;
+  std::string backend;
+  std::uint64_t seed = 0;
+  int scale = 1;
+  ScenarioMetrics metrics;
+
+  /// Per-tenant CSV (header + rows). Fully deterministic for a fixed
+  /// (scenario, backend, seed, scale): byte-identical across runs.
+  std::string csv() const;
+  /// Aligned text tables for terminal consumption.
+  std::string table() const;
+};
+
+class Engine {
+ public:
+  Engine(runtime::Machine& m, squeue::ChannelFactory& f) : m_(m), f_(f) {}
+
+  /// Run `spec` (already scaled) to completion on this machine. The
+  /// machine must be freshly constructed — the engine assumes an empty
+  /// event queue and takes over thread placement.
+  EngineResult run(const ScenarioSpec& spec, std::uint64_t seed,
+                   int scale = 1);
+
+ private:
+  runtime::Machine& m_;
+  squeue::ChannelFactory& f_;
+};
+
+/// System configuration for running `spec` on `backend`. Mostly
+/// config_for(backend), but scenarios whose threads consume one channel
+/// while producing another (pipeline relays, closed-loop acks) get a
+/// per-SQI prodBuf quota on the VL backend: with the buffer fully shared,
+/// upstream stages can occupy every slot and deadlock the relays, the § V
+/// starvation hazard CAF answers with credit partitioning. The quota keeps
+/// total per-SQI demand below capacity so chains always drain.
+sim::SystemConfig machine_config_for(const ScenarioSpec& spec,
+                                     squeue::Backend backend);
+
+/// Convenience: build a fresh machine + factory for `backend` (using
+/// machine_config_for) and run the named preset at `scale`. Throws
+/// std::invalid_argument for an unknown scenario or invalid spec.
+EngineResult run_scenario(const std::string& name, squeue::Backend backend,
+                          std::uint64_t seed, int scale = 1);
+
+}  // namespace vl::traffic

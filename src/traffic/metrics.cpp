@@ -1,0 +1,163 @@
+#include "traffic/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.hpp"
+
+namespace vl::traffic {
+
+namespace {
+
+// 64 exact unit buckets, then 32 sub-buckets per octave up to 2^63.
+constexpr std::uint32_t kOctaves = 64 - (LogHistogram::kSubBits + 1);
+constexpr std::uint32_t kBucketCount =
+    LogHistogram::kLinearMax + kOctaves * LogHistogram::kSubBuckets;
+
+}  // namespace
+
+LogHistogram::LogHistogram() : buckets_(kBucketCount, 0) {}
+
+std::uint32_t LogHistogram::bucket_index(std::uint64_t v) {
+  if (v < kLinearMax) return static_cast<std::uint32_t>(v);
+  // Highest set bit is at position w-1 >= kSubBits+1; the kSubBits bits
+  // below it select the sub-bucket within the octave.
+  const std::uint32_t w = std::bit_width(v);
+  const std::uint32_t octave = w - (kSubBits + 1);  // 1 for v in [64,128)
+  const std::uint32_t sub = static_cast<std::uint32_t>(
+      (v >> (w - 1 - kSubBits)) & (kSubBuckets - 1));
+  const std::uint32_t idx = kLinearMax + (octave - 1) * kSubBuckets + sub;
+  return idx < kBucketCount ? idx : kBucketCount - 1;
+}
+
+std::uint64_t LogHistogram::bucket_upper(std::uint32_t i) {
+  if (i < kLinearMax) return i;
+  const std::uint32_t octave = (i - kLinearMax) / kSubBuckets + 1;
+  const std::uint32_t sub = (i - kLinearMax) % kSubBuckets;
+  const std::uint32_t shift = octave;  // sub-bucket width = 2^octave
+  const std::uint64_t base = std::uint64_t{kSubBuckets} << octave;
+  return base + (std::uint64_t{sub + 1} << shift) - 1;
+}
+
+void LogHistogram::record(std::uint64_t v, std::uint64_t count) {
+  if (count == 0) return;
+  buckets_[bucket_index(v)] += count;
+  total_ += count;
+  sum_ += static_cast<double>(v) * static_cast<double>(count);
+  if (v > max_) max_ = v;
+  if (v < min_) min_ = v;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  for (std::uint32_t i = 0; i < kBucketCount; ++i)
+    buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+  min_ = std::min(min_, other.min_);
+}
+
+std::uint64_t LogHistogram::percentile(double p) const {
+  if (total_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: smallest bucket whose cumulative count reaches rank.
+  const double exact = p / 100.0 * static_cast<double>(total_);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(exact));
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (std::uint32_t i = 0; i < kBucketCount; ++i) {
+    cum += buckets_[i];
+    if (cum >= rank) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+void TenantMetrics::merge(const TenantMetrics& o) {
+  generated += o.generated;
+  sent += o.sent;
+  delivered += o.delivered;
+  dropped += o.dropped;
+  latency.merge(o.latency);
+}
+
+std::uint64_t ScenarioMetrics::total_generated() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tenants) n += t.generated;
+  return n;
+}
+
+std::uint64_t ScenarioMetrics::total_delivered() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tenants) n += t.delivered;
+  return n;
+}
+
+std::uint64_t ScenarioMetrics::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tenants) n += t.dropped;
+  return n;
+}
+
+std::vector<std::string> ScenarioMetrics::csv_header() {
+  return {"tenant",      "generated", "sent",     "delivered", "dropped",
+          "lat_p50",     "lat_p95",   "lat_p99",  "lat_p999",  "lat_max",
+          "lat_mean",    "mmsgs_per_s"};
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+std::vector<std::string> tenant_row(const TenantMetrics& t, double ns) {
+  const double secs = ns * 1e-9;
+  const double rate =
+      secs > 0.0 ? static_cast<double>(t.delivered) / secs / 1e6 : 0.0;
+  return {t.tenant,
+          std::to_string(t.generated),
+          std::to_string(t.sent),
+          std::to_string(t.delivered),
+          std::to_string(t.dropped),
+          std::to_string(t.latency.percentile(50)),
+          std::to_string(t.latency.percentile(95)),
+          std::to_string(t.latency.percentile(99)),
+          std::to_string(t.latency.percentile(99.9)),
+          std::to_string(t.latency.max()),
+          fmt_double(t.latency.mean()),
+          fmt_double(rate)};
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> ScenarioMetrics::csv_rows() const {
+  std::vector<std::vector<std::string>> rows;
+  TenantMetrics all;
+  all.tenant = "*";
+  for (const auto& t : tenants) {
+    rows.push_back(tenant_row(t, ns));
+    all.merge(t);
+  }
+  if (tenants.size() > 1) rows.push_back(tenant_row(all, ns));
+  return rows;
+}
+
+std::string ScenarioMetrics::table() const {
+  TextTable tt(csv_header());
+  for (auto& row : csv_rows()) tt.add_row(row);
+  std::string out = tt.render();
+  if (!depths.empty()) {
+    TextTable dt({"channel", "depth_samples", "depth_mean", "depth_max"});
+    for (const auto& d : depths)
+      dt.add_row({d.channel, std::to_string(d.samples),
+                  TextTable::num(d.depth.mean()), TextTable::num(d.depth.max())});
+    out += "\n" + dt.render();
+  }
+  return out;
+}
+
+}  // namespace vl::traffic

@@ -1,0 +1,98 @@
+#pragma once
+// Traffic-engine metrics: HDR-style log-bucketed latency histograms with
+// percentile queries, per-tenant counters, and queue-depth summaries.
+//
+// common/stats.hpp's Samples stores every observation for exact
+// percentiles, which is fine for bounded Table-II kernels but not for
+// scenario runs that push millions of messages; and its linear Histogram
+// needs the value range up front. LogHistogram covers the full uint64
+// latency range in fixed memory: values < 64 land in exact unit buckets,
+// larger values in 32 log-linear sub-buckets per power of two, bounding
+// the relative quantile error at 1/32 (~3.1%).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace vl::traffic {
+
+/// Log-linear histogram over [0, 2^63) with bounded relative error.
+class LogHistogram {
+ public:
+  static constexpr std::uint32_t kSubBits = 5;             ///< 32 sub-buckets.
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBits;
+  static constexpr std::uint32_t kLinearMax = 2 * kSubBuckets;  ///< exact < 64
+
+  LogHistogram();
+
+  void record(std::uint64_t v, std::uint64_t count = 1);
+  void merge(const LogHistogram& other);
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t min() const { return total_ ? min_ : 0; }
+  double mean() const {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+  /// Nearest-rank percentile, p in [0, 100]; returns the upper edge of the
+  /// bucket holding the rank (clamped to the recorded max). 0 when empty.
+  std::uint64_t percentile(double p) const;
+
+  /// Index of the bucket a value lands in (exposed for tests).
+  static std::uint32_t bucket_index(std::uint64_t v);
+  /// Largest value mapping to bucket `i`.
+  static std::uint64_t bucket_upper(std::uint32_t i);
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  double sum_ = 0.0;
+};
+
+/// Counters + latency distribution for one tenant's traffic.
+struct TenantMetrics {
+  std::string tenant;
+  std::uint64_t generated = 0;  ///< Messages the arrival process produced.
+  std::uint64_t sent = 0;       ///< Accepted by a channel send.
+  std::uint64_t delivered = 0;  ///< Received at a final-stage consumer.
+  std::uint64_t dropped = 0;    ///< Shed at the producer (queue over limit).
+  LogHistogram latency;         ///< End-to-end latency, ticks.
+
+  void merge(const TenantMetrics& o);
+};
+
+/// Periodic queue-depth observations for one channel.
+struct DepthSeries {
+  std::string channel;
+  Summary depth;                ///< Streaming mean/max over samples.
+  std::uint64_t samples = 0;
+};
+
+/// Everything one scenario run measured.
+struct ScenarioMetrics {
+  std::vector<TenantMetrics> tenants;
+  std::vector<DepthSeries> depths;
+  Tick ticks = 0;               ///< Simulated duration of the run.
+  double ns = 0.0;
+
+  std::uint64_t total_generated() const;
+  std::uint64_t total_delivered() const;
+  std::uint64_t total_dropped() const;
+
+  /// Per-tenant CSV rows (stable column set, deterministic formatting);
+  /// `prefix` columns (scenario, backend, seed, scale) are prepended by
+  /// the engine.
+  static std::vector<std::string> csv_header();
+  std::vector<std::vector<std::string>> csv_rows() const;
+
+  /// Aligned-text rendering for terminal output.
+  std::string table() const;
+};
+
+}  // namespace vl::traffic

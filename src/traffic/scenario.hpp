@@ -1,0 +1,86 @@
+#pragma once
+// Declarative traffic scenarios.
+//
+// A ScenarioSpec describes *what* load to offer — topology, tenants, their
+// arrival processes, message sizes, loop mode — independent of *which*
+// queue backend carries it. The engine (traffic/engine.hpp) instantiates a
+// spec over any squeue::ChannelFactory, so one scenario definition sweeps
+// all five paper backends.
+//
+// A small named-preset registry captures the scenarios the bench CLI and
+// tests exercise; new presets are one table entry.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "traffic/arrival.hpp"
+
+namespace vl::traffic {
+
+/// How producers, channels, and consumers are wired.
+enum class Topology {
+  kFanIn,     ///< All producers share one channel; `consumers` drain it.
+  kFanOut,    ///< `consumers` channels, one consumer each; every producer
+              ///< sprays across all of them.
+  kMesh,      ///< Like kFanOut but producers pick the target channel
+              ///< pseudo-randomly per message (M:N any-to-any).
+  kPipeline,  ///< `stages` chained channels; stage workers relay messages
+              ///< so latency is end-to-end across the chain.
+};
+
+const char* to_string(Topology t);
+
+/// One tenant's contribution to the offered load.
+struct TenantSpec {
+  std::string name = "t0";
+  double share = 1.0;        ///< Fraction of `producers` this tenant gets
+                             ///< (largest-remainder split, min 1).
+  ArrivalSpec arrival;       ///< Inter-arrival process per producer.
+  std::uint8_t msg_words = 1;           ///< Payload words (1..7).
+  std::uint64_t messages_per_producer = 200;  ///< At scale 1.
+  /// Producer-side load shedding: generated messages are dropped (counted,
+  /// not sent) while the target channel's depth() is at or above this
+  /// bound. 0 disables shedding — every generated message is sent.
+  std::uint64_t drop_depth = 0;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string summary;       ///< One-line description for --list.
+  Topology topology = Topology::kFanIn;
+  int producers = 4;         ///< Total producer threads across tenants.
+  int consumers = 1;         ///< Consumers (kFanIn) or channels (kFanOut /
+                             ///< kMesh, one consumer each).
+  int stages = 1;            ///< kPipeline chain length (>= 2 meaningful).
+  std::size_t capacity_hint = 0;   ///< Ring sizing for software backends.
+  bool closed_loop = false;  ///< Producers cap in-flight messages…
+  int window = 4;            ///< …at this many, via per-producer ack
+                             ///< channels from the final consumers.
+  Tick produce_compute = 0;  ///< Core cycles of work before each send.
+  Tick consume_compute = 0;  ///< Core cycles of work per delivery.
+  Tick depth_sample_period = 500;  ///< Queue-depth sampling cadence.
+  std::vector<TenantSpec> tenants;
+};
+
+/// Empty string when the spec is runnable; otherwise a description of the
+/// first problem found.
+std::string validate(const ScenarioSpec& s);
+
+/// Copy of `s` with per-producer message counts multiplied by `scale`.
+ScenarioSpec scaled(const ScenarioSpec& s, int scale);
+
+/// Deterministic producer split across tenants (largest remainder, each
+/// tenant at least one producer). Sum equals s.producers unless more
+/// tenants than producers exist, in which case each tenant still gets one.
+std::vector<int> tenant_producer_split(const ScenarioSpec& s);
+
+// --- preset registry ---------------------------------------------------------
+
+/// All registered preset names, in registry order.
+std::vector<std::string> scenario_names();
+
+/// Look up a preset; nullptr when unknown.
+const ScenarioSpec* find_scenario(const std::string& name);
+
+}  // namespace vl::traffic

@@ -74,11 +74,46 @@ bool Vlrd::fetch(Sqi sqi, Addr cons_tgt, CoreId cons_core) {
 
   // Re-issued requests (the § III-B recovery path after a rejected
   // injection or context switch) are idempotent: if this SQI already has a
-  // registered request for the same consumer target, just re-arm it instead
-  // of enqueuing a duplicate that could double-deliver into one line.
-  for (std::uint16_t i = link_tab_[sqi].cons_head; i != kNil;
-       i = cons_buf_[i].next_l) {
-    if (cons_buf_[i].cons_tgt == cons_tgt) return true;
+  // registered request for the same consumer target, never enqueue a
+  // duplicate that could double-deliver into one line. But the re-issue
+  // must still be able to claim data: when a rejected injection returned a
+  // line to this SQI's data list *after* the request was parked, neither
+  // side generates another pipeline event and the pair would sit forever.
+  // Recycle the parked request through the pipeline in that case — the
+  // § III-B re-issued packet re-entering the mapping stages.
+  {
+    LinkTabEntry& lt = link_tab_[sqi];
+    std::uint16_t prev = kNil;
+    for (std::uint16_t i = lt.cons_head; i != kNil;
+         prev = i, i = cons_buf_[i].next_l) {
+      if (cons_buf_[i].cons_tgt != cons_tgt) continue;
+      if (lt.prod_head == kNil) return true;  // nothing to claim: dedupe
+      if (cfg_.coupled_io && pipeline_pending()) {
+        // Coupled ablation: the re-issued packet is a bus arrival like any
+        // other and the un-decoupled pipeline cannot buffer it.
+        ++stats_.fetch_nacks;
+        return false;
+      }
+      if (prev == kNil)
+        lt.cons_head = cons_buf_[i].next_l;
+      else
+        cons_buf_[prev].next_l = cons_buf_[i].next_l;
+      if (lt.cons_tail == i) lt.cons_tail = prev;
+      cons_buf_[i].next_l = kNil;
+      cons_buf_[i].next_in = kNil;  // may be stale from its first pass
+      append_input(/*consumer=*/true, i);
+      kick_pipeline();
+      return true;
+    }
+  }
+  // Also idempotent against a registration that was already *matched*: if
+  // a mapped line targeting this consumer address sits in the OUT list or
+  // in flight at the injector, the re-issue raced the injection. A fresh
+  // registration would be stale the moment that injection lands, and the
+  // next message mapped to it would stash into a line the consumer has
+  // already moved past. The in-flight injection satisfies this re-issue.
+  for (const auto& pe : prod_buf_) {
+    if (pe.out_valid && pe.cons_tgt == cons_tgt) return true;
   }
 
   if (cfg_.coupled_io && pipeline_pending()) {
@@ -429,10 +464,21 @@ void Vlrd::kick_injector() {
   eq_.schedule_in(cfg_.inject_lat, [this, idx] { injector_done(idx); });
 }
 
+bool Vlrd::line_drained(Addr tgt) const {
+  // A consumer line is re-armed for injection only once its Fig. 10
+  // control word (the line's top 2 bytes) reads zero — i.e. the previous
+  // frame was drained. Stashing over an undrained frame would destroy it:
+  // the consumer's re-issued vl_select can re-arm the pushable tag in the
+  // window between an injection landing and the consumer polling it, and
+  // a second mapped message would otherwise overwrite the first.
+  return hier_.backing().read(tgt + kLineCtrlOffset, 2) == 0;
+}
+
 void Vlrd::injector_done(std::uint16_t idx) {
   ProdBufEntry& p = prod_buf_[idx];
   assert(p.out_valid);
-  if (hier_.inject(p.cons_core, p.cons_tgt, p.data.data())) {
+  if (line_drained(p.cons_tgt) &&
+      hier_.inject(p.cons_core, p.cons_tgt, p.data.data())) {
     ++stats_.inject_ok;
     p.out_valid = false;  // slot free again
     p.mapped = kNil;
@@ -446,6 +492,20 @@ void Vlrd::injector_done(std::uint16_t idx) {
     p.valid = true;
     p.mapped = kNil;
     push_front_data(p.sqi, idx);
+    // If the consumer already parked a registration for its next line (the
+    // common shape of the stale-line reject), recycle that registration
+    // through the mapping pipeline so it claims the returned data at the
+    // normal stage cost, instead of stranding both sides until the
+    // consumer's poll-timeout re-issue. (This is device-internal recovery,
+    // not a new bus arrival, so it is not subject to coupled_io NACKing.)
+    LinkTabEntry& lt = link_tab_[p.sqi];
+    const std::uint16_t req_idx = pop_wait(lt, /*consumer=*/true);
+    if (req_idx != kNil) {
+      cons_buf_[req_idx].next_l = kNil;
+      cons_buf_[req_idx].next_in = kNil;  // may be stale from its first pass
+      append_input(/*consumer=*/true, req_idx);
+      kick_pipeline();
+    }
   }
   injector_busy_ = false;
   kick_injector();
@@ -476,7 +536,7 @@ void Vlrd::ideal_deliver(Sqi sqi) {
     const IdealWaiter w = waiters.front();
     waiters.pop_front();
     ++stats_.matches;
-    if (hier_.inject(w.core, w.tgt, data.front().data())) {
+    if (line_drained(w.tgt) && hier_.inject(w.core, w.tgt, data.front().data())) {
       ++stats_.inject_ok;
       data.pop_front();
     } else {

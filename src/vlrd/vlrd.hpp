@@ -173,6 +173,7 @@ class Vlrd {
   std::uint16_t pop_wait_lowest(LinkTabEntry& lt, bool consumer);
   Tick pipeline_step_cost() const;
   void push_front_data(Sqi sqi, std::uint16_t idx);
+  bool line_drained(Addr tgt) const;
   void append_out(std::uint16_t idx);
   std::uint16_t pop_out();
 

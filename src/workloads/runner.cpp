@@ -1,5 +1,6 @@
 #include "workloads/runner.hpp"
 
+#include <algorithm>
 #include <memory>
 
 namespace vl::workloads {
@@ -20,7 +21,27 @@ const char* to_string(Kind k) {
 }
 
 WorkloadResult run(Kind kind, const RunConfig& rc) {
-  runtime::Machine m(squeue::config_for(rc.backend));
+  sim::SystemConfig cfg = squeue::config_for(rc.backend);
+  if (rc.backend == squeue::Backend::kVl &&
+      (kind == Kind::kFir || kind == Kind::kPipeline)) {
+    // Chained-stage kernels consume one SQI while producing another, all
+    // through the one shared prodBuf. Left unbounded, upstream stages fill
+    // every slot and the relays' pushes NACK forever — the § V starvation
+    // hazard CAF answers with credit partitioning. Bound per-SQI occupancy
+    // so total demand stays below capacity (num_channels * quota <
+    // prod_entries); quota NACKs then always resolve through the final
+    // consumer and the chain cannot deadlock.
+    //
+    // Channel counts mirror the kernels: FIR opens kStages-1 = 31 chained
+    // channels (fir.cpp), pipeline opens 4 (pipe_c1..c3 + credits,
+    // pipeline.cpp). Keep these in sync — an undercount reintroduces the
+    // prodBuf-exhaustion deadlock. (ROADMAP: derive from the channel
+    // graph in the supervisor instead.)
+    const std::uint32_t nch = kind == Kind::kFir ? 31u : 4u;
+    cfg.vlrd.per_sqi_quota =
+        std::max(1u, (cfg.vlrd.prod_entries - 1) / nch);
+  }
+  runtime::Machine m(cfg);
   squeue::ChannelFactory f(m, rc.backend);
   switch (kind) {
     case Kind::kPingPong: return run_pingpong(m, f, rc.scale);

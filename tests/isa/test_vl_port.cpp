@@ -121,10 +121,14 @@ TEST_F(VlPortFixture, PushNackOnFullBufferReportsBackPressure) {
 
 TEST_F(VlPortFixture, ContextSwitchClearsSelection) {
   // Two threads on one core: t0 selects, t1 runs (forcing a context
-  // switch), then t0's push must fail with "no selection".
-  SimThread t0 = m.thread_on(0);
-  SimThread t1 = m.thread_on(0);
-  const Addr line = m.alloc(kLineSize);
+  // switch), then t0's push must fail with "no selection". A short
+  // scheduling quantum lets the sibling preempt within the test's window.
+  sim::SystemConfig cfg;
+  cfg.core.sched_quantum = 100;
+  Machine mm(cfg);
+  SimThread t0 = mm.thread_on(0);
+  SimThread t1 = mm.thread_on(0);
+  const Addr line = mm.alloc(kLineSize);
   int rc = -1;
   bool t0_selected = false;
 
@@ -133,51 +137,54 @@ TEST_F(VlPortFixture, ContextSwitchClearsSelection) {
     *sel = true;
     co_await t.compute(50);  // yield window for t1
     *rc = co_await m.vl_port(0).vl_push(t.tid, vlrd::encode({0, 1, 0, 0}));
-  }(m, t0, line, &t0_selected, &rc));
+  }(mm, t0, line, &t0_selected, &rc));
 
   spawn([](SimThread t) -> Co<void> {
     co_await t.compute(10);  // forces residency change on core 0
   }(t1));
 
-  m.run();
+  mm.run();
   EXPECT_TRUE(t0_selected);
   EXPECT_EQ(rc, kVlNoSelection);
-  EXPECT_GE(m.core(0).ctx_switches(), 1u);
+  EXPECT_GE(mm.core(0).ctx_switches(), 1u);
 }
 
 TEST_F(VlPortFixture, ContextSwitchRejectsInjection) {
   // Consumer registers demand, then a sibling thread context-switches the
   // core (clearing pushable); the arriving data must be rejected and
-  // retained by the VLRD.
-  SimThread cons = m.thread_on(1);
-  SimThread sibling = m.thread_on(1);
-  SimThread prod = m.thread_on(0);
-  const Addr cline = m.alloc(kLineSize);
-  const Addr pline = m.alloc(kLineSize);
+  // retained by the VLRD. A short quantum lets the sibling preempt.
+  sim::SystemConfig cfg;
+  cfg.core.sched_quantum = 500;
+  Machine mm(cfg);
+  SimThread cons = mm.thread_on(1);
+  SimThread sibling = mm.thread_on(1);
+  SimThread prod = mm.thread_on(0);
+  const Addr cline = mm.alloc(kLineSize);
+  const Addr pline = mm.alloc(kLineSize);
 
   spawn([](Machine& m, SimThread t, Addr line) -> Co<void> {
     co_await m.vl_port(1).vl_select(t.tid, line);
     co_await m.vl_port(1).vl_fetch(t.tid, vlrd::encode({0, 3, 0, 0}));
-  }(m, cons, cline));
+  }(mm, cons, cline));
 
   spawn([](Machine& m, SimThread t) -> Co<void> {
     // Let the consumer finish select+fetch first, then run on its core:
     // the residency change clears the pushable bits.
     co_await sim::Delay(m.eq(), 1500);
     co_await t.compute(5);
-  }(m, sibling));
+  }(mm, sibling));
 
   spawn([](Machine& m, SimThread t, Addr line) -> Co<void> {
     co_await t.compute(4000);  // arrive well after the context switch
     co_await t.store(line, 0x55, 8);
     co_await m.vl_port(0).vl_select(t.tid, line);
     co_await m.vl_port(0).vl_push(t.tid, vlrd::encode({0, 3, 0, 0}));
-  }(m, prod, pline));
+  }(mm, prod, pline));
 
-  m.run();
-  EXPECT_EQ(m.mem().stats().inject_rejects, 1u);
-  EXPECT_EQ(m.vlrd().queued_data(3), 1u);   // data stayed with the VLRD
-  EXPECT_EQ(m.mem().backing().read(cline, 8), 0u);
+  mm.run();
+  EXPECT_EQ(mm.mem().stats().inject_rejects, 1u);
+  EXPECT_EQ(mm.vlrd().queued_data(3), 1u);   // data stayed with the VLRD
+  EXPECT_EQ(mm.mem().backing().read(cline, 8), 0u);
 }
 
 TEST_F(VlPortFixture, SqiRoutingFromDeviceAddress) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "native/lockhammer.hpp"
 
 namespace vl::native {
@@ -30,6 +32,11 @@ TEST(Harness, MpmcPushScalingRuns) {
 }
 
 TEST(Harness, LineTransferFloorPositive) {
+  // The floor measurement ping-pongs a cache line between two spinning
+  // threads; without at least two hardware contexts every handoff costs a
+  // scheduler timeslice (~10 ms) and the number means nothing.
+  if (std::thread::hardware_concurrency() < 2)
+    GTEST_SKIP() << "needs >= 2 CPUs for a meaningful transfer floor";
   const double ns = line_transfer_floor_ns(20000);
   EXPECT_GT(ns, 0.0);
   EXPECT_LT(ns, 1e6);

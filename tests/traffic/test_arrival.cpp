@@ -1,0 +1,109 @@
+// Arrival-process properties: determinism under a fixed seed, mean-rate
+// sanity for the stochastic processes, and the qualitative shape of the
+// bursty / diurnal envelopes.
+
+#include "traffic/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vl::traffic {
+namespace {
+
+std::vector<Tick> draw(ArrivalProcess& p, int n) {
+  std::vector<Tick> gaps;
+  Tick now = 0;
+  for (int i = 0; i < n; ++i) {
+    const Tick g = p.next_gap(now);
+    gaps.push_back(g);
+    now += g;
+  }
+  return gaps;
+}
+
+double mean_of(const std::vector<Tick>& xs) {
+  double s = 0;
+  for (Tick x : xs) s += static_cast<double>(x);
+  return s / static_cast<double>(xs.size());
+}
+
+TEST(Arrival, DeterministicIsExact) {
+  DeterministicArrival a(120);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_gap(Tick(i) * 120), 120u);
+}
+
+TEST(Arrival, SubTickGapsFloorToOne) {
+  DeterministicArrival a(0.25);
+  EXPECT_EQ(a.next_gap(0), 1u);
+}
+
+TEST(Arrival, SameSeedSameSequence) {
+  for (auto kind : {ArrivalKind::kPoisson, ArrivalKind::kBursty,
+                    ArrivalKind::kDiurnal}) {
+    ArrivalSpec s;
+    s.kind = kind;
+    s.mean_gap = 50;
+    auto a = make_arrival(s, 1234);
+    auto b = make_arrival(s, 1234);
+    const auto ga = draw(*a, 500);
+    const auto gb = draw(*b, 500);
+    EXPECT_EQ(ga, gb) << "kind " << to_string(kind);
+  }
+}
+
+TEST(Arrival, DifferentSeedsDiverge) {
+  auto a = make_arrival(ArrivalSpec::poisson(100), 1);
+  auto b = make_arrival(ArrivalSpec::poisson(100), 2);
+  EXPECT_NE(draw(*a, 100), draw(*b, 100));
+}
+
+TEST(Arrival, PoissonMeanRateMatches) {
+  auto p = make_arrival(ArrivalSpec::poisson(200), 77);
+  const auto gaps = draw(*p, 20000);
+  // Flooring to integer ticks shaves < 1 tick off the mean.
+  EXPECT_NEAR(mean_of(gaps), 200.0, 10.0);
+}
+
+TEST(Arrival, PoissonGapsAlwaysPositive) {
+  auto p = make_arrival(ArrivalSpec::poisson(2), 5);
+  for (Tick g : draw(*p, 5000)) EXPECT_GE(g, 1u);
+}
+
+TEST(Arrival, BurstyMeanSitsBetweenRegimes) {
+  const auto spec = ArrivalSpec::bursty(/*burst_gap=*/10, /*idle_gap=*/2000,
+                                        /*burst_dwell=*/5000,
+                                        /*idle_dwell=*/5000);
+  auto p = make_arrival(spec, 99);
+  const double m = mean_of(draw(*p, 20000));
+  // Far more arrivals land in bursts, so the mean gap hugs the burst rate
+  // but the idle stretches must pull it visibly above it.
+  EXPECT_GT(m, 11.0);
+  EXPECT_LT(m, 1000.0);
+}
+
+TEST(Arrival, DiurnalRateOscillates) {
+  const auto spec = ArrivalSpec::diurnal(100, 0.9, 40000);
+  DiurnalArrival d(spec, 3);
+  const double peak = d.rate_at(10000);    // sin = +1
+  const double trough = d.rate_at(30000);  // sin = -1
+  EXPECT_NEAR(peak, 0.019, 0.0005);
+  EXPECT_NEAR(trough, 0.001, 0.0005);
+  EXPECT_GT(peak, 10 * trough);
+}
+
+TEST(Arrival, DiurnalDrawsFasterAtPeak) {
+  const auto spec = ArrivalSpec::diurnal(100, 0.9, 1 << 20);
+  auto p1 = make_arrival(spec, 11);
+  auto p2 = make_arrival(spec, 11);
+  // Sample many gaps pinned near the peak and the trough respectively.
+  double peak_sum = 0, trough_sum = 0;
+  for (int i = 0; i < 4000; ++i) {
+    peak_sum += static_cast<double>(p1->next_gap((1 << 20) / 4));
+    trough_sum += static_cast<double>(p2->next_gap(3 * (1 << 20) / 4));
+  }
+  EXPECT_LT(peak_sum * 3, trough_sum);
+}
+
+}  // namespace
+}  // namespace vl::traffic

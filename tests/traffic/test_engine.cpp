@@ -1,0 +1,147 @@
+// Traffic-engine integration: every registry preset must run green over
+// every backend with exact message conservation; runs are deterministic
+// (byte-identical CSV) for a fixed seed; queue-depth sampling rides on
+// Channel::depth() for all five backends.
+
+#include "traffic/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "squeue/factory.hpp"
+
+namespace vl::traffic {
+namespace {
+
+using squeue::Backend;
+
+const char* backend_test_name(const ::testing::TestParamInfo<Backend>& info) {
+  switch (info.param) {
+    case Backend::kBlfq: return "BLFQ";
+    case Backend::kZmq: return "ZMQ";
+    case Backend::kVl: return "VL";
+    case Backend::kVlIdeal: return "VLideal";
+    case Backend::kCaf: return "CAF";
+  }
+  return "?";
+}
+
+class TrafficOverBackend : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(TrafficOverBackend, EveryPresetRunsGreenAndConserves) {
+  for (const auto& name : scenario_names()) {
+    for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{42}}) {
+      const EngineResult r = run_scenario(name, GetParam(), seed);
+      const ScenarioMetrics& m = r.metrics;
+      EXPECT_GT(m.ticks, 0u) << name;
+      EXPECT_GT(m.total_delivered(), 0u) << name;
+      ASSERT_EQ(m.tenants.size(), find_scenario(name)->tenants.size())
+          << name;
+      for (const auto& t : m.tenants) {
+        // Conservation: everything generated was either sent or shed, and
+        // everything sent arrived (channels are lossless).
+        EXPECT_EQ(t.generated, t.sent + t.dropped)
+            << name << "/" << t.tenant << " seed " << seed;
+        EXPECT_EQ(t.delivered, t.sent)
+            << name << "/" << t.tenant << " seed " << seed;
+        EXPECT_EQ(t.latency.count(), t.delivered)
+            << name << "/" << t.tenant << " seed " << seed;
+        EXPECT_GT(t.latency.max(), 0u) << name << "/" << t.tenant;
+      }
+      // The depth sampler observed every channel at least once.
+      ASSERT_FALSE(m.depths.empty()) << name;
+      for (const auto& d : m.depths) EXPECT_GE(d.samples, 1u) << name;
+    }
+  }
+}
+
+TEST_P(TrafficOverBackend, DepthReflectsQueuedMessages) {
+  // Cross-backend Channel::depth() contract: after K accepted sends with
+  // no consumer, depth() reports K; after draining, 0.
+  const Backend b = GetParam();
+  runtime::Machine m(squeue::config_for(b));
+  squeue::ChannelFactory f(m, b);
+  auto ch = f.make("depth-probe");
+  constexpr std::uint64_t kMsgs = 8;
+
+  sim::spawn([](squeue::Channel& q, sim::SimThread t) -> sim::Co<void> {
+    for (std::uint64_t i = 0; i < kMsgs; ++i) co_await q.send1(t, i);
+  }(*ch, m.thread_on(0)));
+  m.run();
+  EXPECT_EQ(ch->depth(), kMsgs);
+
+  sim::spawn([](squeue::Channel& q, sim::SimThread t) -> sim::Co<void> {
+    for (std::uint64_t i = 0; i < kMsgs; ++i) (void)co_await q.recv1(t);
+  }(*ch, m.thread_on(1)));
+  m.run();
+  EXPECT_EQ(ch->depth(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, TrafficOverBackend,
+                         ::testing::Values(Backend::kBlfq, Backend::kZmq,
+                                           Backend::kVl, Backend::kVlIdeal,
+                                           Backend::kCaf),
+                         backend_test_name);
+
+TEST(TrafficEngine, FixedSeedIsByteDeterministic) {
+  const std::string a = run_scenario("incast-burst", Backend::kVl, 42).csv();
+  const std::string b = run_scenario("incast-burst", Backend::kVl, 42).csv();
+  EXPECT_EQ(a, b);
+}
+
+TEST(TrafficEngine, SeedChangesTheRun) {
+  const std::string a = run_scenario("incast-burst", Backend::kBlfq, 1).csv();
+  const std::string b = run_scenario("incast-burst", Backend::kBlfq, 2).csv();
+  EXPECT_NE(a, b);
+}
+
+TEST(TrafficEngine, OverloadShedsAtTheConfiguredDepth) {
+  const EngineResult r = run_scenario("lossy-incast", Backend::kBlfq, 7);
+  const auto& t = r.metrics.tenants.at(0);
+  EXPECT_GT(t.dropped, 0u);  // offered >> service; shedding must kick in
+  EXPECT_GT(t.delivered, 0u);
+  EXPECT_EQ(t.generated, t.sent + t.dropped);
+}
+
+TEST(TrafficEngine, ClosedLoopBoundsOutstandingLatency) {
+  // With a window of 4 and one bottleneck consumer, queue depth can never
+  // exceed producers * window.
+  const EngineResult r = run_scenario("closed-loop-incast", Backend::kBlfq, 3);
+  const auto* spec = find_scenario("closed-loop-incast");
+  const double bound =
+      static_cast<double>(spec->producers) * spec->window;
+  ASSERT_FALSE(r.metrics.depths.empty());
+  EXPECT_LE(r.metrics.depths[0].depth.max(), bound);
+  EXPECT_EQ(r.metrics.tenants[0].delivered,
+            r.metrics.tenants[0].generated);
+}
+
+TEST(TrafficEngine, ScaleMultipliesTraffic) {
+  const EngineResult r1 = run_scenario("steady-pipeline", Backend::kBlfq, 5, 1);
+  const EngineResult r2 = run_scenario("steady-pipeline", Backend::kBlfq, 5, 2);
+  EXPECT_EQ(r2.metrics.total_generated(), 2 * r1.metrics.total_generated());
+}
+
+TEST(TrafficEngine, RejectsUnknownAndInvalidScenarios) {
+  EXPECT_THROW(run_scenario("nope", Backend::kBlfq, 1), std::invalid_argument);
+
+  runtime::Machine m;
+  squeue::ChannelFactory f(m, Backend::kBlfq);
+  Engine eng(m, f);
+  ScenarioSpec bad;  // no name, no tenants
+  EXPECT_THROW(eng.run(bad, 1), std::invalid_argument);
+}
+
+TEST(TrafficEngine, CsvHasPrefixColumnsAndStableShape) {
+  const EngineResult r = run_scenario("multitenant-mesh", Backend::kZmq, 9);
+  const std::string csv = r.csv();
+  EXPECT_EQ(csv.find("scenario,backend,seed,scale,tenant"), 0u);
+  // 1 header + 3 tenants + 1 aggregate.
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 5);
+  EXPECT_NE(csv.find("multitenant-mesh,ZMQ,9,1,gold"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vl::traffic
