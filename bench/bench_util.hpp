@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "common/table.hpp"
+#include "squeue/factory.hpp"
 
 namespace vl::bench {
 
@@ -16,6 +18,24 @@ inline int arg_scale(int argc, char** argv, int def = 1) {
   for (int i = 1; i + 1 < argc; ++i)
     if (std::strcmp(argv[i], "--scale") == 0) return std::atoi(argv[i + 1]);
   return def;
+}
+
+/// Value of `--flag VALUE` from argv, or `def` when absent.
+inline const char* arg_value(int argc, char** argv, const char* flag,
+                             const char* def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return def;
+}
+
+/// Backend name as accepted by every bench CLI (`--backend ...`).
+inline std::optional<squeue::Backend> parse_backend(const std::string& s) {
+  if (s == "blfq") return squeue::Backend::kBlfq;
+  if (s == "zmq") return squeue::Backend::kZmq;
+  if (s == "vl") return squeue::Backend::kVl;
+  if (s == "vlideal" || s == "vl-ideal") return squeue::Backend::kVlIdeal;
+  if (s == "caf") return squeue::Backend::kCaf;
+  return std::nullopt;
 }
 
 inline void print_header(const char* fig, const char* what) {

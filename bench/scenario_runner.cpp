@@ -3,11 +3,17 @@
 //
 //   scenario_runner --scenario incast-burst --backend vl --seed 42
 //   scenario_runner --scenario all --backend all --scale 2
+//   scenario_runner --sweep --scales 1,2,4
 //   scenario_runner --list
 //
 // CSV goes to stdout (byte-identical across runs for fixed arguments —
 // the simulation is fully deterministic); human-readable tables go to
 // stderr so redirecting stdout yields a clean data file.
+//
+// --sweep runs the selected scenarios over every (backend, scale) cell and
+// prints a geomean summary table: per cell, the geometric mean across
+// scenarios of delivered Mmsgs/s and of simulated ticks — the Fig.-style
+// scaling view over the whole preset suite.
 
 #include <cstdio>
 #include <cstring>
@@ -16,27 +22,15 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
 #include "traffic/engine.hpp"
 
 namespace {
 
+using vl::bench::arg_value;
+using vl::bench::parse_backend;
 using vl::squeue::Backend;
-
-std::optional<Backend> parse_backend(const std::string& s) {
-  if (s == "blfq") return Backend::kBlfq;
-  if (s == "zmq") return Backend::kZmq;
-  if (s == "vl") return Backend::kVl;
-  if (s == "vlideal" || s == "vl-ideal") return Backend::kVlIdeal;
-  if (s == "caf") return Backend::kCaf;
-  return std::nullopt;
-}
-
-const char* arg_value(int argc, char** argv, const char* flag,
-                      const char* def) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
-  return def;
-}
 
 bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i)
@@ -49,7 +43,63 @@ void print_usage() {
                "usage: scenario_runner [--scenario NAME|all] [--backend "
                "blfq|zmq|vl|vlideal|caf|all]\n"
                "                       [--seed N] [--scale N] [--list] "
-               "[--quiet]\n");
+               "[--quiet]\n"
+               "                       [--sweep [--scales N,N,..]]\n");
+}
+
+std::vector<int> parse_scales(const char* s) {
+  std::vector<int> out;
+  int cur = 0;
+  bool have = false;
+  for (const char* p = s;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      cur = cur * 10 + (*p - '0');
+      have = true;
+    } else if (*p == ',' || *p == '\0') {
+      if (have && cur > 0) out.push_back(cur);
+      cur = 0;
+      have = false;
+      if (*p == '\0') break;
+    } else {
+      return {};
+    }
+  }
+  return out;
+}
+
+int run_sweep(const std::vector<std::string>& scenarios,
+              const std::vector<Backend>& backends,
+              const std::vector<int>& scales, std::uint64_t seed) {
+  vl::TextTable tt({"backend", "scale", "scenarios", "geomean_Mmsg/s",
+                    "geomean_ticks", "geomean_ev/msg"});
+  for (Backend b : backends) {
+    for (int scale : scales) {
+      std::vector<double> rates, ticks, evpm;
+      for (const auto& name : scenarios) {
+        const vl::traffic::EngineResult r =
+            vl::traffic::run_scenario(name, b, seed, scale);
+        const double secs = r.metrics.ns * 1e-9;
+        const auto delivered = r.metrics.total_delivered();
+        rates.push_back(secs > 0
+                            ? static_cast<double>(delivered) / secs / 1e6
+                            : 0.0);
+        ticks.push_back(static_cast<double>(r.metrics.ticks));
+        evpm.push_back(delivered ? static_cast<double>(r.events) /
+                                       static_cast<double>(delivered)
+                                 : 0.0);
+        std::fprintf(stderr, "sweep: %s backend=%s scale=%d ticks=%llu\n",
+                     name.c_str(), r.backend.c_str(), scale,
+                     static_cast<unsigned long long>(r.metrics.ticks));
+      }
+      tt.add_row({to_string(b), std::to_string(scale),
+                  std::to_string(scenarios.size()),
+                  vl::TextTable::num(vl::geomean(rates), 3),
+                  vl::TextTable::num(vl::geomean(ticks), 0),
+                  vl::TextTable::num(vl::geomean(evpm), 1)});
+    }
+  }
+  std::printf("%s", tt.render().c_str());
+  return 0;
 }
 
 }  // namespace
@@ -97,6 +147,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown backend '%s'\n", backend_s.c_str());
     print_usage();
     return 2;
+  }
+
+  if (has_flag(argc, argv, "--sweep")) {
+    const std::vector<int> scales =
+        parse_scales(arg_value(argc, argv, "--scales", "1,2"));
+    if (scales.empty()) {
+      std::fprintf(stderr, "bad --scales list\n");
+      print_usage();
+      return 2;
+    }
+    return run_sweep(scenarios, backends, scales, seed);
   }
 
   bool header_done = false;

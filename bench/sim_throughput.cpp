@@ -1,0 +1,175 @@
+// Simulator kernel throughput benchmark: drives traffic-scenario presets
+// across queue backends and reports, per run,
+//
+//   * executed kernel events (EventQueue::executed delta) — the cost the
+//     park/wake + run-queue overhaul attacks: blocked threads that poll
+//     burn O(pollers) events per tick, parked threads burn zero;
+//   * host wall-clock time, and the derived events/sec (host throughput of
+//     the event loop) and simulated Mticks/sec (how much simulated time a
+//     host second buys);
+//   * events per delivered message — the figure of merit for the kernel
+//     (lower = less simulation work per unit of useful traffic).
+//
+// Results are emitted both as an aligned table and as BENCH_sim.json so CI
+// can archive the perf trajectory across commits.
+//
+//   sim_throughput                         # default preset matrix
+//   sim_throughput --scenario incast-burst --backend zmq --scale 2
+//   sim_throughput --out build/BENCH_sim.json
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "traffic/engine.hpp"
+
+namespace {
+
+using vl::bench::arg_value;
+using vl::bench::parse_backend;
+using vl::squeue::Backend;
+
+struct RunSpec {
+  std::string scenario;
+  Backend backend;
+};
+
+// Default matrix: the polling-heavy shapes the kernel overhaul targets
+// (fan-in over the lock-based ZMQ model is the worst case: every blocked
+// consumer used to poll), plus one representative of each other backend
+// family for the cross-backend trajectory.
+const RunSpec kDefaultMatrix[] = {
+    {"incast-burst", Backend::kBlfq},
+    {"incast-burst", Backend::kZmq},
+    {"incast-burst", Backend::kVl},
+    {"incast-burst", Backend::kVlIdeal},
+    {"incast-burst", Backend::kCaf},
+    {"steady-pipeline", Backend::kZmq},
+    {"steady-pipeline", Backend::kVl},
+    {"closed-loop-incast", Backend::kZmq},
+    {"closed-loop-incast", Backend::kVl},
+};
+
+struct Row {
+  std::string scenario, backend;
+  std::uint64_t events = 0, ticks = 0, delivered = 0;
+  double wall_ms = 0.0, events_per_sec = 0.0, mticks_per_sec = 0.0,
+         events_per_msg = 0.0;
+};
+
+Row run_one(const std::string& scenario, Backend backend, std::uint64_t seed,
+            int scale) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const vl::traffic::EngineResult r =
+      vl::traffic::run_scenario(scenario, backend, seed, scale);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Row row;
+  row.scenario = scenario;
+  row.backend = r.backend;
+  row.events = r.events;
+  row.ticks = r.metrics.ticks;
+  row.delivered = r.metrics.total_delivered();
+  row.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  const double secs = row.wall_ms * 1e-3;
+  row.events_per_sec = secs > 0 ? static_cast<double>(row.events) / secs : 0;
+  row.mticks_per_sec =
+      secs > 0 ? static_cast<double>(row.ticks) / secs / 1e6 : 0;
+  row.events_per_msg =
+      row.delivered
+          ? static_cast<double>(row.events) / static_cast<double>(row.delivered)
+          : 0;
+  return row;
+}
+
+void write_json(const char* path, const std::vector<Row>& rows,
+                std::uint64_t seed, int scale) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "sim_throughput: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sim_throughput\",\n");
+  std::fprintf(f, "  \"seed\": %llu,\n  \"scale\": %d,\n",
+               static_cast<unsigned long long>(seed), scale);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"backend\": \"%s\", "
+        "\"events\": %llu, \"sim_ticks\": %llu, \"delivered\": %llu, "
+        "\"wall_ms\": %.3f, \"events_per_sec\": %.0f, "
+        "\"sim_mticks_per_sec\": %.3f, \"events_per_msg\": %.2f}%s\n",
+        r.scenario.c_str(), r.backend.c_str(),
+        static_cast<unsigned long long>(r.events),
+        static_cast<unsigned long long>(r.ticks),
+        static_cast<unsigned long long>(r.delivered), r.wall_ms,
+        r.events_per_sec, r.mticks_per_sec, r.events_per_msg,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string scenario = arg_value(argc, argv, "--scenario", "");
+  const std::string backend_s = arg_value(argc, argv, "--backend", "");
+  const auto seed = static_cast<std::uint64_t>(
+      std::strtoull(arg_value(argc, argv, "--seed", "42"), nullptr, 10));
+  const int scale = vl::bench::arg_scale(argc, argv, 1);
+  const char* out = arg_value(argc, argv, "--out", "BENCH_sim.json");
+
+  std::vector<RunSpec> matrix;
+  if (!scenario.empty() || !backend_s.empty()) {
+    const std::string sc = scenario.empty() ? "incast-burst" : scenario;
+    if (!vl::traffic::find_scenario(sc)) {
+      std::fprintf(stderr, "unknown scenario '%s'\n", sc.c_str());
+      return 2;
+    }
+    std::vector<Backend> bs;
+    if (backend_s.empty() || backend_s == "all") {
+      bs = {Backend::kBlfq, Backend::kZmq, Backend::kVl, Backend::kVlIdeal,
+            Backend::kCaf};
+    } else if (auto b = parse_backend(backend_s)) {
+      bs = {*b};
+    } else {
+      std::fprintf(stderr, "unknown backend '%s'\n", backend_s.c_str());
+      return 2;
+    }
+    for (Backend b : bs) matrix.push_back({sc, b});
+  } else {
+    matrix.assign(std::begin(kDefaultMatrix), std::end(kDefaultMatrix));
+  }
+
+  vl::bench::print_header("sim_throughput",
+                          "kernel events & host throughput per scenario");
+  std::vector<Row> rows;
+  for (const RunSpec& rs : matrix)
+    rows.push_back(run_one(rs.scenario, rs.backend, seed, scale));
+
+  vl::TextTable tt({"scenario", "backend", "events", "sim_ticks", "delivered",
+                    "ev/msg", "wall_ms", "events/s", "Mticks/s"});
+  for (const Row& r : rows)
+    tt.add_row({r.scenario, r.backend, std::to_string(r.events),
+                std::to_string(r.ticks), std::to_string(r.delivered),
+                vl::TextTable::num(r.events_per_msg, 1),
+                vl::TextTable::num(r.wall_ms, 1),
+                vl::TextTable::num(r.events_per_sec, 0),
+                vl::TextTable::num(r.mticks_per_sec, 2)});
+  std::printf("%s\n", tt.render().c_str());
+
+  write_json(out, rows, seed, scale);
+  return 0;
+}

@@ -14,6 +14,12 @@ Machine::Machine(const sim::SystemConfig& cfg) : cfg_(cfg) {
     ports_.push_back(std::make_unique<isa::VlPort>(*cores_.back(), *hier_,
                                                    *cluster_, cfg_.vlrd));
   }
+  // Back-pressured producers park on vl_space_wq_; any device freeing
+  // producer-buffer space wakes them all (they re-attempt the push, and
+  // whoever still finds no room re-parks).
+  for (std::uint32_t d = 0; d < cluster_->size(); ++d)
+    cluster_->device(d).set_push_retry_callback(
+        [this] { vl_space_wq_.wake_all(); });
 }
 
 Addr Machine::alloc(std::size_t bytes, std::size_t align) {

@@ -12,6 +12,7 @@
 #include "sim/config.hpp"
 #include "sim/core.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/sync.hpp"
 #include "vlrd/cluster.hpp"
 #include "vlrd/vlrd.hpp"
 
@@ -39,6 +40,11 @@ class Machine {
   /// Create a software thread pinned to core `c` (affinity per § IV-A).
   sim::SimThread thread_on(CoreId c) { return core(c).make_thread(); }
 
+  /// Simulated futex for VL producer back-pressure: every routing device
+  /// wakes it when prodBuf space / quota frees, so blocked producers park
+  /// here instead of retrying on a backoff timer.
+  sim::WaitQueue& vl_space_wq() { return vl_space_wq_; }
+
   /// Bump-allocate simulated cacheable memory (line-aligned by default).
   Addr alloc(std::size_t bytes, std::size_t align = kLineSize);
 
@@ -50,6 +56,7 @@ class Machine {
  private:
   sim::SystemConfig cfg_;
   sim::EventQueue eq_;
+  sim::WaitQueue vl_space_wq_{eq_};
   std::unique_ptr<mem::Hierarchy> hier_;
   std::unique_ptr<vlrd::Cluster> cluster_;
   std::vector<std::unique_ptr<sim::Core>> cores_;

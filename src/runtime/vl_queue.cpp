@@ -7,8 +7,6 @@ namespace vl::runtime {
 namespace {
 constexpr Tick kPollInterval = 16;     ///< Cycles between control-word polls.
 constexpr int kRefetchThreshold = 64;  ///< Polls before re-issuing vl_fetch.
-constexpr Tick kBackoffStart = 16;     ///< Producer back-pressure backoff.
-constexpr Tick kBackoffMax = 1024;
 }  // namespace
 
 // --- Producer ----------------------------------------------------------------
@@ -54,16 +52,7 @@ sim::Co<bool> Producer::try_enqueue_elems(
 }
 
 sim::Co<void> Producer::enqueue(std::span<const std::uint64_t> words) {
-  Tick backoff = kBackoffStart;
-  for (;;) {
-    // NB: the await must not sit in the loop condition — GCC 12 destroys
-    // condition temporaries before the suspended callee resumes, which
-    // tears down the in-flight coroutine (silent no-op).
-    const bool ok = co_await try_enqueue(words);
-    if (ok) break;
-    co_await t_.compute(backoff);  // paper's software response to back-pressure
-    backoff = std::min(backoff * 2, kBackoffMax);
-  }
+  co_await enqueue_elems(ElemSize::kDword, words);
 }
 
 sim::Co<void> Producer::enqueue1(std::uint64_t w) {
@@ -73,12 +62,18 @@ sim::Co<void> Producer::enqueue1(std::uint64_t w) {
 
 sim::Co<void> Producer::enqueue_elems(ElemSize sz,
                                       std::span<const std::uint64_t> elems) {
-  Tick backoff = kBackoffStart;
   for (;;) {
-    const bool ok = co_await try_enqueue_elems(sz, elems);  // see enqueue()
+    // Futex protocol: sample the device-space epoch before the attempt so
+    // an injection completing mid-push is never lost as a wakeup.
+    // NB: the await must not sit in the loop condition — GCC 12 destroys
+    // condition temporaries before the suspended callee resumes, which
+    // tears down the in-flight coroutine (silent no-op).
+    const std::uint64_t gate = m_.vl_space_wq().epoch();
+    const bool ok = co_await try_enqueue_elems(sz, elems);
     if (ok) break;
-    co_await t_.compute(backoff);
-    backoff = std::min(backoff * 2, kBackoffMax);
+    // Back-pressure: park until a routing device frees producer-buffer
+    // space, donating the core instead of spinning a backoff timer.
+    co_await t_.park(m_.vl_space_wq(), gate);
   }
 }
 

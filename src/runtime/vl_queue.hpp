@@ -97,7 +97,8 @@ class Producer {
   sim::Co<bool> try_enqueue_elems(ElemSize sz,
                                   std::span<const std::uint64_t> elems);
 
-  /// Blocking enqueue: retries with exponential backoff on back-pressure.
+  /// Blocking enqueue: on back-pressure (device NACK) the thread parks on
+  /// the machine's VL space futex and is woken when buffer space frees.
   sim::Co<void> enqueue(std::span<const std::uint64_t> words);
   sim::Co<void> enqueue1(std::uint64_t w);
   sim::Co<void> enqueue_elems(ElemSize sz,

@@ -2,32 +2,98 @@
 
 namespace vl::sim {
 
-Co<void> Core::acquire_port(int tid) {
-  for (;;) {
-    co_await port_.lock();
-    if (resident_ == tid) co_return;
-    if (resident_ == -1) {
-      resident_ = tid;
-      resident_since_ = eq_.now();
-      co_return;
-    }
-    // Another thread is resident: it keeps the core until its timeslice
-    // expires (otherwise two polling threads would context-switch on every
-    // op). Release the port while waiting so the resident thread can run.
-    const Tick slice_end = resident_since_ + cfg_.sched_quantum;
-    if (eq_.now() < slice_end) {
-      port_.unlock();
-      co_await DelayUntil(eq_, slice_end);
-      continue;
-    }
-    ++ctx_switches_;
-    for (auto& h : hooks_) h(resident_, tid);
-    resident_ = tid;
-    resident_since_ = eq_.now();
-    co_await Delay(eq_, cfg_.ctx_switch_cost);
-    co_return;
+// --- run-queue scheduling ----------------------------------------------------
+//
+// Invariants:
+//   * port_busy_ is true exactly while one op holds the issue port.
+//   * resident_ names the thread whose architectural state is on the core
+//     (hooks/ctx cost fire only when it changes); resident_blocked_ marks a
+//     resident that parked and donated its slice.
+//   * run_queue_ holds suspended acquire_port() callers, FIFO.
+//   * Grants always resume through the EventQueue (never inline), so
+//     scheduling order is deterministic and re-entrancy free.
+
+bool Core::try_acquire_now(int tid) {
+  if (port_busy_) return false;
+  if (resident_ == tid) {
+    // The resident keeps the core between its own ops inside its slice.
+    // Once the slice expired and someone is queued, it must requeue.
+    if (!run_queue_.empty() && (!within_slice() || resident_blocked_))
+      return false;
+    resident_blocked_ = false;
+    port_busy_ = true;
+    return true;
   }
+  if (resident_ == -1 && run_queue_.empty()) {
+    resident_ = tid;  // first occupant: free, like the original model
+    resident_since_ = eq_.now();
+    port_busy_ = true;
+    return true;
+  }
+  return false;
 }
+
+void Core::enqueue_waiter(int tid, std::coroutine_handle<> h) {
+  run_queue_.push_back(PortWaiter{tid, h});
+  maybe_grant();
+}
+
+void Core::yield(int tid) {
+  if (resident_ != tid) return;
+  assert(!port_busy_ && "cannot yield while an op holds the issue port");
+  ++yields_;
+  resident_blocked_ = true;
+  maybe_grant();
+}
+
+void Core::maybe_grant() {
+  if (port_busy_ || run_queue_.empty()) return;
+  const PortWaiter& w = run_queue_.front();
+  if (resident_ != -1 && resident_ != w.tid && !resident_blocked_ &&
+      within_slice()) {
+    // Resident still owns its slice: the backstop timer preempts at its
+    // end (the next release_port() past that point also grants).
+    arm_preempt_timer(resident_since_ + cfg_.sched_quantum);
+    return;
+  }
+  grant_front();
+}
+
+void Core::grant_front() {
+  PortWaiter w = run_queue_.front();
+  run_queue_.pop_front();
+  port_busy_ = true;
+  Tick cost = 0;
+  if (resident_ != w.tid) {
+    if (resident_ != -1) {
+      ++ctx_switches_;
+      for (auto& h : hooks_) h(resident_, w.tid);
+      cost = cfg_.ctx_switch_cost;
+    }
+    resident_ = w.tid;
+    resident_since_ = eq_.now();
+  }
+  resident_blocked_ = false;
+  const auto h = w.h;
+  eq_.schedule_in(cost, [h] { h.resume(); });
+}
+
+void Core::arm_preempt_timer(Tick when) {
+  if (preempt_armed_) return;
+  preempt_armed_ = true;
+  eq_.schedule_at(when, [this] {
+    preempt_armed_ = false;
+    maybe_grant();
+  });
+}
+
+Co<void> SimThread::park(WaitQueue& wq, std::uint64_t expected) const {
+  if (wq.epoch() != expected) co_return;  // wake already happened
+  core->yield(tid);
+  co_await wq.park(expected);
+}
+
+// --- operations --------------------------------------------------------------
 
 Co<MemResult> Core::issue(int tid, MemRequest req) {
   co_await acquire_port(tid);

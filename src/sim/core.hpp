@@ -8,15 +8,25 @@
 // thread costs CoreConfig::ctx_switch_cost cycles and fires registered
 // hooks — the VL port uses those to drop its latched selection and clear
 // "pushable" tag bits, exactly as § III-B requires.
+//
+// Scheduling is an explicit per-core run-queue with yield-on-block
+// semantics: the resident thread keeps the port between its own ops inside
+// its timeslice; contenders queue FIFO and are granted either when the
+// resident's quantum expires (a preemption timer, the backstop) or
+// immediately when the resident blocks — a parked thread donates the rest
+// of its slice via yield() instead of spinning it out.
 
+#include <cassert>
+#include <coroutine>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
-#include "sim/async_mutex.hpp"
 #include "sim/config.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/mem_port.hpp"
+#include "sim/sync.hpp"
 #include "sim/task.hpp"
 
 namespace vl::sim {
@@ -37,6 +47,11 @@ struct SimThread {
   Co<std::uint64_t> swap64(Addr a, std::uint64_t v) const;
   Co<void> load_line(Addr a, void* out) const;
   Co<void> store_line(Addr a, const void* in) const;
+
+  /// Futex-style blocking: donate this thread's core residency (yield) and
+  /// park on `wq` unless its epoch already moved past `expected`. Costs no
+  /// simulated time and generates no events while parked.
+  Co<void> park(WaitQueue& wq, std::uint64_t expected) const;
 };
 
 class Core {
@@ -44,7 +59,7 @@ class Core {
   using CtxSwitchHook = std::function<void(int old_tid, int new_tid)>;
 
   Core(EventQueue& eq, CoreId id, MemoryPort& mem, const CoreConfig& cfg)
-      : eq_(eq), id_(id), mem_(mem), cfg_(cfg), port_(eq) {}
+      : eq_(eq), id_(id), mem_(mem), cfg_(cfg) {}
 
   EventQueue& eq() { return eq_; }
   CoreId id() const { return id_; }
@@ -61,6 +76,10 @@ class Core {
 
   /// Number of context switches taken on this core.
   std::uint64_t ctx_switches() const { return ctx_switches_; }
+  /// Times a blocking thread donated its residency via yield().
+  std::uint64_t yields() const { return yields_; }
+  /// Threads currently queued for the issue port.
+  std::size_t run_queue_depth() const { return run_queue_.size(); }
 
   // --- awaitable operations ------------------------------------------------
   Co<void> compute(int tid, std::uint64_t cycles);
@@ -72,23 +91,62 @@ class Core {
   Co<void> load_line(int tid, Addr a, void* out);
   Co<void> store_line(int tid, Addr a, const void* in);
 
-  /// Acquire the issue port as `tid`, paying a context switch if the
-  /// resident thread changes. Used directly by the VL ISA port as well.
-  Co<void> acquire_port(int tid);
-  void release_port() { port_.unlock(); }
+  /// Awaitable: acquire the issue port as `tid`, paying a context switch if
+  /// the resident thread changes. Used directly by the VL ISA port as well.
+  struct PortAwaiter {
+    Core& core;
+    int tid;
+    bool await_ready() { return core.try_acquire_now(tid); }
+    void await_suspend(std::coroutine_handle<> h) {
+      core.enqueue_waiter(tid, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  PortAwaiter acquire_port(int tid) { return PortAwaiter{*this, tid}; }
+  void release_port() {
+    assert(port_busy_);
+    port_busy_ = false;
+    maybe_grant();
+  }
+
+  /// Yield-on-block: a thread about to park calls this (via SimThread::park)
+  /// so the next queued thread is granted the core immediately instead of
+  /// waiting out the blocked thread's quantum. No-op if `tid` is not
+  /// resident. Must not be called while an op holds the issue port.
+  void yield(int tid);
 
  private:
+  friend struct PortAwaiter;
+
   Co<MemResult> issue(int tid, MemRequest req);
+
+  bool try_acquire_now(int tid);
+  void enqueue_waiter(int tid, std::coroutine_handle<> h);
+  void maybe_grant();
+  void grant_front();
+  void arm_preempt_timer(Tick when);
+  bool within_slice() const {
+    return eq_.now() < resident_since_ + cfg_.sched_quantum;
+  }
+
+  struct PortWaiter {
+    int tid;
+    std::coroutine_handle<> h;
+  };
 
   EventQueue& eq_;
   CoreId id_;
   MemoryPort& mem_;
   CoreConfig cfg_;
-  AsyncMutex port_;
   int next_tid_ = 0;
   int resident_ = -1;
   Tick resident_since_ = 0;
+  bool port_busy_ = false;        ///< an op currently owns the issue port
+  bool resident_blocked_ = false; ///< resident yielded (parked) the core
+  bool preempt_armed_ = false;
+  std::deque<PortWaiter> run_queue_;
   std::uint64_t ctx_switches_ = 0;
+  std::uint64_t yields_ = 0;
   std::vector<CtxSwitchHook> hooks_;
 };
 

@@ -1,23 +1,100 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
+#include <bit>
 
 namespace vl::sim {
 
+EventQueue::EventQueue() : ring_(kRingSize) {}
+
 void EventQueue::schedule_at(Tick when, Fn fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  heap_.push(Ev{when, seq_++, std::move(fn)});
+  ++size_;
+  if (when - now_ < kRingSize) {
+    Bucket& b = ring_[when & kRingMask];
+    b.evs.push_back(Ev{seq_++, std::move(fn)});
+    set_bit(when & kRingMask);
+  } else {
+    far_.push_back(FarEv{when, seq_++, std::move(fn)});
+    std::push_heap(far_.begin(), far_.end(), FarAfter{});
+  }
+}
+
+std::optional<Tick> EventQueue::next_ring_tick() const {
+  const std::size_t start = now_ & kRingMask;
+  // Ring order starting at `start` and wrapping equals tick order, because
+  // only ticks in [now, now + kRingSize) can be resident.
+  const std::size_t start_word = start >> 6;
+  constexpr std::size_t kWords = kRingSize / 64;
+  for (std::size_t w = 0; w <= kWords; ++w) {
+    const std::size_t word = (start_word + w) % kWords;
+    std::uint64_t bits = bits_[word];
+    if (w == 0) bits &= ~std::uint64_t{0} << (start & 63);  // at/after start
+    if (w == kWords) bits &= (std::uint64_t{1} << (start & 63)) - 1;  // wrapped
+    if (!bits) continue;
+    const std::size_t idx =
+        (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+    return now_ + ((idx - start) & kRingMask);
+  }
+  return std::nullopt;
+}
+
+void EventQueue::migrate_far(Tick t) {
+  if (far_.empty() || far_.front().when != t) return;
+  Bucket& b = ring_[t & kRingMask];
+  std::vector<Ev> incoming;  // seq-ascending: heap pops (when, seq) ordered
+  while (!far_.empty() && far_.front().when == t) {
+    std::pop_heap(far_.begin(), far_.end(), FarAfter{});
+    incoming.push_back(Ev{far_.back().seq, std::move(far_.back().fn)});
+    far_.pop_back();
+  }
+  if (b.evs.empty()) {
+    b.evs = std::move(incoming);
+  } else {
+    // Both runs are seq-ascending; merge to preserve global FIFO-per-tick.
+    std::vector<Ev> merged;
+    merged.reserve(b.evs.size() + incoming.size());
+    std::size_t i = 0, j = 0;
+    while (i < b.evs.size() && j < incoming.size())
+      merged.push_back(b.evs[i].seq < incoming[j].seq
+                           ? std::move(b.evs[i++])
+                           : std::move(incoming[j++]));
+    while (i < b.evs.size()) merged.push_back(std::move(b.evs[i++]));
+    while (j < incoming.size()) merged.push_back(std::move(incoming[j++]));
+    b.evs = std::move(merged);
+  }
+  b.cursor = 0;
+  set_bit(t & kRingMask);
+}
+
+std::optional<Tick> EventQueue::next_event_tick() {
+  Bucket& cur = ring_[now_ & kRingMask];
+  if (cur.cursor < cur.evs.size()) return now_;
+  if (!cur.evs.empty()) {
+    cur.evs.clear();  // retains capacity for reuse
+    cur.cursor = 0;
+    clear_bit(now_ & kRingMask);
+  }
+  const auto ring_next = next_ring_tick();
+  if (!far_.empty() && (!ring_next || far_.front().when < *ring_next))
+    return far_.front().when;
+  return ring_next;
 }
 
 bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the small header and move the functor by re-popping.
-  Ev ev = std::move(const_cast<Ev&>(heap_.top()));
-  heap_.pop();
-  now_ = ev.when;
-  ev.fn();
+  const auto t = next_event_tick();
+  if (!t) return false;
+  if (*t != now_) {
+    now_ = *t;
+    migrate_far(*t);
+  }
+  Bucket& b = ring_[now_ & kRingMask];
+  assert(b.cursor < b.evs.size());
+  EventFn fn = std::move(b.evs[b.cursor].fn);
+  ++b.cursor;
+  --size_;
+  ++executed_;
+  fn();
   return true;
 }
 
@@ -28,7 +105,11 @@ std::uint64_t EventQueue::run(std::uint64_t limit) {
 }
 
 void EventQueue::run_until(Tick t) {
-  while (!heap_.empty() && heap_.top().when <= t) step();
+  for (;;) {
+    const auto next = next_event_tick();
+    if (!next || *next > t) break;
+    step();
+  }
   if (now_ < t) now_ = t;
 }
 

@@ -4,19 +4,130 @@
 // A single EventQueue provides the global simulated timeline. Events are
 // (tick, sequence) ordered, so two events scheduled for the same tick fire
 // in scheduling order — this makes every simulation run fully deterministic.
+//
+// The implementation is allocation-light:
+//
+//   * EventFn is a move-only callable with a 96-byte small-buffer: every
+//     callback the simulator schedules (coroutine resumes, memory-commit
+//     lambdas, device completions) fits inline, so the steady-state event
+//     loop performs no heap allocation per event. Oversized callables fall
+//     back to the heap transparently.
+//   * Near-future events (the overwhelming majority: issue costs, cache
+//     latencies, backoffs, context switches) land in a calendar ring of
+//     per-tick buckets covering [now, now + 8192). Scheduling and firing
+//     are O(1); a two-level occupancy bitmap skips empty ticks in O(1).
+//     Bucket vectors are recycled, so their capacity amortises to zero
+//     allocations.
+//   * Events beyond the ring horizon sit in a small binary min-heap and
+//     are merged (by sequence number, preserving global FIFO-per-tick
+//     order) into their bucket when the clock reaches them.
 
+#include <array>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <optional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace vl::sim {
 
+/// Move-only, fire-once callable with small-buffer storage sized for the
+/// simulator's hottest capture set (a MemRequest + completion functor).
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineSize = 96;
+
+  EventFn() noexcept = default;
+
+  template <class F, class D = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                 std::is_invocable_v<D&>,
+                             int> = 0>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &kInlineVt<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &kHeapVt<D>;
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept { steal(o); }
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      steal(o);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void operator()() {
+    assert(vt_ && "invoking an empty EventFn");
+    vt_->invoke(buf_);
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-construct the payload into `to` and destroy it in `from`.
+    void (*relocate)(void* from, void* to);
+    void (*destroy)(void*);
+  };
+
+  template <class D>
+  inline static const VTable kInlineVt{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* from, void* to) {
+        D* f = static_cast<D*>(from);
+        ::new (to) D(std::move(*f));
+        f->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  template <class D>
+  inline static const VTable kHeapVt{
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* from, void* to) {
+        ::new (to) D*(*static_cast<D**>(from));
+      },
+      [](void* p) { delete *static_cast<D**>(p); },
+  };
+
+  void steal(EventFn& o) noexcept {
+    if (o.vt_) {
+      o.vt_->relocate(o.buf_, buf_);
+      vt_ = std::exchange(o.vt_, nullptr);
+    }
+  }
+  void reset() noexcept {
+    if (vt_) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
+
 class EventQueue {
  public:
-  using Fn = std::function<void()>;
+  using Fn = EventFn;
+
+  EventQueue();
 
   Tick now() const { return now_; }
 
@@ -37,24 +148,57 @@ class EventQueue {
   /// queue drains.
   void run_until(Tick t);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t pending() const { return size_; }
+
+  /// Total events executed over the queue's lifetime (throughput metric).
+  std::uint64_t executed() const { return executed_; }
 
  private:
+  // Calendar ring: one bucket per tick over [now, now + kRingSize).
+  static constexpr std::size_t kRingBits = 13;
+  static constexpr std::size_t kRingSize = std::size_t{1} << kRingBits;
+  static constexpr std::size_t kRingMask = kRingSize - 1;
+
   struct Ev {
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Bucket {
+    std::vector<Ev> evs;       // seq-ascending (append order)
+    std::size_t cursor = 0;    // next event to fire
+  };
+  struct FarEv {
     Tick when;
     std::uint64_t seq;
-    Fn fn;
+    EventFn fn;
   };
-  struct Later {
-    bool operator()(const Ev& a, const Ev& b) const {
+  struct FarAfter {  // min-heap ordering on (when, seq)
+    bool operator()(const FarEv& a, const FarEv& b) const {
       return a.when != b.when ? a.when > b.when : a.seq > b.seq;
     }
   };
 
+  void set_bit(std::size_t i) { bits_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void clear_bit(std::size_t i) {
+    bits_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  /// Earliest tick with a pending event, retiring the current bucket if it
+  /// has been fully drained. nullopt when nothing is pending anywhere.
+  std::optional<Tick> next_event_tick();
+  /// Bitmap scan for the earliest occupied ring tick at or after now_.
+  std::optional<Tick> next_ring_tick() const;
+  /// Merge far-heap events due at tick `t` into its bucket, by seq.
+  void migrate_far(Tick t);
+
   Tick now_ = 0;
   std::uint64_t seq_ = 0;
-  std::priority_queue<Ev, std::vector<Ev>, Later> heap_;
+  std::size_t size_ = 0;
+  std::uint64_t executed_ = 0;
+  std::vector<Bucket> ring_;
+  std::array<std::uint64_t, kRingSize / 64> bits_{};
+  std::vector<FarEv> far_;  // binary heap under FarAfter
 };
 
 }  // namespace vl::sim

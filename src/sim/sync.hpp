@@ -13,6 +13,8 @@
 //   Semaphore  — counting semaphore with FIFO wakeup.
 //   Event      — one-shot broadcast gate (set() releases all waiters,
 //                including future ones).
+//   WaitQueue  — simulated-futex park/wake: blocked threads park instead
+//                of polling, and the state-changing side wakes them.
 
 #include <coroutine>
 #include <cstdint>
@@ -22,6 +24,74 @@
 #include "sim/event_queue.hpp"
 
 namespace vl::sim {
+
+/// Simulated futex: a FIFO queue of parked coroutines plus a wake epoch.
+///
+/// The epoch closes the classic lost-wakeup window. The parking side reads
+/// `epoch()` *before* checking the guarded state; if a wake lands between
+/// that check and the park, the epoch no longer matches and park() falls
+/// straight through (a spurious wake the caller absorbs by re-checking its
+/// condition — the standard futex contract):
+///
+///   for (;;) {
+///     const auto gate = wq.epoch();
+///     if (state_allows_progress()) break;
+///     co_await wq.park(gate);     // or t.park(wq, gate) to also yield the
+///   }                             //   core's run-queue residency
+///
+/// Wakes resume waiters through the EventQueue at the current tick, so
+/// wake order is FIFO and fully deterministic. Parking itself costs zero
+/// simulated time and zero events while blocked — the whole point: a
+/// parked thread generates no O(pollers) retry traffic.
+class WaitQueue {
+ public:
+  explicit WaitQueue(EventQueue& eq) : eq_(&eq) {}
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::size_t parked() const { return waiters_.size(); }
+  std::uint64_t wakeups() const { return wakeups_; }
+
+  /// Awaitable park. Suspends unless the epoch already moved past
+  /// `expected` (i.e. a wake happened since the caller sampled it).
+  auto park(std::uint64_t expected) {
+    struct Awaiter {
+      WaitQueue& w;
+      std::uint64_t expected;
+      bool await_ready() const noexcept { return w.epoch_ != expected; }
+      void await_suspend(std::coroutine_handle<> h) { w.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, expected};
+  }
+
+  /// Wake the oldest parked waiter (FIFO); always advances the epoch, so a
+  /// wake with nobody parked is still observed by a concurrent parker.
+  void wake_one() {
+    ++epoch_;
+    if (waiters_.empty()) return;
+    const auto h = waiters_.front();
+    waiters_.pop_front();
+    ++wakeups_;
+    eq_->schedule_in(0, [h] { h.resume(); });
+  }
+
+  /// Wake every parked waiter, in FIFO order.
+  void wake_all() {
+    ++epoch_;
+    while (!waiters_.empty()) {
+      const auto h = waiters_.front();
+      waiters_.pop_front();
+      ++wakeups_;
+      eq_->schedule_in(0, [h] { h.resume(); });
+    }
+  }
+
+ private:
+  EventQueue* eq_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t wakeups_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
 
 /// N-party reusable barrier. The last arriver releases everyone at the
 /// same tick (wakeups are scheduled, not inline, so no waiter resumes

@@ -5,7 +5,7 @@
 namespace vl::squeue {
 
 namespace {
-constexpr Tick kRetryBackoff = 48;
+constexpr Tick kRetryBackoff = 48;  ///< Empty-dequeue register-poll pause.
 }
 
 sim::Co<bool> SimCaf::dev_enq(sim::SimThread t, std::uint64_t v) {
@@ -41,12 +41,16 @@ sim::Co<void> SimCaf::send(sim::SimThread t, Msg msg) {
   co_await send_mu_.lock();  // device frame grant: no producer interleaving
   for (std::uint8_t i = 0; i < msg.n; ++i) {
     for (;;) {
+      // Sample the credit futex before the attempt so a dequeue landing
+      // mid-round-trip is never lost; NACK means out of credits -> park
+      // until the consumer side frees one.
       // NB: the await must not sit in the loop condition — GCC 12 destroys
       // condition temporaries before the suspended callee resumes, which
       // tears down the in-flight coroutine (silent no-op).
+      const std::uint64_t gate = dev_.space_wq(q_).epoch();
       const bool ok = co_await dev_enq(t, msg.w[i]);
       if (ok) break;
-      co_await t.compute(kRetryBackoff);
+      co_await t.park(dev_.space_wq(q_), gate);
     }
   }
   send_mu_.unlock();
@@ -61,6 +65,9 @@ sim::Co<Msg> SimCaf::recv(sim::SimThread t) {
     for (;;) {
       const bool ok = co_await dev_deq(t, v);  // see send() re loop conditions
       if (ok) break;
+      // Empty queue: CAF's dequeue *is* a polling register read — the
+      // discovery latency Fig. 15 measures — so the consumer keeps
+      // polling on a fixed pause rather than parking.
       co_await t.compute(kRetryBackoff);
     }
     msg.w[i] = v;

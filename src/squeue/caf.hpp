@@ -15,16 +15,23 @@
 // the bottleneck Fig. 15's ping-pong exposes.
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "sim/async_mutex.hpp"
+#include "sim/sync.hpp"
 #include "squeue/channel.hpp"
 #include "runtime/machine.hpp"
 
 namespace vl::squeue {
 
 /// The central Queue Management Device: one per machine, shared by all
-/// CAF channels.
+/// CAF channels. Each device queue carries a simulated-futex WaitQueue for
+/// its credit grant: a producer whose enqueue is NACKed for lack of
+/// credits parks and is woken by the consumer-side register read that
+/// frees one, instead of hammering the device with retries. (Consumers
+/// polling an *empty* queue keep polling — that register-read discovery
+/// latency is part of the Fig. 15 model.)
 class CafDevice {
  public:
   CafDevice(runtime::Machine& m, std::uint32_t credits_per_queue = 64)
@@ -32,34 +39,42 @@ class CafDevice {
 
   /// Allocate a device queue id.
   std::uint32_t open_queue() {
-    queues_.emplace_back();
+    queues_.push_back(std::make_unique<DevQueue>(m_.eq()));
     return static_cast<std::uint32_t>(queues_.size() - 1);
   }
 
   /// One 64-bit enqueue register write. False = out of credits.
   bool enq(std::uint32_t q, std::uint64_t v) {
-    auto& dq = queues_.at(q);
-    if (dq.size() >= credits_) return false;
-    dq.push_back(v);
+    DevQueue& dq = *queues_.at(q);
+    if (dq.data.size() >= credits_) return false;
+    dq.data.push_back(v);
     return true;
   }
 
   /// One 64-bit dequeue register read. False = queue empty.
   bool deq(std::uint32_t q, std::uint64_t& out) {
-    auto& dq = queues_.at(q);
-    if (dq.empty()) return false;
-    out = dq.front();
-    dq.pop_front();
+    DevQueue& dq = *queues_.at(q);
+    if (dq.data.empty()) return false;
+    out = dq.data.front();
+    dq.data.pop_front();
+    dq.space.wake_one();  // a credit freed: wake a parked producer
     return true;
   }
 
-  std::uint64_t depth(std::uint32_t q) const { return queues_.at(q).size(); }
+  std::uint64_t depth(std::uint32_t q) const { return queues_.at(q)->data.size(); }
+  sim::WaitQueue& space_wq(std::uint32_t q) { return queues_.at(q)->space; }
   runtime::Machine& machine() { return m_; }
 
  private:
+  struct DevQueue {
+    explicit DevQueue(sim::EventQueue& eq) : space(eq) {}
+    std::deque<std::uint64_t> data;
+    sim::WaitQueue space;  ///< woken when a credit frees (deq)
+  };
+
   runtime::Machine& m_;
   std::uint32_t credits_;
-  std::vector<std::deque<std::uint64_t>> queues_;
+  std::vector<std::unique_ptr<DevQueue>> queues_;
 };
 
 /// CAF channel with a fixed frame length (`msg_words` register transfers

@@ -4,89 +4,136 @@ namespace vl::squeue {
 
 namespace {
 constexpr Tick kPause = 6;
-}
+/// Adaptive-mutex spin budget before a waiter parks: enough rounds that a
+/// short-held lock is still grabbed out of the spin (and the Fig. 2
+/// line-bouncing shows up in the cache model), few enough that long waits
+/// cost O(1) events.
+constexpr int kSpinRounds = 4;
+}  // namespace
 
 sim::Co<void> SimCasLock::acquire(sim::SimThread t) {
   for (;;) {
-    // NB: the await must not sit in the loop condition — GCC 12 destroys
-    // condition temporaries before the suspended callee resumes, which
-    // tears down the in-flight coroutine (silent no-op).
-    const bool ok = co_await t.cas64(a_, 0, 1);
-    if (ok) co_return;
-    co_await t.compute(kPause);
+    for (int spin = 0; spin < kSpinRounds; ++spin) {
+      // NB: the await must not sit in the loop condition — GCC 12 destroys
+      // condition temporaries before the suspended callee resumes, which
+      // tears down the in-flight coroutine (silent no-op).
+      const bool ok = co_await t.cas64(a_, 0, 1);
+      if (ok) co_return;
+      co_await t.compute(kPause);
+    }
+    // Spin budget exhausted: park until the holder releases. Epoch sampled
+    // before the final state check so a release in between is never lost.
+    const std::uint64_t gate = wq_.epoch();
+    const std::uint64_t v = co_await t.load(a_, 8);
+    if (v == 0) continue;  // freed while we were spinning: retry the CAS
+    co_await t.park(wq_, gate);
   }
 }
 
 sim::Co<void> SimCasLock::release(sim::SimThread t) {
   co_await t.store(a_, 0, 8);
+  wq_.wake_one();
 }
 
 sim::Co<void> SimSpinLock::acquire(sim::SimThread t) {
   for (;;) {
     if (co_await t.swap64(a_, 1) == 0) co_return;
-    std::uint64_t v;
-    do {
+    // Test-and-test-and-set: spin on a local (Shared) copy, bounded.
+    bool saw_free = false;
+    for (int spin = 0; spin < kSpinRounds && !saw_free; ++spin) {
       co_await t.compute(kPause);
-      v = co_await t.load(a_, 8);  // local spin: line stays Shared
-    } while (v != 0);
+      saw_free = co_await t.load(a_, 8) == 0;
+    }
+    if (saw_free) continue;
+    const std::uint64_t gate = wq_.epoch();
+    const std::uint64_t v = co_await t.load(a_, 8);
+    if (v == 0) continue;
+    co_await t.park(wq_, gate);
   }
 }
 
 sim::Co<void> SimSpinLock::release(sim::SimThread t) {
   co_await t.store(a_, 0, 8);
+  wq_.wake_one();
 }
 
 sim::Co<void> SimTicketLock::acquire(sim::SimThread t) {
   const std::uint64_t ticket = co_await t.fetch_add64(a_, 1);
   for (;;) {
+    const std::uint64_t gate = wq_.epoch();
     const std::uint64_t serving = co_await t.load(a_ + 8, 8);
     if (serving == ticket) co_return;
-    co_await t.compute(kPause * (ticket - serving));  // proportional backoff
+    if (ticket - serving == 1) {
+      // Next in line: stay hot, proportional pause like the classic loop.
+      co_await t.compute(kPause);
+      continue;
+    }
+    // Further back: park; every release broadcasts so waiters re-check
+    // now-serving (only the next ticket proceeds, the rest re-park).
+    co_await t.park(wq_, gate);
   }
 }
 
 sim::Co<void> SimTicketLock::release(sim::SimThread t) {
   const std::uint64_t serving = co_await t.load(a_ + 8, 8);
   co_await t.store(a_ + 8, serving + 1, 8);
+  wq_.wake_all();
 }
 
-Addr SimMcsLock::node_for(sim::SimThread t) {
+SimMcsLock::Node& SimMcsLock::node_for(sim::SimThread t) {
   const auto key = std::make_pair(t.core->id(), t.tid);
   auto it = nodes_.find(key);
-  if (it == nodes_.end())
-    it = nodes_.emplace(key, m_.alloc(kLineSize)).first;
+  if (it == nodes_.end()) {
+    Node n;
+    n.addr = m_.alloc(kLineSize);
+    n.wq = std::make_unique<sim::WaitQueue>(m_.eq());
+    wq_by_node_[n.addr] = n.wq.get();
+    it = nodes_.emplace(key, std::move(n)).first;
+  }
   return it->second;
 }
 
 sim::Co<void> SimMcsLock::acquire(sim::SimThread t) {
-  const Addr node = node_for(t);
+  Node& n = node_for(t);
+  const Addr node = n.addr;
   co_await t.store(node, 1, 8);      // locked flag armed
   co_await t.store(node + 8, 0, 8);  // next = nil
   const Addr pred = co_await t.swap64(tail_, node);
   if (pred == 0) co_return;  // uncontended: we own the lock
   co_await t.store(pred + 8, node, 8);  // link behind the predecessor
   // Local spin: only this thread's own node line is read, so waiting adds
-  // no traffic on any shared line — the MCS property.
+  // no traffic on any shared line — the MCS property. After the spin
+  // budget, park on the node's private queue; the releaser wakes exactly
+  // this successor.
   for (;;) {
+    for (int spin = 0; spin < kSpinRounds; ++spin) {
+      const std::uint64_t locked = co_await t.load(node, 8);
+      if (locked == 0) co_return;
+      co_await t.compute(kPause);
+    }
+    const std::uint64_t gate = n.wq->epoch();
     const std::uint64_t locked = co_await t.load(node, 8);
     if (locked == 0) co_return;
-    co_await t.compute(kPause);
+    co_await t.park(*n.wq, gate);
   }
 }
 
 sim::Co<void> SimMcsLock::release(sim::SimThread t) {
-  const Addr node = node_for(t);
+  const Addr node = node_for(t).addr;
   std::uint64_t next = co_await t.load(node + 8, 8);
   if (next == 0) {
     // No visible successor: try to swing the tail back to empty.
     if (co_await t.cas64(tail_, node, 0)) co_return;
-    // A successor is mid-enqueue; wait for its link to appear.
+    // A successor is mid-enqueue; wait for its link to appear (bounded by
+    // the successor's two stores, so plain spinning is fine).
     do {
       co_await t.compute(kPause);
       next = co_await t.load(node + 8, 8);
     } while (next == 0);
   }
   co_await t.store(next, 0, 8);  // hand the lock to the successor
+  const auto it = wq_by_node_.find(next);
+  if (it != wq_by_node_.end()) it->second->wake_one();
 }
 
 }  // namespace vl::squeue

@@ -6,14 +6,18 @@ namespace vl::squeue {
 
 namespace {
 constexpr Tick kSpinBackoff = 8;
-constexpr Tick kFullBackoff = 64;
+/// Bounded lock spin before parking (adaptive-mutex discipline): short
+/// holds are still grabbed out of the spin and generate the shared-line
+/// traffic Fig. 13 measures; long waits park and cost O(1) events.
+constexpr int kLockSpinRounds = 4;
 
 // The simulation is fully deterministic, so identical fixed backoffs can
 // phase-lock contending spinners into a periodic schedule where one class of
-// threads (e.g. empty-polling consumers) holds the lock at every instant the
-// other class attempts its CAS — a livelock no real machine exhibits, because
-// real timing noise breaks the phase. Mix a per-thread, per-attempt jitter
-// into every backoff to restore that asymmetry deterministically.
+// threads holds the lock at every instant the other class attempts its CAS —
+// a livelock no real machine exhibits, because real timing noise breaks the
+// phase. Mix a per-thread, per-attempt jitter into the lock-spin backoff to
+// restore that asymmetry deterministically. (Empty/full waits no longer
+// spin at all — they park on the channel's WaitQueues.)
 Tick jitter(const sim::SimThread& t, std::uint32_t attempt, Tick base) {
   std::uint32_t h = static_cast<std::uint32_t>(t.core->id()) * 2654435761u ^
                     static_cast<std::uint32_t>(t.tid) * 40503u ^
@@ -21,22 +25,11 @@ Tick jitter(const sim::SimThread& t, std::uint32_t attempt, Tick base) {
   h ^= h >> 15;
   return base + (h % (base + attempt % 16 + 1));
 }
-
-// Empty-queue / high-water retries additionally back off exponentially:
-// with enough pollers (e.g. 7 consumers against 2 producers), per-attempt
-// jitter alone still lets the polling class occupy the lock at every free
-// instant. Growing the idle class's sleep opens windows the other class is
-// guaranteed to hit. Real ZeroMQ parks blocked sockets on a futex for the
-// same reason.
-Tick retry_backoff(const sim::SimThread& t, std::uint32_t attempt) {
-  const Tick scaled = kFullBackoff
-                      << (attempt < 6 ? attempt : std::uint32_t{6});
-  return jitter(t, attempt, scaled);
-}
 }  // namespace
 
 SimZmq::SimZmq(runtime::Machine& m, std::size_t hwm, Tick sw_overhead)
-    : m_(m), hwm_(hwm), mask_(hwm - 1), overhead_(sw_overhead) {
+    : m_(m), hwm_(hwm), mask_(hwm - 1), overhead_(sw_overhead),
+      not_empty_(m.eq()), not_full_(m.eq()), lock_wq_(m.eq()) {
   assert(hwm >= 2 && (hwm & (hwm - 1)) == 0);
   lock_ = m_.alloc(kLineSize);
   meta_ = m_.alloc(kLineSize);
@@ -44,31 +37,42 @@ SimZmq::SimZmq(runtime::Machine& m, std::size_t hwm, Tick sw_overhead)
 }
 
 sim::Co<void> SimZmq::lock(sim::SimThread t) {
-  for (std::uint32_t attempt = 0;; ++attempt) {
+  for (std::uint32_t attempt = 0;;) {
     if (co_await t.cas64(lock_, 0, 1)) co_return;
-    // Test-and-test-and-set: spin on a local (Shared) copy.
-    std::uint64_t v;
-    do {
+    // Test-and-test-and-set: spin on a local (Shared) copy, bounded.
+    bool saw_free = false;
+    for (int spin = 0; spin < kLockSpinRounds && !saw_free; ++spin) {
       co_await t.compute(jitter(t, ++attempt, kSpinBackoff));
-      v = co_await t.load(lock_, 8);
-    } while (v != 0);
+      saw_free = co_await t.load(lock_, 8) == 0;
+    }
+    if (saw_free) continue;
+    // Still held after the spin budget: park until the holder releases
+    // (epoch sampled before the final check closes the wakeup race).
+    const std::uint64_t gate = lock_wq_.epoch();
+    if (co_await t.load(lock_, 8) == 0) continue;
+    co_await t.park(lock_wq_, gate);
   }
 }
 
 sim::Co<void> SimZmq::unlock(sim::SimThread t) {
   co_await t.store(lock_, 0, 8);
+  lock_wq_.wake_one();
 }
 
 sim::Co<void> SimZmq::send(sim::SimThread t, Msg msg) {
   co_await t.compute(overhead_);  // socket/envelope software path
-  for (std::uint32_t attempt = 0;; ++attempt) {
+  for (;;) {
+    // Futex protocol: sample the wake epoch before inspecting the state so
+    // a dequeue landing between our check and the park is never lost.
+    const std::uint64_t gate = not_full_.epoch();
     co_await lock(t);
     const std::uint64_t head = co_await t.load(meta_, 8);
     const std::uint64_t tail = co_await t.load(meta_ + 8, 8);
     if (tail - head >= hwm_) {
-      // High-water mark: release and wait (the back-pressure path).
+      // High-water mark: park until a consumer frees a slot (the
+      // back-pressure path) instead of burning events polling.
       co_await unlock(t);
-      co_await t.compute(retry_backoff(t, attempt));
+      co_await t.park(not_full_, gate);
       continue;
     }
     const Addr data = cell(tail);
@@ -77,19 +81,21 @@ sim::Co<void> SimZmq::send(sim::SimThread t, Msg msg) {
       co_await t.store(data + 8 + i * 8, msg.w[i], 8);
     co_await t.store(meta_ + 8, tail + 1, 8);
     co_await unlock(t);
+    not_empty_.wake_one();
     co_return;
   }
 }
 
 sim::Co<Msg> SimZmq::recv(sim::SimThread t) {
   co_await t.compute(overhead_);
-  for (std::uint32_t attempt = 0;; ++attempt) {
+  for (;;) {
+    const std::uint64_t gate = not_empty_.epoch();  // see send()
     co_await lock(t);
     const std::uint64_t head = co_await t.load(meta_, 8);
     const std::uint64_t tail = co_await t.load(meta_ + 8, 8);
-    if (head == tail) {  // empty
+    if (head == tail) {  // empty: park until a producer publishes
       co_await unlock(t);
-      co_await t.compute(retry_backoff(t, attempt));
+      co_await t.park(not_empty_, gate);
       continue;
     }
     const Addr data = cell(head);
@@ -99,6 +105,7 @@ sim::Co<Msg> SimZmq::recv(sim::SimThread t) {
       msg.w[i] = co_await t.load(data + 8 + i * 8, 8);
     co_await t.store(meta_, head + 1, 8);
     co_await unlock(t);
+    not_full_.wake_one();
     co_return msg;
   }
 }

@@ -12,7 +12,15 @@
 // Synchronization is a spin lock over the channel state (lock word, ring
 // indices and cells in shared, coherent memory), which yields the elevated
 // snoop/upgrade traffic Fig. 13 measures for ZMQ.
+//
+// Blocked endpoints do not poll: like real ZeroMQ parking a blocked socket
+// on a futex, an empty-queue consumer (or full-queue producer) parks on a
+// simulated WaitQueue and is woken by the state-changing side, so a blocked
+// thread generates zero events and donates its core residency while it
+// waits. The short-lived channel lock still spins (that coherence traffic
+// is the Fig. 13 effect being modelled).
 
+#include "sim/sync.hpp"
 #include "squeue/channel.hpp"
 #include "runtime/machine.hpp"
 
@@ -43,6 +51,9 @@ class SimZmq : public Channel {
   Addr lock_ = 0;   ///< spin-lock word (own line)
   Addr meta_ = 0;   ///< head (+0) and tail (+8), lock-protected, one line
   Addr cells_ = 0;
+  sim::WaitQueue not_empty_;  ///< consumers park here when head == tail
+  sim::WaitQueue not_full_;   ///< producers park here at the high-water mark
+  sim::WaitQueue lock_wq_;    ///< adaptive channel-lock wait (spin, then park)
 };
 
 }  // namespace vl::squeue

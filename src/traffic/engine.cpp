@@ -116,7 +116,9 @@ Co<void> producer(Ctx& cx, SimThread t, int tenant_id, int pid) {
     msg.w[0] = stamp(tenant_id, pid, eq.now());
     for (std::uint8_t w = 1; w < words; ++w)
       msg.w[w] = (static_cast<std::uint64_t>(tenant_id) << 32) | i;
+    const Tick send_start = eq.now();
     co_await ch.send(t, msg);
+    tm.blocked_ticks += eq.now() - send_start;  // time-in-backpressure
     ++tm.sent;
     if (ack) ++outstanding;
   }
@@ -266,6 +268,7 @@ EngineResult Engine::run(const ScenarioSpec& raw, std::uint64_t seed,
   sim::spawn(depth_sampler(cx));
 
   const Tick t0 = m_.now();
+  const std::uint64_t ev0 = m_.eq().executed();
   m_.run();
 
   // --- collect --------------------------------------------------------------
@@ -274,6 +277,7 @@ EngineResult Engine::run(const ScenarioSpec& raw, std::uint64_t seed,
   r.backend = squeue::to_string(f_.backend());
   r.seed = seed;
   r.scale = scale;
+  r.events = m_.eq().executed() - ev0;
   r.metrics.tenants = std::move(cx.tenants);
   r.metrics.depths = std::move(cx.depths);
   r.metrics.ticks = m_.now() - t0;

@@ -31,6 +31,7 @@ struct EngineResult {
   std::string backend;
   std::uint64_t seed = 0;
   int scale = 1;
+  std::uint64_t events = 0;  ///< Kernel events executed during the run.
   ScenarioMetrics metrics;
 
   /// Per-tenant CSV (header + rows). Fully deterministic for a fixed

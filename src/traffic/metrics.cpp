@@ -79,6 +79,7 @@ void TenantMetrics::merge(const TenantMetrics& o) {
   sent += o.sent;
   delivered += o.delivered;
   dropped += o.dropped;
+  blocked_ticks += o.blocked_ticks;
   latency.merge(o.latency);
 }
 
@@ -101,9 +102,10 @@ std::uint64_t ScenarioMetrics::total_dropped() const {
 }
 
 std::vector<std::string> ScenarioMetrics::csv_header() {
-  return {"tenant",      "generated", "sent",     "delivered", "dropped",
-          "lat_p50",     "lat_p95",   "lat_p99",  "lat_p999",  "lat_max",
-          "lat_mean",    "mmsgs_per_s"};
+  return {"tenant",    "generated",   "sent",    "delivered",
+          "dropped",   "blocked_ticks",          "lat_p50",
+          "lat_p95",   "lat_p99",     "lat_p999", "lat_max",
+          "lat_mean",  "mmsgs_per_s"};
 }
 
 namespace {
@@ -123,6 +125,7 @@ std::vector<std::string> tenant_row(const TenantMetrics& t, double ns) {
           std::to_string(t.sent),
           std::to_string(t.delivered),
           std::to_string(t.dropped),
+          std::to_string(t.blocked_ticks),
           std::to_string(t.latency.percentile(50)),
           std::to_string(t.latency.percentile(95)),
           std::to_string(t.latency.percentile(99)),

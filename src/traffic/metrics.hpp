@@ -62,6 +62,11 @@ struct TenantMetrics {
   std::uint64_t sent = 0;       ///< Accepted by a channel send.
   std::uint64_t delivered = 0;  ///< Received at a final-stage consumer.
   std::uint64_t dropped = 0;    ///< Shed at the producer (queue over limit).
+  /// Open-loop overload signal: total ticks this tenant's producers spent
+  /// inside blocking send() calls — time-in-backpressure. Under light load
+  /// this is just per-message transfer cost; when the offered rate exceeds
+  /// service it grows with every parked/blocked send.
+  std::uint64_t blocked_ticks = 0;
   LogHistogram latency;         ///< End-to-end latency, ticks.
 
   void merge(const TenantMetrics& o);

@@ -301,7 +301,13 @@ Tick Vlrd::pipeline_step_cost() const {
 }
 
 void Vlrd::kick_pipeline() {
-  if (pipeline_scheduled_ || !pipeline_pending()) return;
+  if (pipeline_scheduled_) return;
+  if (!pipeline_pending()) {
+    // Coupled-I/O devices NACK arrivals while the pipeline has work in
+    // flight; it just went idle, so parked producers may retry.
+    if (cfg_.coupled_io && on_push_retry_) on_push_retry_();
+    return;
+  }
   pipeline_scheduled_ = true;
   eq_.schedule_in(pipeline_step_cost(), [this] {
     pipeline_scheduled_ = false;
@@ -483,6 +489,8 @@ void Vlrd::injector_done(std::uint16_t idx) {
     p.out_valid = false;  // slot free again
     p.mapped = kNil;
     if (link_tab_[p.sqi].prod_count > 0) --link_tab_[p.sqi].prod_count;
+    // Buffer space / quota freed: parked back-pressured producers retry.
+    if (on_push_retry_) on_push_retry_();
   } else {
     // Consumer was context-switched / line evicted: the data stays with the
     // VLRD at the head of its SQI list; the consumer's re-issued vl_fetch

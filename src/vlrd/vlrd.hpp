@@ -106,6 +106,15 @@ class Vlrd {
     trace_ = std::move(fn);
   }
 
+  /// Harness-side notification, fired whenever a condition that NACKed an
+  /// earlier push may have cleared: a prodBuf slot / per-SQI quota freeing,
+  /// or (coupled_io) the mapping pipeline going idle. The runtime parks
+  /// back-pressured producers on a simulated futex and uses this to wake
+  /// them — zero simulated cost, pure wakeup plumbing.
+  void set_push_retry_callback(std::function<void()> cb) {
+    on_push_retry_ = std::move(cb);
+  }
+
  private:
   // --- hardware tables ----------------------------------------------------
   struct LinkTabEntry {
@@ -203,6 +212,7 @@ class Vlrd {
   std::uint64_t cycle_ = 0;
 
   std::function<void(const PipeTraceRow&)> trace_;
+  std::function<void()> on_push_retry_;
 
   // VL(ideal) storage
   struct IdealWaiter {

@@ -71,11 +71,17 @@ TEST(Throttle, FloorRespected) {
 }
 
 TEST(ThrottleIntegration, CutsNackStormAgainstSlowConsumer) {
-  // A tiny VLRD (4 producer entries) and a slow consumer: the naive
-  // blocking enqueue hammers the device with failed pushes; the throttled
-  // producer converges on the consumer's service rate and wastes far
-  // fewer device round trips for the same delivered messages.
-  auto run_one = [](bool throttled) {
+  // A tiny VLRD (4 producer entries) and a slow consumer, driven by three
+  // retry disciplines:
+  //   kPoll     — raw try_enqueue on a short fixed pause: the NACK storm.
+  //   kThrottle — AIMD pacing converges on the consumer's service rate.
+  //   kPark     — blocking enqueue(): parks on the machine's space futex
+  //               and only retries when the device actually freed a slot.
+  // The throttle must cut the storm for callers driving try_enqueue by
+  // hand, and the kernel's park/wake path must be at least as NACK-frugal
+  // as AIMD (it retries once per genuine wakeup).
+  enum class Mode { kPoll, kThrottle, kPark };
+  auto run_one = [](Mode mode) {
     sim::SystemConfig cfg;
     cfg.vlrd.prod_entries = 4;
     Machine m(cfg);
@@ -84,23 +90,34 @@ TEST(ThrottleIntegration, CutsNackStormAgainstSlowConsumer) {
     auto prod = lib.make_producer(q, m.thread_on(0));
     auto cons = lib.make_consumer(q, m.thread_on(8));
     constexpr int kMsgs = 60;
-    spawn([](Producer& p, bool use_throttle) -> Co<void> {
+    spawn([](Producer& p, Mode mode) -> Co<void> {
       Throttle th;
       for (std::uint64_t i = 0; i < kMsgs; ++i) {
-        if (use_throttle) {
-          for (;;) {
-            co_await th.pace(p.thread());
-            const std::uint64_t one[1] = {i};
-            const bool ok = co_await p.try_enqueue(
-                std::span<const std::uint64_t>(one, 1));
-            th.on_result(ok);
-            if (ok) break;
-          }
-        } else {
-          co_await p.enqueue1(i);
+        const std::uint64_t one[1] = {i};
+        switch (mode) {
+          case Mode::kPoll:
+            for (;;) {
+              const bool ok = co_await p.try_enqueue(
+                  std::span<const std::uint64_t>(one, 1));
+              if (ok) break;
+              co_await p.thread().compute(16);
+            }
+            break;
+          case Mode::kThrottle:
+            for (;;) {
+              co_await th.pace(p.thread());
+              const bool ok = co_await p.try_enqueue(
+                  std::span<const std::uint64_t>(one, 1));
+              th.on_result(ok);
+              if (ok) break;
+            }
+            break;
+          case Mode::kPark:
+            co_await p.enqueue1(i);
+            break;
         }
       }
-    }(prod, throttled));
+    }(prod, mode));
     spawn([](Consumer& c) -> Co<void> {
       for (int i = 0; i < kMsgs; ++i) {
         (void)co_await c.dequeue1();
@@ -110,9 +127,11 @@ TEST(ThrottleIntegration, CutsNackStormAgainstSlowConsumer) {
     m.run();
     return m.vlrd_stats().push_nacks;
   };
-  const auto naive_nacks = run_one(false);
-  const auto throttled_nacks = run_one(true);
-  EXPECT_LT(throttled_nacks, naive_nacks);
+  const auto polled_nacks = run_one(Mode::kPoll);
+  const auto throttled_nacks = run_one(Mode::kThrottle);
+  const auto parked_nacks = run_one(Mode::kPark);
+  EXPECT_LT(throttled_nacks, polled_nacks);
+  EXPECT_LE(parked_nacks, throttled_nacks);
 }
 
 }  // namespace

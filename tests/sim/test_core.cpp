@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "mem/hierarchy.hpp"
+#include "sim/sync.hpp"
 
 namespace vl::sim {
 namespace {
@@ -132,6 +133,55 @@ TEST_F(CoreFixture, SingleThreadNeverContextSwitches) {
   }(t));
   eq.run();
   EXPECT_EQ(core0.ctx_switches(), 0u);
+}
+
+TEST_F(CoreFixture, ParkedThreadDonatesResidencyImmediately) {
+  // Yield-on-block: t0 parks on a WaitQueue; t1 (same core) must get the
+  // core right away — paying only the context-switch cost, not waiting out
+  // t0's scheduling quantum (5000 ticks by default).
+  SimThread t0 = core0.make_thread();
+  SimThread t1 = core0.make_thread();
+  WaitQueue wq(eq);
+  Tick t1_done = 0;
+  spawn([](SimThread th, WaitQueue& wq) -> Co<void> {
+    co_await th.compute(10);
+    co_await th.park(wq, wq.epoch());  // blocks "forever"
+  }(t0, wq));
+  spawn([](SimThread th, Tick* done) -> Co<void> {
+    co_await th.compute(10);
+    *done = th.core->eq().now();
+  }(t1, &t1_done));
+  eq.run();
+  EXPECT_GT(core0.yields(), 0u);
+  EXPECT_GE(core0.ctx_switches(), 1u);  // the donation still swaps state
+  // t0 computes 10, parks; switch (1000) + t1's compute (10) ≈ 1020 —
+  // far below the 5000-tick quantum the old scheduler would have waited.
+  EXPECT_LT(t1_done, core0.cfg().sched_quantum);
+  wq.wake_all();  // unpark t0 so the queue drains cleanly
+  eq.run();
+}
+
+TEST_F(CoreFixture, WokenThreadReacquiresTheCoreAndContinues) {
+  SimThread t0 = core0.make_thread();
+  SimThread t1 = core0.make_thread();
+  WaitQueue wq(eq);
+  std::uint64_t got = 0;
+  spawn([](SimThread th, WaitQueue& wq, std::uint64_t* out) -> Co<void> {
+    co_await th.store(0x8000, 41, 8);
+    co_await th.park(wq, wq.epoch());
+    // Woken: must transparently re-acquire the issue port past t1.
+    const std::uint64_t v = co_await th.load(0x8000, 8);
+    co_await th.store(0x8000, v + 1, 8);
+    *out = v + 1;
+  }(t0, wq, &got));
+  spawn([](SimThread th, WaitQueue& wq) -> Co<void> {
+    co_await th.compute(500);
+    wq.wake_one();
+    co_await th.compute(500);
+  }(t1, wq));
+  eq.run();
+  EXPECT_EQ(got, 42u);
+  EXPECT_EQ(hier.backing().read(0x8000, 8), 42u);
 }
 
 }  // namespace

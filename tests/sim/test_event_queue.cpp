@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <utility>
 #include <vector>
 
 namespace vl::sim {
@@ -74,6 +77,80 @@ TEST(EventQueue, RunUntilAdvancesTimeWhenEmpty) {
   EventQueue eq;
   eq.run_until(500);
   EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, ExecutedCounts) {
+  EventQueue eq;
+  for (int i = 0; i < 7; ++i) eq.schedule_at(i + 1, [] {});
+  EXPECT_EQ(eq.executed(), 0u);
+  eq.run();
+  EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(EventQueue, FarFutureEventsInterleaveWithNearOnes) {
+  // Events far beyond the calendar-ring horizon (8192 ticks) take the
+  // far-heap path; ordering across both paths must stay by (tick, seq).
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(100'000, [&] { order.push_back(3); });  // far
+  eq.schedule_at(10, [&] { order.push_back(1); });       // near
+  eq.schedule_at(50'000, [&] { order.push_back(2); });   // far
+  eq.schedule_at(100'001, [&] { order.push_back(4); });  // far
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(eq.now(), 100'001u);
+}
+
+TEST(EventQueue, FarAndNearEventsOnTheSameTickMergeBySeq) {
+  // Schedule A for tick 10000 while it is far (beyond the horizon), then
+  // advance so 10000 is near and schedule B for the same tick. A was
+  // scheduled first, so it must fire first.
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(10'000, [&] { order.push_back(1) ; });  // far at now=0
+  eq.schedule_at(5'000, [&] {
+    eq.schedule_at(10'000, [&] { order.push_back(2); });  // near at now=5000
+  });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, MatchesReferenceModelUnderRandomLoad) {
+  // Deterministic pseudo-random schedule (offsets straddling the ring
+  // horizon, same-tick collisions, nested rescheduling) replayed against a
+  // naive (tick, seq) sort — the kernel's firing order must match exactly.
+  EventQueue eq;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> expected;  // (when,id)
+  std::vector<std::uint64_t> fired;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  std::uint64_t id = 0;
+  std::function<void(int)> add = [&](int depth) {
+    // Offsets: mostly short, some far past the 8192-tick horizon.
+    const std::uint64_t off = next() % 3 == 0 ? next() % 40'000 : next() % 64;
+    const Tick when = eq.now() + off;
+    const std::uint64_t my_id = id++;
+    expected.emplace_back(when, my_id);
+    eq.schedule_at(when, [&, my_id, depth] {
+      fired.push_back(my_id);
+      if (depth > 0 && next() % 2) add(depth - 1);  // nested reschedule
+    });
+  };
+  for (int i = 0; i < 400; ++i) add(2);
+  eq.run();
+
+  ASSERT_EQ(fired.size(), expected.size());
+  // expected is in id (= seq) order; a stable sort by tick yields the
+  // required (tick, seq) execution order.
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < fired.size(); ++i)
+    ASSERT_EQ(fired[i], expected[i].second) << "at event " << i;
 }
 
 }  // namespace

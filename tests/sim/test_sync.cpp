@@ -1,6 +1,7 @@
 // Awaitable synchronization primitive tests: barrier phase semantics,
 // semaphore FIFO handoff and bounding, event broadcast including
-// late-arriving waiters.
+// late-arriving waiters, and the WaitQueue simulated futex (FIFO wake
+// order, epoch-closed lost-wakeup window, concurrent park/wake).
 
 #include "sim/sync.hpp"
 
@@ -160,6 +161,102 @@ TEST(Event, StartGunAlignsThreads) {
   ASSERT_EQ(starts.size(), 3u);
   EXPECT_EQ(starts[0], starts[1]);
   EXPECT_EQ(starts[1], starts[2]);
+}
+
+TEST(WaitQueue, WakeOneReleasesInFifoOrder) {
+  EventQueue eq;
+  WaitQueue wq(eq);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](WaitQueue& wq, int id, std::vector<int>* order) -> Co<void> {
+      co_await wq.park(wq.epoch());
+      order->push_back(id);
+    }(wq, i, &order));
+  }
+  eq.run();
+  EXPECT_EQ(wq.parked(), 3u);
+  wq.wake_one();
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  wq.wake_one();
+  wq.wake_one();
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(wq.parked(), 0u);
+  EXPECT_EQ(wq.wakeups(), 3u);
+}
+
+TEST(WaitQueue, WakeAllReleasesEveryoneInFifoOrder) {
+  EventQueue eq;
+  WaitQueue wq(eq);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    spawn([](WaitQueue& wq, int id, std::vector<int>* order) -> Co<void> {
+      co_await wq.park(wq.epoch());
+      order->push_back(id);
+    }(wq, i, &order));
+  }
+  eq.run();
+  wq.wake_all();
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(WaitQueue, EpochClosesTheLostWakeupWindow) {
+  // The futex race: a thread samples the epoch, decides to sleep, and the
+  // wake lands before it actually parks. The stale epoch must turn the
+  // park into a no-op instead of a lost wakeup.
+  EventQueue eq;
+  WaitQueue wq(eq);
+  bool done = false;
+  const std::uint64_t gate = wq.epoch();
+  wq.wake_one();  // nobody parked: epoch still advances
+  spawn([](WaitQueue& wq, std::uint64_t gate, bool* done) -> Co<void> {
+    co_await wq.park(gate);  // must fall straight through
+    *done = true;
+  }(wq, gate, &done));
+  eq.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(wq.parked(), 0u);
+}
+
+TEST(WaitQueue, NoLostWakeupsUnderConcurrentParkWake) {
+  // Producer/consumer over a plain counter with the canonical re-check
+  // loop: every produced item must be consumed even though wakes and parks
+  // interleave at the same ticks. A lost wakeup would strand a consumer
+  // (and items) forever and fail the totals below.
+  EventQueue eq;
+  WaitQueue wq(eq);
+  int items = 0, consumed = 0;
+  constexpr int kItems = 200, kConsumers = 4;
+
+  for (int c = 0; c < kConsumers; ++c) {
+    spawn([](WaitQueue& wq, int* items, int* consumed) -> Co<void> {
+      for (;;) {
+        while (*items == 0) {
+          const std::uint64_t gate = wq.epoch();
+          if (*items != 0) break;
+          co_await wq.park(gate);
+        }
+        if (*items < 0) co_return;  // shutdown sentinel
+        --*items;
+        ++*consumed;
+      }
+    }(wq, &items, &consumed));
+  }
+  spawn([](EventQueue& eq, WaitQueue& wq, int* items) -> Co<void> {
+    for (int i = 0; i < kItems; ++i) {
+      if (i % 3) co_await Delay(eq, 1 + i % 7);
+      ++*items;
+      wq.wake_one();
+    }
+    co_await Delay(eq, 100);
+    *items = -1;  // shut consumers down
+    wq.wake_all();
+  }(eq, wq, &items));
+  eq.run();
+  EXPECT_EQ(consumed, kItems);
+  EXPECT_EQ(wq.parked(), 0u);
 }
 
 }  // namespace
