@@ -3,6 +3,7 @@
 //
 //   scenario_runner --scenario incast-burst --backend vl --seed 42
 //   scenario_runner --scenario all --backend all --scale 2
+//   scenario_runner --scenario qos-incast --backend caf --no-qos
 //   scenario_runner --sweep --scales 1,2,4
 //   scenario_runner --list
 //
@@ -18,6 +19,7 @@
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -43,8 +45,22 @@ void print_usage() {
                "usage: scenario_runner [--scenario NAME|all] [--backend "
                "blfq|zmq|vl|vlideal|caf|all]\n"
                "                       [--seed N] [--scale N] [--list] "
-               "[--quiet]\n"
-               "                       [--sweep [--scales N,N,..]]\n");
+               "[--quiet] [--no-qos]\n"
+               "                       [--sweep [--scales N,N,..]]\n"
+               "  --no-qos  run with tenant QoS classes recorded but not\n"
+               "            enforced in hardware (ablation baseline)\n");
+}
+
+/// Run one (scenario, backend) cell, honouring the --no-qos ablation.
+vl::traffic::EngineResult run_cell(const std::string& name, Backend b,
+                                   std::uint64_t seed, int scale,
+                                   bool no_qos) {
+  const vl::traffic::ScenarioSpec* spec = vl::traffic::find_scenario(name);
+  if (!spec) throw std::invalid_argument("unknown scenario: " + name);
+  if (!no_qos || !spec->qos) return vl::traffic::run_spec(*spec, b, seed, scale);
+  vl::traffic::ScenarioSpec ablated = *spec;
+  ablated.qos = false;
+  return vl::traffic::run_spec(ablated, b, seed, scale);
 }
 
 std::vector<int> parse_scales(const char* s) {
@@ -69,15 +85,18 @@ std::vector<int> parse_scales(const char* s) {
 
 int run_sweep(const std::vector<std::string>& scenarios,
               const std::vector<Backend>& backends,
-              const std::vector<int>& scales, std::uint64_t seed) {
+              const std::vector<int>& scales, std::uint64_t seed,
+              bool no_qos) {
   vl::TextTable tt({"backend", "scale", "scenarios", "geomean_Mmsg/s",
-                    "geomean_ticks", "geomean_ev/msg"});
+                    "geomean_ticks", "geomean_ev/msg", "geomean_p99_lat",
+                    "slo_att_%"});
   for (Backend b : backends) {
     for (int scale : scales) {
-      std::vector<double> rates, ticks, evpm;
+      std::vector<double> rates, ticks, evpm, lat_p99s;
+      std::uint64_t slo_delivered = 0, slo_within = 0;
       for (const auto& name : scenarios) {
         const vl::traffic::EngineResult r =
-            vl::traffic::run_scenario(name, b, seed, scale);
+            run_cell(name, b, seed, scale, no_qos);
         const double secs = r.metrics.ns * 1e-9;
         const auto delivered = r.metrics.total_delivered();
         rates.push_back(secs > 0
@@ -87,6 +106,16 @@ int run_sweep(const std::vector<std::string>& scenarios,
         evpm.push_back(delivered ? static_cast<double>(r.events) /
                                        static_cast<double>(delivered)
                                  : 0.0);
+        // Per-class view: the latency class's p99 across the scenarios that
+        // define one, and overall SLO attainment across SLO-carrying
+        // tenants — the sweep-level QoS figures of merit.
+        for (const auto& c : r.metrics.by_class()) {
+          if (c.cls == vl::QosClass::kLatency && c.agg.delivered)
+            lat_p99s.push_back(
+                static_cast<double>(c.agg.latency.percentile(99)));
+          slo_delivered += c.slo_delivered;
+          slo_within += c.slo_within;
+        }
         std::fprintf(stderr, "sweep: %s backend=%s scale=%d ticks=%llu\n",
                      name.c_str(), r.backend.c_str(), scale,
                      static_cast<unsigned long long>(r.metrics.ticks));
@@ -95,7 +124,17 @@ int run_sweep(const std::vector<std::string>& scenarios,
                   std::to_string(scenarios.size()),
                   vl::TextTable::num(vl::geomean(rates), 3),
                   vl::TextTable::num(vl::geomean(ticks), 0),
-                  vl::TextTable::num(vl::geomean(evpm), 1)});
+                  vl::TextTable::num(vl::geomean(evpm), 1),
+                  lat_p99s.empty()
+                      ? std::string("-")
+                      : vl::TextTable::num(vl::geomean(lat_p99s), 0),
+                  slo_delivered
+                      ? vl::TextTable::num(100.0 *
+                                               static_cast<double>(slo_within) /
+                                               static_cast<double>(
+                                                   slo_delivered),
+                                           1)
+                      : std::string("-")});
     }
   }
   std::printf("%s", tt.render().c_str());
@@ -125,6 +164,7 @@ int main(int argc, char** argv) {
       std::strtoull(arg_value(argc, argv, "--seed", "42"), nullptr, 10));
   const int scale = vl::bench::arg_scale(argc, argv, 1);
   const bool quiet = has_flag(argc, argv, "--quiet");
+  const bool no_qos = has_flag(argc, argv, "--no-qos");
 
   std::vector<std::string> scenarios;
   if (scenario == "all") {
@@ -157,14 +197,14 @@ int main(int argc, char** argv) {
       print_usage();
       return 2;
     }
-    return run_sweep(scenarios, backends, scales, seed);
+    return run_sweep(scenarios, backends, scales, seed, no_qos);
   }
 
   bool header_done = false;
   for (const auto& name : scenarios) {
     for (Backend b : backends) {
       const vl::traffic::EngineResult r =
-          vl::traffic::run_scenario(name, b, seed, scale);
+          run_cell(name, b, seed, scale, no_qos);
       // One shared CSV header across the whole sweep.
       const std::string csv = r.csv();
       const std::size_t nl = csv.find('\n');

@@ -53,6 +53,10 @@ const RunSpec kDefaultMatrix[] = {
     {"steady-pipeline", Backend::kVl},
     {"closed-loop-incast", Backend::kZmq},
     {"closed-loop-incast", Backend::kVl},
+    // Class-weighted scheduling (quota NACK + per-SQI wake) on both
+    // hardware backends, so QoS enforcement stays on the perf trajectory.
+    {"qos-incast", Backend::kVl},
+    {"qos-incast", Backend::kCaf},
 };
 
 struct Row {

@@ -27,6 +27,43 @@ inline constexpr std::size_t line_offset(Addr a) {
 /// Sentinel for "no index" in the VLRD's hardware linked lists.
 inline constexpr std::uint16_t kNil = 0xffff;
 
+/// Tenant service class, the QoS vocabulary shared by the traffic layer
+/// (per-tenant class + SLO) and the hardware models that enforce it (CAF
+/// per-class credit caps, VLRD per-class prodBuf quotas). kStandard is 0 so
+/// untagged traffic — every workload outside the QoS scenarios — stays in
+/// the default class with no behaviour change.
+enum class QosClass : std::uint8_t { kStandard = 0, kLatency = 1, kBulk = 2 };
+inline constexpr std::size_t kQosClasses = 3;
+
+inline constexpr const char* to_string(QosClass c) {
+  switch (c) {
+    case QosClass::kStandard: return "standard";
+    case QosClass::kLatency: return "latency";
+    case QosClass::kBulk: return "bulk";
+  }
+  return "?";
+}
+
+/// Decode a QosClass from the reserved byte of a Fig. 10 control region
+/// (the wire encoding shared by the runtime's frame codec and the routing
+/// device). Untagged bytes read 0 == kStandard; out-of-range values clamp
+/// into the standard class rather than indexing off a quota table.
+inline constexpr QosClass qos_class_from_byte(std::uint8_t b) {
+  return b < kQosClasses ? static_cast<QosClass>(b) : QosClass::kStandard;
+}
+
+/// Relative buffer/credit weight of a class: a latency-class queue gets 4x
+/// the enqueue capacity of a bulk-class one, so back-pressure lands on bulk
+/// traffic first while the latency class keeps headroom.
+inline constexpr std::uint32_t qos_weight(QosClass c) {
+  switch (c) {
+    case QosClass::kLatency: return 4;
+    case QosClass::kStandard: return 2;
+    case QosClass::kBulk: return 1;
+  }
+  return 1;
+}
+
 /// Byte offset of the Fig. 10 message-line control region (2 B at the
 /// line's most significant bytes). Shared between the runtime's frame
 /// codec (runtime/vl_queue.hpp) and the routing device, which reads it to

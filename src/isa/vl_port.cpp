@@ -65,6 +65,7 @@ sim::Co<int> VlPort::push_selected(Addr line, Addr dev_va) {
   const Sqi sqi = res->second;
 
   bool ack;
+  vlrd::Vlrd::PushNack nack = vlrd::Vlrd::PushNack::kNone;
   if (cfg_.ideal) {
     ack = dev.push(sqi, data);  // zero-latency reference model
   } else {
@@ -72,6 +73,10 @@ sim::Co<int> VlPort::push_selected(Addr line, Addr dev_va) {
     const Tick arrive = hier_.device_hop(0);
     co_await sim::DelayUntil(core_.eq(), arrive);
     ack = dev.push(sqi, data);
+    // Latch the NACK reason before suspending for the response delay —
+    // another core's push to the same device lands in that window and
+    // overwrites the device-side status.
+    if (!ack) nack = dev.last_push_nack();
     const Tick resp = cfg_.device_lat > hier_.cfg().bus_hop
                           ? cfg_.device_lat - hier_.cfg().bus_hop
                           : 0;
@@ -82,8 +87,9 @@ sim::Co<int> VlPort::push_selected(Addr line, Addr dev_va) {
     // Copy-over leaves the producer line zeroed and Exclusive, ready for
     // the next enqueue without any further coherence traffic.
     hier_.zero_and_exclusive(core_.id(), line);
+    co_return kVlOk;
   }
-  co_return ack ? kVlOk : kVlNack;
+  co_return nack == vlrd::Vlrd::PushNack::kQuota ? kVlNackQuota : kVlNack;
 }
 
 sim::Co<int> VlPort::vl_fetch(int tid, Addr dev_va) {

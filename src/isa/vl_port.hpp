@@ -38,6 +38,10 @@ enum VlStatus : int {
   kVlEvicted = 3,      ///< Selected line left the L1 before vl_fetch.
   kVlFault = 4,        ///< Device address missed the routing table
                        ///< (kAddrTable scheme only).
+  kVlNackQuota = 5,    ///< VLRD NACK for a per-SQI / per-class quota rather
+                       ///< than a full buffer: retrying is pointless until
+                       ///< *this* SQI drains, so callers park on the SQI's
+                       ///< wait queue instead of the global space futex.
 };
 
 class VlPort {

@@ -14,12 +14,41 @@ Machine::Machine(const sim::SystemConfig& cfg) : cfg_(cfg) {
     ports_.push_back(std::make_unique<isa::VlPort>(*cores_.back(), *hier_,
                                                    *cluster_, cfg_.vlrd));
   }
-  // Back-pressured producers park on vl_space_wq_; any device freeing
-  // producer-buffer space wakes them all (they re-attempt the push, and
-  // whoever still finds no room re-parks).
+  // Back-pressured producers park on vl_space_wq_ (buffer full) or on a
+  // per-(device, SQI) quota futex; injections route wakeups accordingly.
   for (std::uint32_t d = 0; d < cluster_->size(); ++d)
     cluster_->device(d).set_push_retry_callback(
-        [this] { vl_space_wq_.wake_all(); });
+        [this, d](std::optional<Sqi> sqi) { vl_push_retry(d, sqi); });
+}
+
+sim::WaitQueue& Machine::vl_quota_wq(std::uint32_t device, Sqi sqi) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(device) << 32) | sqi;
+  auto it = vl_quota_wqs_.find(key);
+  if (it == vl_quota_wqs_.end())
+    it = vl_quota_wqs_.emplace(key, std::make_unique<sim::WaitQueue>(eq_))
+             .first;
+  return *it->second;
+}
+
+void Machine::vl_push_retry(std::uint32_t device, std::optional<Sqi> sqi) {
+  if (sqi) {
+    // One prodBuf slot (and one unit of this SQI's quota) freed. Quota
+    // waiters are all of this SQI — a small set, every one may now be
+    // eligible — while a single space waiter suffices for the single freed
+    // slot. This replaces the old wake_all-per-freed-slot thundering herd:
+    // at high fan-in, N-1 of N woken producers used to lose the race and
+    // re-park, burning O(N) events per slot.
+    vl_quota_wq(device, *sqi).wake_all();
+    vl_space_wq_.wake_one();
+  } else {
+    // Coupled-I/O pipeline went idle: any SQI's arrival may now be
+    // accepted, so everything parked retries.
+    for (auto& [key, wq] : vl_quota_wqs_) {
+      (void)key;
+      wq->wake_all();
+    }
+    vl_space_wq_.wake_all();
+  }
 }
 
 Addr Machine::alloc(std::size_t bytes, std::size_t align) {

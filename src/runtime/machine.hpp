@@ -3,7 +3,9 @@
 // cores, the VLRD, and one VL ISA port per core — configured per the
 // paper's Table III. Every experiment builds one of these.
 
+#include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/types.hpp"
@@ -40,10 +42,16 @@ class Machine {
   /// Create a software thread pinned to core `c` (affinity per § IV-A).
   sim::SimThread thread_on(CoreId c) { return core(c).make_thread(); }
 
-  /// Simulated futex for VL producer back-pressure: every routing device
-  /// wakes it when prodBuf space / quota frees, so blocked producers park
-  /// here instead of retrying on a backoff timer.
+  /// Simulated futex for VL producer back-pressure of the *buffer full*
+  /// kind: a freed prodBuf slot can serve any SQI, so one waiter is woken
+  /// per freed slot (counted wake — no thundering herd).
   sim::WaitQueue& vl_space_wq() { return vl_space_wq_; }
+
+  /// Per-(device, SQI) futex for producers NACKed on a per-SQI or
+  /// per-class quota: only that SQI draining can free the quota, so these
+  /// waiters are woken exclusively by that SQI's injections, never by
+  /// unrelated buffer churn. Lazily created; deterministic (ordered map).
+  sim::WaitQueue& vl_quota_wq(std::uint32_t device, Sqi sqi);
 
   /// Bump-allocate simulated cacheable memory (line-aligned by default).
   Addr alloc(std::size_t bytes, std::size_t align = kLineSize);
@@ -54,9 +62,12 @@ class Machine {
   double ns(Tick t) const { return static_cast<double>(t) * cfg_.ns_per_tick; }
 
  private:
+  void vl_push_retry(std::uint32_t device, std::optional<Sqi> sqi);
+
   sim::SystemConfig cfg_;
   sim::EventQueue eq_;
   sim::WaitQueue vl_space_wq_{eq_};
+  std::map<std::uint64_t, std::unique_ptr<sim::WaitQueue>> vl_quota_wqs_;
   std::unique_ptr<mem::Hierarchy> hier_;
   std::unique_ptr<vlrd::Cluster> cluster_;
   std::vector<std::unique_ptr<sim::Core>> cores_;

@@ -13,7 +13,7 @@ constexpr int kRefetchThreshold = 64;  ///< Polls before re-issuing vl_fetch.
 
 Producer::Producer(Machine& m, const QueueHandle& q, Supervisor& sup,
                    sim::SimThread thread, std::size_t buf_lines)
-    : m_(m), t_(thread) {
+    : m_(m), t_(thread), vlrd_id_(q.vlrd_id), sqi_(q.sqi) {
   auto ep = sup.alloc_endpoint(q.prod_page);
   assert(ep && "producer page out of endpoint slots");
   dev_va_ = *ep;
@@ -28,15 +28,22 @@ sim::Co<bool> Producer::try_enqueue(std::span<const std::uint64_t> words) {
 
 sim::Co<bool> Producer::try_enqueue_elems(
     ElemSize sz, std::span<const std::uint64_t> elems) {
+  const int rc = co_await try_enqueue_raw(sz, elems);
+  co_return rc == isa::kVlOk;
+}
+
+sim::Co<int> Producer::try_enqueue_raw(ElemSize sz,
+                                       std::span<const std::uint64_t> elems) {
   assert(!elems.empty() && elems.size() <= max_elems(sz));
   const Addr line = buf_[cur_];
   const auto n = static_cast<std::uint8_t>(elems.size());
   const auto width = static_cast<unsigned>(elem_bytes(sz));
 
-  // Fill the data region high-to-low, then arm the control word (Fig. 10).
+  // Fill the data region high-to-low, then arm the control word (Fig. 10),
+  // its reserved byte carrying the endpoint's service class.
   for (std::uint8_t i = 0; i < n; ++i)
     co_await t_.store(line + elem_offset(sz, i, n), elems[i], width);
-  co_await t_.store(line + kCtrlOffset, pack_ctrl(sz, n), 2);
+  co_await t_.store(line + kCtrlOffset, pack_ctrl(sz, n, qos_), 2);
 
   // Fused select+push: under core oversubscription, issuing them as two
   // port transactions lets the sibling thread's ops interleave and the
@@ -45,10 +52,10 @@ sim::Co<bool> Producer::try_enqueue_elems(
       co_await m_.vl_port(t_.core->id()).vl_select_push(t_.tid, line, dev_va_);
   if (rc == isa::kVlOk) {
     cur_ = (cur_ + 1) % buf_.size();  // hardware zeroed the line for reuse
-    co_return true;
+    co_return rc;
   }
   ++retries_;
-  co_return false;  // data still in the line; caller may retry the push
+  co_return rc;  // data still in the line; caller may retry the push
 }
 
 sim::Co<void> Producer::enqueue(std::span<const std::uint64_t> words) {
@@ -62,18 +69,34 @@ sim::Co<void> Producer::enqueue1(std::uint64_t w) {
 
 sim::Co<void> Producer::enqueue_elems(ElemSize sz,
                                       std::span<const std::uint64_t> elems) {
+  sim::WaitQueue& quota_wq = m_.vl_quota_wq(vlrd_id_, sqi_);
+  bool holds_space_baton = false;  // consumed a counted space wake last lap
   for (;;) {
-    // Futex protocol: sample the device-space epoch before the attempt so
-    // an injection completing mid-push is never lost as a wakeup.
+    // Futex protocol: sample both wake epochs before the attempt so an
+    // injection completing mid-push is never lost as a wakeup.
     // NB: the await must not sit in the loop condition — GCC 12 destroys
     // condition temporaries before the suspended callee resumes, which
     // tears down the in-flight coroutine (silent no-op).
-    const std::uint64_t gate = m_.vl_space_wq().epoch();
-    const bool ok = co_await try_enqueue_elems(sz, elems);
-    if (ok) break;
-    // Back-pressure: park until a routing device frees producer-buffer
-    // space, donating the core instead of spinning a backoff timer.
-    co_await t_.park(m_.vl_space_wq(), gate);
+    const std::uint64_t gate_space = m_.vl_space_wq().epoch();
+    const std::uint64_t gate_quota = quota_wq.epoch();
+    const int rc = co_await try_enqueue_raw(sz, elems);
+    if (rc == isa::kVlOk) break;
+    if (rc == isa::kVlNackQuota) {
+      // Our SQI's (or class's) quota is exhausted: only this SQI draining
+      // helps, so park on its futex. If a counted buffer-space wake routed
+      // the freed slot to us, pass the baton on — some other SQI's
+      // space-parked producer may be able to take the slot we cannot.
+      if (holds_space_baton) {
+        holds_space_baton = false;
+        m_.vl_space_wq().wake_one();
+      }
+      co_await t_.park(quota_wq, gate_quota);
+    } else {
+      // Buffer full: park until a routing device frees producer-buffer
+      // space, donating the core instead of spinning a backoff timer.
+      co_await t_.park(m_.vl_space_wq(), gate_space);
+      holds_space_baton = true;
+    }
   }
 }
 

@@ -43,11 +43,19 @@ inline constexpr std::uint8_t max_elems(ElemSize sz) {
 }
 
 /// Pack control: [15:14] size code, [13:8] offset/head (here: element
-/// count), [7:0] reserved. A zero control word means "line empty/clean".
-inline constexpr std::uint16_t pack_ctrl(ElemSize sz, std::uint8_t count) {
+/// count), [7:0] reserved — repurposed to carry the message's QosClass so
+/// the routing device can enforce per-class quotas with no out-of-band
+/// tenant state (untagged traffic reads 0 == kStandard). A zero control
+/// word means "line empty/clean".
+inline constexpr std::uint16_t pack_ctrl(ElemSize sz, std::uint8_t count,
+                                         QosClass qos = QosClass::kStandard) {
   return static_cast<std::uint16_t>(
       (static_cast<std::uint16_t>(sz) << 14) |
-      (static_cast<std::uint16_t>(count & 0x3f) << 8));
+      (static_cast<std::uint16_t>(count & 0x3f) << 8) |
+      static_cast<std::uint16_t>(qos));
+}
+inline constexpr QosClass ctrl_qos(std::uint16_t ctrl) {
+  return qos_class_from_byte(static_cast<std::uint8_t>(ctrl & 0xff));
 }
 inline constexpr std::uint8_t ctrl_count(std::uint16_t ctrl) {
   return static_cast<std::uint8_t>((ctrl >> 8) & 0x3f);
@@ -109,14 +117,27 @@ class Producer {
   /// per-op), so migration is just a rebind.
   void migrate(sim::SimThread to) { t_ = to; }
 
+  /// Service class stamped into every subsequent frame's control region
+  /// (the endpoint-level QoS knob, like a socket priority).
+  void set_qos(QosClass c) { qos_ = c; }
+  QosClass qos() const { return qos_; }
+
   std::uint64_t retries() const { return retries_; }
   Addr endpoint_va() const { return dev_va_; }
   sim::SimThread thread() const { return t_; }
 
  private:
+  /// Attempt returning the raw vl_push status, so the blocking path can
+  /// tell a quota NACK (park per-SQI) from a full buffer (park global).
+  sim::Co<int> try_enqueue_raw(ElemSize sz,
+                               std::span<const std::uint64_t> elems);
+
   Machine& m_;
   sim::SimThread t_;
   Addr dev_va_ = 0;
+  std::uint32_t vlrd_id_ = 0;  ///< Routing device (quota futex key)…
+  Sqi sqi_ = 0;                ///< …and SQI within it.
+  QosClass qos_ = QosClass::kStandard;
   std::vector<Addr> buf_;  // user-space lines (circular)
   std::size_t cur_ = 0;
   std::uint64_t retries_ = 0;

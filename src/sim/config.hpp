@@ -97,6 +97,24 @@ struct VlrdConfig {
   /// many prodBuf entries any single SQI may occupy (0 = shared, the
   /// paper's design). The QoS ablation quantifies the isolation trade.
   std::uint32_t per_sqi_quota = 0;
+
+  /// Per-class prodBuf quota, indexed by QosClass: bounds how many prodBuf
+  /// entries messages of one service class may occupy *within each SQI*
+  /// (0 = unlimited, the default). The class of an arriving line is carried
+  /// in the reserved byte of its Fig. 10 control region, so the device
+  /// needs no out-of-band tenant state. With weighted quotas, a bulk flood
+  /// is NACKed early and the buffer keeps headroom for latency-class
+  /// traffic sharing the same SQI.
+  std::uint32_t class_quota[kQosClasses] = {0, 0, 0};
+};
+
+/// CAF queue-management-device knobs (squeue/caf.hpp). The per-class caps
+/// mirror the CAF paper's credit management for QoS: class c may occupy at
+/// most class_credits[c] of a queue's credit budget (0 = uncapped). All
+/// zeros (the default) reproduces the plain fixed-budget device.
+struct CafConfig {
+  std::uint32_t credits_per_queue = 64;
+  std::uint32_t class_credits[kQosClasses] = {0, 0, 0};
 };
 
 struct SystemConfig {
@@ -105,6 +123,7 @@ struct SystemConfig {
   CoreConfig core;
   CacheConfig cache;
   VlrdConfig vlrd;
+  CafConfig caf;
 
   static SystemConfig table3() { return SystemConfig{}; }
 

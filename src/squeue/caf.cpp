@@ -8,12 +8,13 @@ namespace {
 constexpr Tick kRetryBackoff = 48;  ///< Empty-dequeue register-poll pause.
 }
 
-sim::Co<bool> SimCaf::dev_enq(sim::SimThread t, std::uint64_t v) {
+sim::Co<bool> SimCaf::dev_enq(sim::SimThread t, std::uint64_t v,
+                              QosClass cls) {
   co_await t.core->acquire_port(t.tid);
   auto& m = dev_.machine();
   const Tick arrive = m.mem().device_hop(0);
   co_await sim::DelayUntil(m.eq(), arrive);
-  const bool ok = dev_.enq(q_, v);
+  const bool ok = dev_.enq(q_, v, cls);
   const Tick resp =
       lat_ > m.cfg().cache.bus_hop ? lat_ - m.cfg().cache.bus_hop : 0;
   co_await sim::Delay(m.eq(), resp);
@@ -48,7 +49,7 @@ sim::Co<void> SimCaf::send(sim::SimThread t, Msg msg) {
       // condition temporaries before the suspended callee resumes, which
       // tears down the in-flight coroutine (silent no-op).
       const std::uint64_t gate = dev_.space_wq(q_).epoch();
-      const bool ok = co_await dev_enq(t, msg.w[i]);
+      const bool ok = co_await dev_enq(t, msg.w[i], msg.qos);
       if (ok) break;
       co_await t.park(dev_.space_wq(q_), gate);
     }

@@ -34,8 +34,19 @@ namespace vl::squeue {
 /// latency is part of the Fig. 15 model.)
 class CafDevice {
  public:
-  CafDevice(runtime::Machine& m, std::uint32_t credits_per_queue = 64)
-      : m_(m), credits_(credits_per_queue) {}
+  /// The config is the single source of both budgets: credits_per_queue
+  /// caps each queue as a whole, class_credits caps how much of that
+  /// budget each service class may occupy (0 = uncapped). All-zero class
+  /// caps — the default — reproduce the plain fixed-budget device
+  /// byte-for-byte.
+  CafDevice(runtime::Machine& m, const sim::CafConfig& cfg)
+      : m_(m), credits_(cfg.credits_per_queue) {
+    for (std::size_t c = 0; c < kQosClasses; ++c)
+      class_credits_[c] = cfg.class_credits[c];
+  }
+  /// Plain fixed-budget device (no class caps).
+  explicit CafDevice(runtime::Machine& m, std::uint32_t credits_per_queue = 64)
+      : CafDevice(m, sim::CafConfig{credits_per_queue, {0, 0, 0}}) {}
 
   /// Allocate a device queue id.
   std::uint32_t open_queue() {
@@ -43,11 +54,17 @@ class CafDevice {
     return static_cast<std::uint32_t>(queues_.size() - 1);
   }
 
-  /// One 64-bit enqueue register write. False = out of credits.
-  bool enq(std::uint32_t q, std::uint64_t v) {
+  /// One 64-bit enqueue register write. False = out of credits — either
+  /// the queue's whole budget or the word's class cap.
+  bool enq(std::uint32_t q, std::uint64_t v,
+           QosClass cls = QosClass::kStandard) {
     DevQueue& dq = *queues_.at(q);
+    const auto c = static_cast<std::size_t>(cls);
     if (dq.data.size() >= credits_) return false;
-    dq.data.push_back(v);
+    if (class_credits_[c] != 0 && dq.used[c] >= class_credits_[c])
+      return false;
+    dq.data.push_back({v, cls});
+    ++dq.used[c];
     return true;
   }
 
@@ -55,25 +72,55 @@ class CafDevice {
   bool deq(std::uint32_t q, std::uint64_t& out) {
     DevQueue& dq = *queues_.at(q);
     if (dq.data.empty()) return false;
-    out = dq.data.front();
+    out = dq.data.front().v;
+    --dq.used[static_cast<std::size_t>(dq.data.front().cls)];
     dq.data.pop_front();
-    dq.space.wake_one();  // a credit freed: wake a parked producer
+    // A credit freed: wake a parked producer. With class caps active the
+    // FIFO front may be blocked on a *different* class's cap than the one
+    // just freed, so wake everyone and let the futex recheck sort it out
+    // (the herd is bounded by the queue's producer count); without caps a
+    // single wake suffices — any waiter can take the freed credit.
+    if (qos_active())
+      dq.space.wake_all();
+    else
+      dq.space.wake_one();
     return true;
   }
 
-  std::uint64_t depth(std::uint32_t q) const { return queues_.at(q)->data.size(); }
+  std::uint64_t depth(std::uint32_t q) const {
+    return queues_.at(q)->data.size();
+  }
+  /// Words of class `cls` currently queued (diagnostics/tests).
+  std::uint64_t class_depth(std::uint32_t q, QosClass cls) const {
+    return queues_.at(q)->used[static_cast<std::size_t>(cls)];
+  }
+  std::uint32_t class_credit(QosClass cls) const {
+    return class_credits_[static_cast<std::size_t>(cls)];
+  }
   sim::WaitQueue& space_wq(std::uint32_t q) { return queues_.at(q)->space; }
   runtime::Machine& machine() { return m_; }
 
  private:
+  bool qos_active() const {
+    for (std::size_t c = 0; c < kQosClasses; ++c)
+      if (class_credits_[c] != 0) return true;
+    return false;
+  }
+
+  struct Word {
+    std::uint64_t v;
+    QosClass cls;
+  };
   struct DevQueue {
     explicit DevQueue(sim::EventQueue& eq) : space(eq) {}
-    std::deque<std::uint64_t> data;
+    std::deque<Word> data;
+    std::uint32_t used[kQosClasses] = {0, 0, 0};  ///< occupancy by class
     sim::WaitQueue space;  ///< woken when a credit frees (deq)
   };
 
   runtime::Machine& m_;
   std::uint32_t credits_;
+  std::uint32_t class_credits_[kQosClasses] = {0, 0, 0};
   std::vector<std::unique_ptr<DevQueue>> queues_;
 };
 
@@ -101,7 +148,7 @@ class SimCaf : public Channel {
 
  private:
   /// One register-granularity device round trip.
-  sim::Co<bool> dev_enq(sim::SimThread t, std::uint64_t v);
+  sim::Co<bool> dev_enq(sim::SimThread t, std::uint64_t v, QosClass cls);
   sim::Co<bool> dev_deq(sim::SimThread t, std::uint64_t& out);
 
   CafDevice& dev_;

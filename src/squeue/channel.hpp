@@ -23,6 +23,10 @@ namespace vl::squeue {
 struct Msg {
   std::array<std::uint64_t, 7> w{};
   std::uint8_t n = 0;
+  /// Service class, honoured by the backends that model hardware QoS (CAF
+  /// per-class credit caps, VL per-class prodBuf quotas); software rings
+  /// ignore it. Not part of equality — it routes, it is not payload.
+  QosClass qos = QosClass::kStandard;
 
   static Msg one(std::uint64_t v) {
     Msg m;

@@ -23,7 +23,7 @@ sim::SystemConfig config_for(Backend b) {
 }
 
 ChannelFactory::ChannelFactory(runtime::Machine& m, Backend b)
-    : m_(m), backend_(b), vl_lib_(m), caf_dev_(m) {}
+    : m_(m), backend_(b), vl_lib_(m), caf_dev_(m, m.cfg().caf) {}
 
 std::unique_ptr<Channel> ChannelFactory::make(const std::string& name,
                                               std::size_t capacity_hint,

@@ -30,6 +30,7 @@ runtime::Consumer& VlChannel::consumer_for(sim::SimThread t) {
 
 sim::Co<void> VlChannel::send(sim::SimThread t, Msg msg) {
   runtime::Producer& p = producer_for(t);
+  p.set_qos(msg.qos);  // endpoint class tag, carried in the frame's ctrl byte
   co_await p.enqueue(std::span<const std::uint64_t>(msg.w.data(), msg.n));
 }
 

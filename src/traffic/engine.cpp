@@ -113,6 +113,7 @@ Co<void> producer(Ctx& cx, SimThread t, int tenant_id, int pid) {
 
     Msg msg;
     msg.n = words;
+    msg.qos = ts.qos;
     msg.w[0] = stamp(tenant_id, pid, eq.now());
     for (std::uint8_t w = 1; w < words; ++w)
       msg.w[w] = (static_cast<std::uint64_t>(tenant_id) << 32) | i;
@@ -238,6 +239,8 @@ EngineResult Engine::run(const ScenarioSpec& raw, std::uint64_t seed,
   for (const auto& t : spec.tenants) {
     TenantMetrics tm;
     tm.tenant = t.name;
+    tm.qos = t.qos;
+    tm.slo_p99 = t.slo_p99;
     cx.tenants.push_back(std::move(tm));
   }
 
@@ -322,17 +325,69 @@ sim::SystemConfig machine_config_for(const ScenarioSpec& spec,
     cfg.vlrd.per_sqi_quota =
         std::max(1u, (cfg.vlrd.prod_entries - 1) / channels);
   }
+
+  // QoS enforcement: partition the hardware enqueue budget (CAF per-queue
+  // credits, VLRD prodBuf share) across the service classes the scenario
+  // actually uses, proportionally to qos_weight(). The latency class ends
+  // up with 4x the bulk class's share, so a bulk flood is NACKed (and its
+  // producers parked) long before it can fill the queue ahead of latency
+  // traffic. Classes no tenant uses get a token quota of 1 so stray
+  // untagged messages (termination pills) still flow.
+  //
+  // CAF caps are per device queue, so the weighted split applies as-is.
+  // VLRD quotas are enforced per SQI but drawn from the one shared
+  // prodBuf, so the split is further divided by the number of payload
+  // channels (SQIs) the topology opens — otherwise a class could hold
+  // quota x SQIs entries and crowd the shared buffer anyway. (Closed-loop
+  // ack channels are not counted: their occupancy is window-bounded and
+  // tiny next to payload flows.)
+  if (spec.qos &&
+      (backend == squeue::Backend::kVl || backend == squeue::Backend::kCaf)) {
+    bool present[kQosClasses] = {};
+    for (const auto& t : spec.tenants)
+      present[static_cast<std::size_t>(t.qos)] = true;
+    std::uint32_t sum = 0;
+    for (std::size_t c = 0; c < kQosClasses; ++c)
+      if (present[c]) sum += qos_weight(static_cast<QosClass>(c));
+    std::uint32_t sqis = 1;
+    if (backend == squeue::Backend::kVl) {
+      if (spec.topology == Topology::kPipeline)
+        sqis = static_cast<std::uint32_t>(std::max(spec.stages, 1));
+      else if (spec.topology == Topology::kFanOut ||
+               spec.topology == Topology::kMesh)
+        sqis = static_cast<std::uint32_t>(std::max(spec.consumers, 1));
+    }
+    const std::uint32_t budget = backend == squeue::Backend::kVl
+                                     ? cfg.vlrd.prod_entries - 1
+                                     : cfg.caf.credits_per_queue;
+    for (std::size_t c = 0; c < kQosClasses; ++c) {
+      const std::uint32_t share =
+          present[c] && sum
+              ? std::max(1u, budget * qos_weight(static_cast<QosClass>(c)) /
+                                 (sum * sqis))
+              : 1u;
+      if (backend == squeue::Backend::kVl)
+        cfg.vlrd.class_quota[c] = share;
+      else
+        cfg.caf.class_credits[c] = share;
+    }
+  }
   return cfg;
+}
+
+EngineResult run_spec(const ScenarioSpec& spec, squeue::Backend backend,
+                      std::uint64_t seed, int scale) {
+  runtime::Machine m(machine_config_for(spec, backend));
+  squeue::ChannelFactory f(m, backend);
+  Engine eng(m, f);
+  return eng.run(spec, seed, scale);
 }
 
 EngineResult run_scenario(const std::string& name, squeue::Backend backend,
                           std::uint64_t seed, int scale) {
   const ScenarioSpec* spec = find_scenario(name);
   if (!spec) throw std::invalid_argument("unknown scenario: " + name);
-  runtime::Machine m(machine_config_for(*spec, backend));
-  squeue::ChannelFactory f(m, backend);
-  Engine eng(m, f);
-  return eng.run(*spec, seed, scale);
+  return run_spec(*spec, backend, seed, scale);
 }
 
 }  // namespace vl::traffic

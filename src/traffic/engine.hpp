@@ -66,8 +66,14 @@ class Engine {
 sim::SystemConfig machine_config_for(const ScenarioSpec& spec,
                                      squeue::Backend backend);
 
-/// Convenience: build a fresh machine + factory for `backend` (using
-/// machine_config_for) and run the named preset at `scale`. Throws
+/// Build a fresh machine + factory for `backend` (using machine_config_for,
+/// so TenantSpec QoS classes map onto the hardware knobs when spec.qos is
+/// set) and run `spec` at `scale`. The spec-level entry point for QoS
+/// on/off experiments. Throws std::invalid_argument for an invalid spec.
+EngineResult run_spec(const ScenarioSpec& spec, squeue::Backend backend,
+                      std::uint64_t seed, int scale = 1);
+
+/// Convenience: run_spec over the named preset. Throws
 /// std::invalid_argument for an unknown scenario or invalid spec.
 EngineResult run_scenario(const std::string& name, squeue::Backend backend,
                           std::uint64_t seed, int scale = 1);

@@ -59,6 +59,15 @@ void LogHistogram::merge(const LogHistogram& other) {
   min_ = std::min(min_, other.min_);
 }
 
+std::uint64_t LogHistogram::count_le(std::uint64_t v) const {
+  if (total_ == 0) return 0;
+  if (v >= max_) return total_;
+  const std::uint32_t last = bucket_index(v);
+  std::uint64_t cum = 0;
+  for (std::uint32_t i = 0; i <= last; ++i) cum += buckets_[i];
+  return cum;
+}
+
 std::uint64_t LogHistogram::percentile(double p) const {
   if (total_ == 0) return 0;
   p = std::clamp(p, 0.0, 100.0);
@@ -74,6 +83,12 @@ std::uint64_t LogHistogram::percentile(double p) const {
   return max_;
 }
 
+double TenantMetrics::slo_attained_pct() const {
+  if (!slo_p99 || !delivered) return 100.0;
+  return 100.0 * static_cast<double>(slo_within()) /
+         static_cast<double>(delivered);
+}
+
 void TenantMetrics::merge(const TenantMetrics& o) {
   generated += o.generated;
   sent += o.sent;
@@ -81,6 +96,12 @@ void TenantMetrics::merge(const TenantMetrics& o) {
   dropped += o.dropped;
   blocked_ticks += o.blocked_ticks;
   latency.merge(o.latency);
+}
+
+double ClassAgg::slo_attained_pct() const {
+  if (!slo_delivered) return 100.0;
+  return 100.0 * static_cast<double>(slo_within) /
+         static_cast<double>(slo_delivered);
 }
 
 std::uint64_t ScenarioMetrics::total_generated() const {
@@ -101,8 +122,40 @@ std::uint64_t ScenarioMetrics::total_dropped() const {
   return n;
 }
 
+std::size_t ScenarioMetrics::distinct_classes() const {
+  bool present[kQosClasses] = {};
+  for (const auto& t : tenants) present[static_cast<std::size_t>(t.qos)] = true;
+  std::size_t n = 0;
+  for (bool p : present) n += p;
+  return n;
+}
+
+std::vector<ClassAgg> ScenarioMetrics::by_class() const {
+  std::vector<ClassAgg> out;
+  for (std::size_t c = 0; c < kQosClasses; ++c) {
+    const auto cls = static_cast<QosClass>(c);
+    ClassAgg agg;
+    agg.cls = cls;
+    agg.agg.tenant = to_string(cls);
+    agg.agg.qos = cls;
+    bool any = false;
+    for (const auto& t : tenants) {
+      if (t.qos != cls) continue;
+      any = true;
+      agg.agg.merge(t);
+      if (t.slo_p99) {
+        agg.slo_delivered += t.delivered;
+        agg.slo_within += t.slo_within();
+      }
+    }
+    if (any) out.push_back(std::move(agg));
+  }
+  return out;
+}
+
 std::vector<std::string> ScenarioMetrics::csv_header() {
-  return {"tenant",    "generated",   "sent",    "delivered",
+  return {"tenant",    "qos",         "slo_p99", "slo_att_pct",
+          "generated", "sent",        "delivered",
           "dropped",   "blocked_ticks",          "lat_p50",
           "lat_p95",   "lat_p99",     "lat_p999", "lat_max",
           "lat_mean",  "mmsgs_per_s"};
@@ -116,11 +169,19 @@ std::string fmt_double(double v) {
   return buf;
 }
 
-std::vector<std::string> tenant_row(const TenantMetrics& t, double ns) {
+/// Shared row shape for tenant, class-aggregate, and "*" rows. `qos_label`
+/// distinguishes them ("-" for mixed-class aggregates); `att` is "-" when
+/// no SLO applies.
+std::vector<std::string> metrics_row(const TenantMetrics& t, double ns,
+                                     const std::string& qos_label,
+                                     Tick slo_p99, const std::string& att) {
   const double secs = ns * 1e-9;
   const double rate =
       secs > 0.0 ? static_cast<double>(t.delivered) / secs / 1e6 : 0.0;
   return {t.tenant,
+          qos_label,
+          std::to_string(slo_p99),
+          att,
           std::to_string(t.generated),
           std::to_string(t.sent),
           std::to_string(t.delivered),
@@ -135,6 +196,11 @@ std::vector<std::string> tenant_row(const TenantMetrics& t, double ns) {
           fmt_double(rate)};
 }
 
+std::vector<std::string> tenant_row(const TenantMetrics& t, double ns) {
+  return metrics_row(t, ns, to_string(t.qos), t.slo_p99,
+                     t.slo_p99 ? fmt_double(t.slo_attained_pct()) : "-");
+}
+
 }  // namespace
 
 std::vector<std::vector<std::string>> ScenarioMetrics::csv_rows() const {
@@ -145,7 +211,14 @@ std::vector<std::vector<std::string>> ScenarioMetrics::csv_rows() const {
     rows.push_back(tenant_row(t, ns));
     all.merge(t);
   }
-  if (tenants.size() > 1) rows.push_back(tenant_row(all, ns));
+  // Per-class aggregate rows once the scenario actually mixes classes.
+  if (distinct_classes() > 1)
+    for (const auto& c : by_class())
+      rows.push_back(metrics_row(
+          c.agg, ns, std::string("class:") + to_string(c.cls), 0,
+          c.slo_delivered ? fmt_double(c.slo_attained_pct()) : "-"));
+  if (tenants.size() > 1)
+    rows.push_back(metrics_row(all, ns, "-", 0, "-"));
   return rows;
 }
 

@@ -42,6 +42,11 @@ class LogHistogram {
   /// bucket holding the rank (clamped to the recorded max). 0 when empty.
   std::uint64_t percentile(double p) const;
 
+  /// Observations <= v, at bucket granularity (values sharing v's bucket
+  /// count as within — same ~3.1% relative error as percentile()). The
+  /// basis of SLO attainment: count_le(budget) / count().
+  std::uint64_t count_le(std::uint64_t v) const;
+
   /// Index of the bucket a value lands in (exposed for tests).
   static std::uint32_t bucket_index(std::uint64_t v);
   /// Largest value mapping to bucket `i`.
@@ -58,6 +63,8 @@ class LogHistogram {
 /// Counters + latency distribution for one tenant's traffic.
 struct TenantMetrics {
   std::string tenant;
+  QosClass qos = QosClass::kStandard;  ///< Service class (TenantSpec::qos).
+  Tick slo_p99 = 0;             ///< p99 latency budget, ticks (0 = no SLO).
   std::uint64_t generated = 0;  ///< Messages the arrival process produced.
   std::uint64_t sent = 0;       ///< Accepted by a channel send.
   std::uint64_t delivered = 0;  ///< Received at a final-stage consumer.
@@ -69,7 +76,30 @@ struct TenantMetrics {
   std::uint64_t blocked_ticks = 0;
   LogHistogram latency;         ///< End-to-end latency, ticks.
 
+  /// Delivered messages within this tenant's SLO budget (0 when no SLO).
+  std::uint64_t slo_within() const {
+    return slo_p99 ? latency.count_le(slo_p99) : 0;
+  }
+  /// % of delivered messages within the budget; 100 with no SLO set or
+  /// nothing delivered (an SLO over zero traffic is vacuously met).
+  double slo_attained_pct() const;
+
+  /// Accumulates the counters and histogram; qos and slo_p99 are left
+  /// untouched (an aggregate of mixed classes has no single class/budget —
+  /// callers label aggregates themselves).
   void merge(const TenantMetrics& o);
+};
+
+/// One service class's aggregate across the tenants that belong to it.
+/// SLO attainment is accumulated per member tenant against *its own*
+/// budget before merging, so classes mixing different budgets still report
+/// a meaningful percentage.
+struct ClassAgg {
+  QosClass cls = QosClass::kStandard;
+  TenantMetrics agg;                 ///< tenant field = class name
+  std::uint64_t slo_delivered = 0;   ///< delivered by SLO-carrying tenants
+  std::uint64_t slo_within = 0;      ///< ...of which within budget
+  double slo_attained_pct() const;   ///< 100 when no member has an SLO
 };
 
 /// Periodic queue-depth observations for one channel.
@@ -89,6 +119,11 @@ struct ScenarioMetrics {
   std::uint64_t total_generated() const;
   std::uint64_t total_delivered() const;
   std::uint64_t total_dropped() const;
+
+  /// Per-class aggregation, ascending class order, classes present only.
+  std::vector<ClassAgg> by_class() const;
+  /// Distinct service classes among the tenants.
+  std::size_t distinct_classes() const;
 
   /// Per-tenant CSV rows (stable column set, deterministic formatting);
   /// `prefix` columns (scenario, backend, seed, scale) are prepended by

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hpp"
 #include "traffic/arrival.hpp"
 
 namespace vl::traffic {
@@ -43,6 +44,15 @@ struct TenantSpec {
   /// not sent) while the target channel's depth() is at or above this
   /// bound. 0 disables shedding — every generated message is sent.
   std::uint64_t drop_depth = 0;
+  /// Service class. With ScenarioSpec::qos set, the class maps onto the
+  /// hardware QoS knobs (CAF per-class credit caps, VLRD per-class prodBuf
+  /// quotas) so latency-class tenants keep enqueue headroom while bulk
+  /// absorbs the back-pressure; without it the class is still recorded in
+  /// the metrics but not enforced anywhere.
+  QosClass qos = QosClass::kStandard;
+  /// SLO target: the p99 end-to-end latency budget, in ticks (0 = no SLO).
+  /// Reported as the percentage of delivered messages within the budget.
+  Tick slo_p99 = 0;
 };
 
 struct ScenarioSpec {
@@ -60,6 +70,11 @@ struct ScenarioSpec {
   Tick produce_compute = 0;  ///< Core cycles of work before each send.
   Tick consume_compute = 0;  ///< Core cycles of work per delivery.
   Tick depth_sample_period = 500;  ///< Queue-depth sampling cadence.
+  /// Enforce tenant QoS classes in hardware: weighted per-class credit
+  /// caps on the CAF device and weighted per-class prodBuf quotas on the
+  /// VLRD (see traffic::machine_config_for). Software backends (BLFQ/ZMQ)
+  /// have no enforcement knob and ignore it.
+  bool qos = false;
   std::vector<TenantSpec> tenants;
 };
 

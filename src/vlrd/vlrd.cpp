@@ -12,6 +12,12 @@ namespace {
 std::string idx_str(std::uint16_t i) {
   return i == kNil ? "NULL" : std::to_string(i);
 }
+
+/// Service class of an arriving line: the reserved byte ([7:0]) of its
+/// Fig. 10 control region.
+QosClass line_class(const mem::Line& data) {
+  return qos_class_from_byte(data[kLineCtrlOffset]);
+}
 }  // namespace
 
 Vlrd::Vlrd(sim::EventQueue& eq, mem::Hierarchy& hier,
@@ -33,6 +39,7 @@ Vlrd::Vlrd(sim::EventQueue& eq, mem::Hierarchy& hier,
 
 bool Vlrd::push(Sqi sqi, const mem::Line& data) {
   ++stats_.pushes;
+  last_push_nack_ = PushNack::kNone;
   if (cfg_.ideal) return ideal_push(sqi, data);
   assert(sqi < link_tab_.size());
 
@@ -40,6 +47,7 @@ bool Vlrd::push(Sqi sqi, const mem::Line& data) {
     // One-packet-per-cycle device (the un-decoupled § III-A design): no
     // input buffering ahead of a busy mapping pipeline, so bursts bounce.
     ++stats_.push_nacks;
+    last_push_nack_ = PushNack::kFull;
     return false;
   }
   if (cfg_.per_sqi_quota != 0 &&
@@ -47,17 +55,35 @@ bool Vlrd::push(Sqi sqi, const mem::Line& data) {
     // CAF-style partitioning: this SQI used up its credit; NACK it without
     // letting it squeeze other queues out of the shared buffer.
     ++stats_.push_nacks;
+    ++stats_.push_quota_nacks;
+    last_push_nack_ = PushNack::kQuota;
+    return false;
+  }
+  const QosClass cls = line_class(data);
+  const std::uint32_t cls_quota =
+      cfg_.class_quota[static_cast<std::size_t>(cls)];
+  if (cls_quota != 0 &&
+      link_tab_[sqi].class_count[static_cast<std::size_t>(cls)] >= cls_quota) {
+    // QoS partitioning: this service class used up its share of the SQI's
+    // buffer space. Back-pressure lands on the over-quota class (bulk
+    // floods) while lighter classes keep enqueueing.
+    ++stats_.push_nacks;
+    ++stats_.push_quota_nacks;
+    last_push_nack_ = PushNack::kQuota;
     return false;
   }
   const std::uint16_t idx = alloc_prod_slot();
   if (idx == kNil) {  // back-pressure: buffer full
     ++stats_.push_nacks;
+    last_push_nack_ = PushNack::kFull;
     return false;
   }
   ++link_tab_[sqi].prod_count;
+  ++link_tab_[sqi].class_count[static_cast<std::size_t>(cls)];
   ProdBufEntry& e = prod_buf_[idx];
   e.valid = true;
   e.sqi = sqi;
+  e.cls = cls;
   e.data = data;
   e.next_in = kNil;
   e.next_l = kNil;
@@ -304,8 +330,8 @@ void Vlrd::kick_pipeline() {
   if (pipeline_scheduled_) return;
   if (!pipeline_pending()) {
     // Coupled-I/O devices NACK arrivals while the pipeline has work in
-    // flight; it just went idle, so parked producers may retry.
-    if (cfg_.coupled_io && on_push_retry_) on_push_retry_();
+    // flight; it just went idle, so parked producers of any SQI may retry.
+    if (cfg_.coupled_io && on_push_retry_) on_push_retry_(std::nullopt);
     return;
   }
   pipeline_scheduled_ = true;
@@ -488,9 +514,13 @@ void Vlrd::injector_done(std::uint16_t idx) {
     ++stats_.inject_ok;
     p.out_valid = false;  // slot free again
     p.mapped = kNil;
-    if (link_tab_[p.sqi].prod_count > 0) --link_tab_[p.sqi].prod_count;
-    // Buffer space / quota freed: parked back-pressured producers retry.
-    if (on_push_retry_) on_push_retry_();
+    LinkTabEntry& freed = link_tab_[p.sqi];
+    if (freed.prod_count > 0) --freed.prod_count;
+    auto& cc = freed.class_count[static_cast<std::size_t>(p.cls)];
+    if (cc > 0) --cc;
+    // Buffer space / quota freed: parked back-pressured producers of this
+    // SQI (and one buffer-space waiter) retry.
+    if (on_push_retry_) on_push_retry_(p.sqi);
   } else {
     // Consumer was context-switched / line evicted: the data stays with the
     // VLRD at the head of its SQI list; the consumer's re-issued vl_fetch

@@ -45,6 +45,8 @@ namespace vl::vlrd {
 struct VlrdStats {
   std::uint64_t pushes = 0;
   std::uint64_t push_nacks = 0;
+  std::uint64_t push_quota_nacks = 0;  ///< Subset of push_nacks: per-SQI or
+                                       ///< per-class quota, not a full buffer.
   std::uint64_t fetches = 0;
   std::uint64_t fetch_nacks = 0;
   std::uint64_t matches = 0;
@@ -80,12 +82,26 @@ class Vlrd {
  public:
   Vlrd(sim::EventQueue& eq, mem::Hierarchy& hier, const sim::VlrdConfig& cfg);
 
+  /// Why the most recent push() NACKed. kQuota means a per-SQI or
+  /// per-class quota was exhausted — only this SQI draining frees it, so a
+  /// back-pressured producer should park on the SQI's wait queue rather
+  /// than the global buffer-space one.
+  enum class PushNack { kNone, kQuota, kFull };
+
   // --- device-port entry points (called at packet-arrival tick) ---------
 
   /// Producer cache-line arrival. `src_core`/`src_line` identify the
   /// producer's user-space line so the copy-over can zero it on success.
   /// Returns false (NACK) when prodBuf is full — the vl_push failure case.
+  /// The service class is read from the reserved byte of the line's Fig. 10
+  /// control region (cfg.class_quota enforcement).
   bool push(Sqi sqi, const mem::Line& data);
+
+  /// Reason for the last push() returning false. Only valid until the
+  /// next push() to this device — callers must read it synchronously
+  /// after their push, before suspending (another core's push lands in
+  /// any suspension window and overwrites it).
+  PushNack last_push_nack() const { return last_push_nack_; }
 
   /// Consumer request arrival: register demand for `sqi`, targeting the
   /// consumer line `cons_tgt` in `cons_core`'s private cache.
@@ -107,11 +123,14 @@ class Vlrd {
   }
 
   /// Harness-side notification, fired whenever a condition that NACKed an
-  /// earlier push may have cleared: a prodBuf slot / per-SQI quota freeing,
-  /// or (coupled_io) the mapping pipeline going idle. The runtime parks
-  /// back-pressured producers on a simulated futex and uses this to wake
+  /// earlier push may have cleared. The argument names the SQI whose
+  /// injection freed a prodBuf slot (and one unit of that SQI's quota), so
+  /// the runtime can wake that SQI's quota-parked producers plus *one*
+  /// buffer-space waiter instead of the whole herd; std::nullopt means "any
+  /// SQI may retry" (coupled_io pipeline going idle). The runtime parks
+  /// back-pressured producers on simulated futexes and uses this to wake
   /// them — zero simulated cost, pure wakeup plumbing.
-  void set_push_retry_callback(std::function<void()> cb) {
+  void set_push_retry_callback(std::function<void(std::optional<Sqi>)> cb) {
     on_push_retry_ = std::move(cb);
   }
 
@@ -122,6 +141,8 @@ class Vlrd {
     std::uint16_t cons_head = kNil, cons_tail = kNil;
     std::uint16_t prod_count = 0;  ///< prodBuf entries held by this SQI
                                    ///< (quota accounting, cfg.per_sqi_quota).
+    std::uint16_t class_count[kQosClasses] = {0, 0, 0};  ///< ...by class
+                                   ///< (cfg.class_quota accounting).
   };
   struct ConsBufEntry {
     bool valid = false;
@@ -135,6 +156,7 @@ class Vlrd {
     // IN partition
     bool valid = false;
     Sqi sqi = 0;
+    QosClass cls = QosClass::kStandard;  ///< From the line's ctrl byte.
     mem::Line data{};
     std::uint16_t next_in = kNil;
     // LINK partition
@@ -212,7 +234,8 @@ class Vlrd {
   std::uint64_t cycle_ = 0;
 
   std::function<void(const PipeTraceRow&)> trace_;
-  std::function<void()> on_push_retry_;
+  std::function<void(std::optional<Sqi>)> on_push_retry_;
+  PushNack last_push_nack_ = PushNack::kNone;
 
   // VL(ideal) storage
   struct IdealWaiter {

@@ -32,12 +32,18 @@ TEST(Fig10Codec, PackUnpackAllSizes) {
   for (auto sz : {ElemSize::kByte, ElemSize::kHalf, ElemSize::kWord,
                   ElemSize::kDword}) {
     for (std::uint8_t n = 1; n <= max_elems(sz) && n < 64; ++n) {
-      const std::uint16_t c = pack_ctrl(sz, n);
-      EXPECT_NE(c, 0u);  // a valid frame is never "clean"
-      EXPECT_EQ(ctrl_size(c), sz);
-      EXPECT_EQ(ctrl_count(c), n);
+      for (auto qos : {QosClass::kStandard, QosClass::kLatency,
+                       QosClass::kBulk}) {
+        const std::uint16_t c = pack_ctrl(sz, n, qos);
+        EXPECT_NE(c, 0u);  // a valid frame is never "clean"
+        EXPECT_EQ(ctrl_size(c), sz);
+        EXPECT_EQ(ctrl_count(c), n);
+        EXPECT_EQ(ctrl_qos(c), qos);  // reserved byte carries the class
+      }
     }
   }
+  // Untagged (two-arg) packs read back as the default class.
+  EXPECT_EQ(ctrl_qos(pack_ctrl(ElemSize::kDword, 1)), QosClass::kStandard);
 }
 
 TEST(Fig10Codec, DataFillsHighToLow) {

@@ -38,6 +38,45 @@ TEST(CafDevice, CreditManagementBoundsQueue) {
   EXPECT_TRUE(dev.enq(q, 4));  // credit returned
 }
 
+TEST(CafDevice, ClassCreditCapsPartitionTheBudget) {
+  // QoS credit management: bulk may occupy at most its cap even while the
+  // queue as a whole has credits left, and freeing a bulk word returns
+  // *that class's* credit, not anyone else's.
+  Machine m;
+  sim::CafConfig qos;
+  qos.credits_per_queue = 8;
+  qos.class_credits[static_cast<std::size_t>(QosClass::kLatency)] = 4;
+  qos.class_credits[static_cast<std::size_t>(QosClass::kBulk)] = 2;
+  CafDevice dev(m, qos);
+  const auto q = dev.open_queue();
+
+  EXPECT_TRUE(dev.enq(q, 1, QosClass::kBulk));
+  EXPECT_TRUE(dev.enq(q, 2, QosClass::kBulk));
+  EXPECT_FALSE(dev.enq(q, 3, QosClass::kBulk));  // bulk cap hit at 2/8
+  EXPECT_TRUE(dev.enq(q, 4, QosClass::kLatency));  // latency unaffected
+  EXPECT_EQ(dev.class_depth(q, QosClass::kBulk), 2u);
+  EXPECT_EQ(dev.class_depth(q, QosClass::kLatency), 1u);
+
+  std::uint64_t v = 0;
+  EXPECT_TRUE(dev.deq(q, v));  // FIFO: frees the oldest (bulk) word
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(dev.enq(q, 3, QosClass::kBulk));  // bulk credit came back
+  EXPECT_FALSE(dev.enq(q, 5, QosClass::kBulk));
+}
+
+TEST(CafDevice, WholeBudgetStillCapsEveryClass) {
+  Machine m;
+  sim::CafConfig qos;
+  qos.credits_per_queue = 2;
+  qos.class_credits[static_cast<std::size_t>(QosClass::kLatency)] = 8;
+  CafDevice dev(m, qos);
+  const auto q = dev.open_queue();
+  EXPECT_TRUE(dev.enq(q, 1, QosClass::kLatency));
+  EXPECT_TRUE(dev.enq(q, 2, QosClass::kLatency));
+  // Class cap (8) exceeds the queue budget (2): the budget wins.
+  EXPECT_FALSE(dev.enq(q, 3, QosClass::kLatency));
+}
+
 TEST(SimCaf, RoundTripSingleWord) {
   Machine m;
   CafDevice dev(m);

@@ -124,7 +124,8 @@ TEST(ScenarioMetrics, CsvRowsCoverTenantsPlusAggregate) {
   ASSERT_EQ(rows.size(), 3u);  // 2 tenants + "*" aggregate
   ASSERT_EQ(rows[0].size(), ScenarioMetrics::csv_header().size());
   EXPECT_EQ(rows[2][0], "*");
-  EXPECT_EQ(rows[2][1], "20");  // aggregate generated
+  EXPECT_EQ(rows[2][1], "-");   // mixed-class aggregate carries no class
+  EXPECT_EQ(rows[2][4], "20");  // aggregate generated
   EXPECT_EQ(m.total_generated(), 20u);
   EXPECT_EQ(m.total_delivered(), 16u);
   EXPECT_EQ(m.total_dropped(), 4u);

@@ -20,14 +20,15 @@ ScenarioSpec minimal() {
 TEST(Scenario, RegistryHasTheDocumentedPresets) {
   for (const char* name :
        {"incast-burst", "diurnal-fanout", "multitenant-mesh",
-        "steady-pipeline", "closed-loop-incast", "lossy-incast"}) {
+        "steady-pipeline", "closed-loop-incast", "lossy-incast",
+        "qos-incast", "qos-diurnal-mix"}) {
     const ScenarioSpec* s = find_scenario(name);
     ASSERT_NE(s, nullptr) << name;
     EXPECT_EQ(s->name, name);
     EXPECT_TRUE(validate(*s).empty())
         << name << ": " << validate(*s);
   }
-  EXPECT_GE(scenario_names().size(), 6u);
+  EXPECT_GE(scenario_names().size(), 8u);
   EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
 }
 

@@ -287,5 +287,63 @@ TEST_F(VlrdFixture, SharedBufferLetsHogStarveVictim) {
   EXPECT_FALSE(dev.push(2, make_line(2)));  // victim NACKed too
 }
 
+/// A line whose Fig. 10 control byte tags it with a service class.
+mem::Line classed_line(QosClass cls, std::uint8_t fill = 0x5a) {
+  mem::Line l{};
+  l.fill(fill);
+  l[kLineCtrlOffset] = static_cast<std::uint8_t>(cls);
+  return l;
+}
+
+TEST_F(VlrdFixture, ClassQuotaBoundsBulkWithinAnSqi) {
+  // QoS partitioning inside one SQI: bulk is NACKed at its class quota
+  // while latency traffic on the *same* SQI keeps enqueueing, and the NACK
+  // reports as a quota (park-per-SQI) rather than a full buffer.
+  vcfg.class_quota[static_cast<std::size_t>(QosClass::kBulk)] = 2;
+  Vlrd dev(eq, hier, vcfg);
+  ASSERT_TRUE(dev.push(1, classed_line(QosClass::kBulk)));
+  ASSERT_TRUE(dev.push(1, classed_line(QosClass::kBulk)));
+  eq.run();
+  EXPECT_FALSE(dev.push(1, classed_line(QosClass::kBulk)));
+  EXPECT_EQ(dev.last_push_nack(), Vlrd::PushNack::kQuota);
+  EXPECT_EQ(dev.stats().push_quota_nacks, 1u);
+  EXPECT_TRUE(dev.push(1, classed_line(QosClass::kLatency)));
+  eq.run();
+  EXPECT_EQ(dev.queued_data(1), 3u);
+
+  // Delivery returns the *bulk* class credit.
+  arm_consumer_line(0, 0x70000);
+  ASSERT_TRUE(dev.fetch(1, 0x70000, 0));
+  eq.run();
+  EXPECT_TRUE(dev.push(1, classed_line(QosClass::kBulk)));
+}
+
+TEST_F(VlrdFixture, FullBufferReportsFullNotQuota) {
+  vcfg.prod_entries = 2;
+  Vlrd dev(eq, hier, vcfg);
+  ASSERT_TRUE(dev.push(1, classed_line(QosClass::kBulk)));
+  ASSERT_TRUE(dev.push(1, classed_line(QosClass::kBulk)));
+  EXPECT_FALSE(dev.push(2, classed_line(QosClass::kLatency)));
+  EXPECT_EQ(dev.last_push_nack(), Vlrd::PushNack::kFull);
+}
+
+TEST_F(VlrdFixture, PushRetryCallbackNamesTheFreedSqi) {
+  // The counted-wake contract: an injection reports which SQI freed quota
+  // so the runtime wakes that SQI's parked producers plus one
+  // buffer-space waiter, not the whole herd.
+  Vlrd dev(eq, hier, vcfg);
+  std::vector<Sqi> freed;
+  dev.set_push_retry_callback([&](std::optional<Sqi> s) {
+    ASSERT_TRUE(s.has_value());
+    freed.push_back(*s);
+  });
+  ASSERT_TRUE(dev.push(3, make_line(0x33)));
+  arm_consumer_line(0, 0x71000);
+  ASSERT_TRUE(dev.fetch(3, 0x71000, 0));
+  eq.run();
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0], 3u);
+}
+
 }  // namespace
 }  // namespace vl::vlrd

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_sim.json.
+
+Compares a freshly produced bench_sim_throughput snapshot against the
+committed baseline and fails when any (scenario, backend) cell regressed by
+more than the tolerance on events-per-delivered-message — the simulator
+kernel's figure of merit. ev/msg is fully deterministic for a fixed seed
+and scale (unlike wall-clock, which CI runners make useless), so the gate
+has no flake margin to eat: a regression is a real behavioural change.
+
+    bench_gate.py BASELINE CURRENT [--tolerance 0.15]
+
+Exit status: 0 pass, 1 regression (or a baseline cell missing from the
+current run), 2 bad invocation/input.
+
+Improvements beyond tolerance are reported but pass — commit the fresh
+snapshot as the new baseline when they are intentional.
+"""
+
+import argparse
+import json
+import sys
+
+
+def bail(msg):
+    print(f"bench_gate: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_results(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        bail(f"cannot read {path}: {e}")
+    rows = doc.get("results")
+    if not isinstance(rows, list) or not rows:
+        bail(f"{path} has no results[]")
+    out = {}
+    for r in rows:
+        key = (r["scenario"], r["backend"])
+        if key in out:
+            bail(f"duplicate cell {key} in {path}")
+        out[key] = float(r["events_per_msg"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional ev/msg increase (default 0.15)")
+    args = ap.parse_args()
+
+    base = load_results(args.baseline)
+    cur = load_results(args.current)
+
+    failures = []
+    width = max(len(f"{s} / {b}") for s, b in base) + 2
+    print(f"{'cell':<{width}} {'base':>9} {'now':>9} {'delta':>8}")
+    for key in sorted(base):
+        cell = f"{key[0]} / {key[1]}"
+        if key not in cur:
+            failures.append(f"{cell}: missing from current run")
+            print(f"{cell:<{width}} {base[key]:>9.2f} {'-':>9} {'GONE':>8}")
+            continue
+        delta = (cur[key] - base[key]) / base[key] if base[key] else 0.0
+        flag = ""
+        if delta > args.tolerance:
+            failures.append(
+                f"{cell}: ev/msg {base[key]:.2f} -> {cur[key]:.2f} "
+                f"(+{delta:.1%} > {args.tolerance:.0%})")
+            flag = "  << REGRESSION"
+        elif delta < -args.tolerance:
+            flag = "  (improved; consider refreshing the baseline)"
+        print(f"{cell:<{width}} {base[key]:>9.2f} {cur[key]:>9.2f} "
+              f"{delta:>+7.1%}{flag}")
+    for key in sorted(set(cur) - set(base)):
+        print(f"{key[0]} / {key[1]}: new cell (no baseline), skipped")
+
+    if failures:
+        print("\nbench_gate: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nbench_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
