@@ -4,7 +4,8 @@
 //   scenario_runner --scenario incast-burst --backend vl --seed 42
 //   scenario_runner --scenario all --backend all --scale 2
 //   scenario_runner --scenario qos-incast --backend caf --no-qos
-//   scenario_runner --sweep --scales 1,2,4
+//   scenario_runner --scenario incast-burst --backend vl --batch 8
+//   scenario_runner --sweep --scales 1,2,4 --batches 1,8
 //   scenario_runner --list
 //
 // CSV goes to stdout (byte-identical across runs for fixed arguments —
@@ -44,23 +45,27 @@ void print_usage() {
   std::fprintf(stderr,
                "usage: scenario_runner [--scenario NAME|all] [--backend "
                "blfq|zmq|vl|vlideal|caf|all]\n"
-               "                       [--seed N] [--scale N] [--list] "
-               "[--quiet] [--no-qos]\n"
-               "                       [--sweep [--scales N,N,..]]\n"
+               "                       [--seed N] [--scale N] [--batch N] "
+               "[--list] [--quiet] [--no-qos]\n"
+               "                       [--sweep [--scales N,N,..] "
+               "[--batches N,N,..]]\n"
                "  --no-qos  run with tenant QoS classes recorded but not\n"
-               "            enforced in hardware (ablation baseline)\n");
+               "            enforced in hardware (ablation baseline)\n"
+               "  --batch   override every tenant's injection batch\n"
+               "            (TenantSpec::batch; 0 keeps preset values)\n");
 }
 
-/// Run one (scenario, backend) cell, honouring the --no-qos ablation.
+/// Run one (scenario, backend) cell, honouring the --no-qos ablation and
+/// the --batch override (0 = keep the preset's per-tenant batches).
 vl::traffic::EngineResult run_cell(const std::string& name, Backend b,
                                    std::uint64_t seed, int scale,
-                                   bool no_qos) {
+                                   bool no_qos, std::uint32_t batch) {
   const vl::traffic::ScenarioSpec* spec = vl::traffic::find_scenario(name);
   if (!spec) throw std::invalid_argument("unknown scenario: " + name);
-  if (!no_qos || !spec->qos) return vl::traffic::run_spec(*spec, b, seed, scale);
-  vl::traffic::ScenarioSpec ablated = *spec;
-  ablated.qos = false;
-  return vl::traffic::run_spec(ablated, b, seed, scale);
+  vl::traffic::ScenarioSpec run = *spec;
+  if (no_qos && run.qos) run.qos = false;
+  if (batch) run = vl::traffic::with_batch(run, batch);
+  return vl::traffic::run_spec(run, b, seed, scale);
 }
 
 std::vector<int> parse_scales(const char* s) {
@@ -85,18 +90,19 @@ std::vector<int> parse_scales(const char* s) {
 
 int run_sweep(const std::vector<std::string>& scenarios,
               const std::vector<Backend>& backends,
-              const std::vector<int>& scales, std::uint64_t seed,
-              bool no_qos) {
-  vl::TextTable tt({"backend", "scale", "scenarios", "geomean_Mmsg/s",
-                    "geomean_ticks", "geomean_ev/msg", "geomean_p99_lat",
-                    "slo_att_%"});
+              const std::vector<int>& scales, const std::vector<int>& batches,
+              std::uint64_t seed, bool no_qos) {
+  vl::TextTable tt({"backend", "scale", "batch", "scenarios",
+                    "geomean_Mmsg/s", "geomean_ticks", "geomean_ev/msg",
+                    "geomean_p99_lat", "slo_att_%"});
   for (Backend b : backends) {
     for (int scale : scales) {
+      for (int batch : batches) {
       std::vector<double> rates, ticks, evpm, lat_p99s;
       std::uint64_t slo_delivered = 0, slo_within = 0;
       for (const auto& name : scenarios) {
-        const vl::traffic::EngineResult r =
-            run_cell(name, b, seed, scale, no_qos);
+        const vl::traffic::EngineResult r = run_cell(
+            name, b, seed, scale, no_qos, static_cast<std::uint32_t>(batch));
         const double secs = r.metrics.ns * 1e-9;
         const auto delivered = r.metrics.total_delivered();
         rates.push_back(secs > 0
@@ -116,11 +122,12 @@ int run_sweep(const std::vector<std::string>& scenarios,
           slo_delivered += c.slo_delivered;
           slo_within += c.slo_within;
         }
-        std::fprintf(stderr, "sweep: %s backend=%s scale=%d ticks=%llu\n",
-                     name.c_str(), r.backend.c_str(), scale,
+        std::fprintf(stderr,
+                     "sweep: %s backend=%s scale=%d batch=%d ticks=%llu\n",
+                     name.c_str(), r.backend.c_str(), scale, batch,
                      static_cast<unsigned long long>(r.metrics.ticks));
       }
-      tt.add_row({to_string(b), std::to_string(scale),
+      tt.add_row({to_string(b), std::to_string(scale), std::to_string(batch),
                   std::to_string(scenarios.size()),
                   vl::TextTable::num(vl::geomean(rates), 3),
                   vl::TextTable::num(vl::geomean(ticks), 0),
@@ -135,6 +142,7 @@ int run_sweep(const std::vector<std::string>& scenarios,
                                                    slo_delivered),
                                            1)
                       : std::string("-")});
+      }
     }
   }
   std::printf("%s", tt.render().c_str());
@@ -163,6 +171,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(
       std::strtoull(arg_value(argc, argv, "--seed", "42"), nullptr, 10));
   const int scale = vl::bench::arg_scale(argc, argv, 1);
+  const auto batch = static_cast<std::uint32_t>(
+      std::strtoul(arg_value(argc, argv, "--batch", "0"), nullptr, 10));
   const bool quiet = has_flag(argc, argv, "--quiet");
   const bool no_qos = has_flag(argc, argv, "--no-qos");
 
@@ -197,14 +207,23 @@ int main(int argc, char** argv) {
       print_usage();
       return 2;
     }
-    return run_sweep(scenarios, backends, scales, seed, no_qos);
+    // The batch sweep dimension: 0 keeps each preset's per-tenant batches.
+    const std::string batches_def = batch ? std::to_string(batch) : "1";
+    const std::vector<int> batches = parse_scales(
+        arg_value(argc, argv, "--batches", batches_def.c_str()));
+    if (batches.empty()) {
+      std::fprintf(stderr, "bad --batches list\n");
+      print_usage();
+      return 2;
+    }
+    return run_sweep(scenarios, backends, scales, batches, seed, no_qos);
   }
 
   bool header_done = false;
   for (const auto& name : scenarios) {
     for (Backend b : backends) {
       const vl::traffic::EngineResult r =
-          run_cell(name, b, seed, scale, no_qos);
+          run_cell(name, b, seed, scale, no_qos, batch);
       // One shared CSV header across the whole sweep.
       const std::string csv = r.csv();
       const std::size_t nl = csv.find('\n');

@@ -37,6 +37,7 @@ using vl::squeue::Backend;
 struct RunSpec {
   std::string scenario;
   Backend backend;
+  std::uint32_t batch = 0;  ///< 0 keeps the preset's per-tenant batches.
 };
 
 // Default matrix: the polling-heavy shapes the kernel overhaul targets
@@ -57,6 +58,11 @@ const RunSpec kDefaultMatrix[] = {
     // hardware backends, so QoS enforcement stays on the perf trajectory.
     {"qos-incast", Backend::kVl},
     {"qos-incast", Backend::kCaf},
+    // Batched injection (Channel API v2 send_many/recv_many fast paths) on
+    // both hardware backends: the VL row must hold a >= 20% ev/msg gain
+    // over its single-message sibling (bench_gate --expect-gain in CI).
+    {"incast-burst", Backend::kVl, 8},
+    {"incast-burst", Backend::kCaf, 8},
 };
 
 struct Row {
@@ -67,14 +73,20 @@ struct Row {
 };
 
 Row run_one(const std::string& scenario, Backend backend, std::uint64_t seed,
-            int scale) {
+            int scale, std::uint32_t batch = 0) {
+  const vl::traffic::ScenarioSpec* spec = vl::traffic::find_scenario(scenario);
   const auto t0 = std::chrono::steady_clock::now();
   const vl::traffic::EngineResult r =
-      vl::traffic::run_scenario(scenario, backend, seed, scale);
+      batch ? vl::traffic::run_spec(vl::traffic::with_batch(*spec, batch),
+                                    backend, seed, scale)
+            : vl::traffic::run_scenario(scenario, backend, seed, scale);
   const auto t1 = std::chrono::steady_clock::now();
 
   Row row;
-  row.scenario = scenario;
+  // Batched cells are their own (scenario, backend) key in BENCH_sim.json,
+  // so the perf gate tracks the fast path separately.
+  row.scenario = batch ? scenario + "(b" + std::to_string(batch) + ")"
+                       : scenario;
   row.backend = r.backend;
   row.events = r.events;
   row.ticks = r.metrics.ticks;
@@ -133,6 +145,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(
       std::strtoull(arg_value(argc, argv, "--seed", "42"), nullptr, 10));
   const int scale = vl::bench::arg_scale(argc, argv, 1);
+  const auto batch = static_cast<std::uint32_t>(
+      std::strtoul(arg_value(argc, argv, "--batch", "0"), nullptr, 10));
   const char* out = arg_value(argc, argv, "--out", "BENCH_sim.json");
 
   std::vector<RunSpec> matrix;
@@ -152,7 +166,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown backend '%s'\n", backend_s.c_str());
       return 2;
     }
-    for (Backend b : bs) matrix.push_back({sc, b});
+    for (Backend b : bs) matrix.push_back({sc, b, batch});
   } else {
     matrix.assign(std::begin(kDefaultMatrix), std::end(kDefaultMatrix));
   }
@@ -161,7 +175,7 @@ int main(int argc, char** argv) {
                           "kernel events & host throughput per scenario");
   std::vector<Row> rows;
   for (const RunSpec& rs : matrix)
-    rows.push_back(run_one(rs.scenario, rs.backend, seed, scale));
+    rows.push_back(run_one(rs.scenario, rs.backend, seed, scale, rs.batch));
 
   vl::TextTable tt({"scenario", "backend", "events", "sim_ticks", "delivered",
                     "ev/msg", "wall_ms", "events/s", "Mticks/s"});

@@ -92,6 +92,114 @@ sim::Co<int> VlPort::push_selected(Addr line, Addr dev_va) {
   co_return nack == vlrd::Vlrd::PushNack::kQuota ? kVlNackQuota : kVlNack;
 }
 
+sim::Co<int> VlPort::vl_select_push_burst(int tid, std::span<const Addr> vas,
+                                          Addr dev_va,
+                                          std::size_t* accepted) {
+  *accepted = 0;
+  if (vas.empty()) co_return kVlOk;
+  co_await core_.acquire_port(tid);
+  co_await sim::Delay(core_.eq(), core_.cfg().issue_cost);
+  latched_.erase(tid);  // burst completion leaves no latched selection
+  // Select every line of the run: each fill into Exclusive is real cache
+  // work and is paid per line, burst or not.
+  for (const Addr va : vas) {
+    const Tick lat = hier_.select_line(core_.id(), line_of(va));
+    co_await sim::Delay(core_.eq(), lat);
+  }
+  co_await sim::Delay(core_.eq(), core_.cfg().issue_cost);
+  if (cfg_.addressing == sim::Addressing::kAddrTable)
+    co_await sim::Delay(core_.eq(), cfg_.addr_table_extra);
+  const auto res = devs_.resolve(dev_va);
+  if (!res) {
+    core_.release_port();
+    co_return kVlFault;
+  }
+  vlrd::Vlrd& dev = *res->first;
+  const Sqi sqi = res->second;
+
+  vlrd::Vlrd::PushNack nack = vlrd::Vlrd::PushNack::kNone;
+  if (!cfg_.ideal) {
+    // One bus transit for the whole run — the burst's amortization.
+    const Tick arrive = hier_.device_hop(0);
+    co_await sim::DelayUntil(core_.eq(), arrive);
+  }
+  for (const Addr va : vas) {
+    mem::Line data;
+    hier_.peek_line(line_of(va), data.data());
+    if (!dev.push(sqi, data)) {
+      nack = dev.last_push_nack();
+      break;
+    }
+    // Copy-over leaves the producer line zeroed and Exclusive, ready for
+    // the next enqueue without any further coherence traffic.
+    hier_.zero_and_exclusive(core_.id(), line_of(va));
+    ++*accepted;
+  }
+  if (!cfg_.ideal) {
+    const Tick resp = cfg_.device_lat > hier_.cfg().bus_hop
+                          ? cfg_.device_lat - hier_.cfg().bus_hop
+                          : 0;
+    co_await sim::Delay(core_.eq(), resp);
+  }
+  core_.release_port();
+  if (*accepted == vas.size()) co_return kVlOk;
+  co_return nack == vlrd::Vlrd::PushNack::kQuota ? kVlNackQuota : kVlNack;
+}
+
+sim::Co<int> VlPort::vl_select_fetch_burst(int tid, std::span<const Addr> vas,
+                                           Addr dev_va,
+                                           std::size_t* registered) {
+  *registered = 0;
+  if (vas.empty()) co_return kVlOk;
+  co_await core_.acquire_port(tid);
+  co_await sim::Delay(core_.eq(), core_.cfg().issue_cost);
+  latched_.erase(tid);
+  for (const Addr va : vas) {
+    const Tick lat = hier_.select_line(core_.id(), line_of(va));
+    co_await sim::Delay(core_.eq(), lat);
+  }
+  co_await sim::Delay(core_.eq(), core_.cfg().issue_cost);
+  if (cfg_.addressing == sim::Addressing::kAddrTable)
+    co_await sim::Delay(core_.eq(), cfg_.addr_table_extra);
+  const auto res = devs_.resolve(dev_va);
+  if (!res) {
+    core_.release_port();
+    co_return kVlFault;
+  }
+  vlrd::Vlrd& dev = *res->first;
+  const Sqi sqi = res->second;
+
+  if (!cfg_.ideal) {
+    const Tick arrive = hier_.device_hop(0);
+    co_await sim::DelayUntil(core_.eq(), arrive);
+  }
+  // Register demand in line order, stopping at the first refusal so the
+  // device's request FIFO stays a contiguous ring-order prefix (injections
+  // must land in the order the consumer's polls visit the lines).
+  int rc = kVlOk;
+  for (const Addr va : vas) {
+    const Addr line = line_of(va);
+    if (!hier_.set_pushable(core_.id(), line, true)) {
+      rc = kVlEvicted;  // line left the cache since its select
+      break;
+    }
+    if (!dev.fetch(sqi, line, core_.id())) {
+      hier_.set_pushable(core_.id(), line, false);
+      rc = kVlNack;  // consBuf full
+      break;
+    }
+    ++*registered;
+  }
+  if (!cfg_.ideal) {
+    const Tick resp = cfg_.device_lat > hier_.cfg().bus_hop
+                          ? cfg_.device_lat - hier_.cfg().bus_hop
+                          : 0;
+    co_await sim::Delay(core_.eq(), resp);
+  }
+  core_.release_port();
+  co_return *registered == vas.size() ? kVlOk : rc;
+}
+
 sim::Co<int> VlPort::vl_fetch(int tid, Addr dev_va) {
   co_await core_.acquire_port(tid);
   co_await sim::Delay(core_.eq(), core_.cfg().issue_cost);

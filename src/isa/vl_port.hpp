@@ -20,6 +20,7 @@
 // interrupt can occur before Rs receives the result. Context switches clear
 // the per-thread selection latch and all pushable bits in the core's L1.
 
+#include <span>
 #include <unordered_map>
 
 #include "mem/hierarchy.hpp"
@@ -63,6 +64,19 @@ class VlPort {
   // intend — real timeslices span many instructions).
   sim::Co<int> vl_select_push(int tid, Addr va, Addr dev_va);
   sim::Co<int> vl_select_fetch(int tid, Addr va, Addr dev_va);
+
+  // Burst forms (Channel API v2 batching): the select+op pair sequence for
+  // a run of lines issues as one macro-op — one port hold, one bus transit,
+  // one device arrival, one response. The device admits the run under a
+  // single prodBuf/quota acquisition, NACKing at the first line that does
+  // not fit; `*accepted` / `*registered` receive the length of the admitted
+  // prefix. The per-line work that carries the paper's cost model — cache
+  // fills of each selected line, per-line device buffer occupancy — is
+  // unchanged; only the per-message instruction/transit overhead amortizes.
+  sim::Co<int> vl_select_push_burst(int tid, std::span<const Addr> vas,
+                                    Addr dev_va, std::size_t* accepted);
+  sim::Co<int> vl_select_fetch_burst(int tid, std::span<const Addr> vas,
+                                     Addr dev_va, std::size_t* registered);
 
   /// True if `tid` currently holds a selection (test helper).
   bool has_selection(int tid) const { return latched_.count(tid) != 0; }

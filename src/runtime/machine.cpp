@@ -34,12 +34,21 @@ void Machine::vl_push_retry(std::uint32_t device, std::optional<Sqi> sqi) {
   if (sqi) {
     // One prodBuf slot (and one unit of this SQI's quota) freed. Quota
     // waiters are all of this SQI — a small set, every one may now be
-    // eligible — while a single space waiter suffices for the single freed
-    // slot. This replaces the old wake_all-per-freed-slot thundering herd:
-    // at high fan-in, N-1 of N woken producers used to lose the race and
+    // eligible — while the freed slot itself becomes one space credit:
+    // the gate's FIFO front collects credits until its declared burst
+    // want is covered, so one wake hands a whole run to one producer.
+    // This replaces the old wake_all-per-freed-slot thundering herd: at
+    // high fan-in, N-1 of N woken producers used to lose the race and
     // re-park, burning O(N) events per slot.
-    vl_quota_wq(device, *sqi).wake_all();
-    vl_space_wq_.wake_one();
+    //
+    // find(), not the creating accessor: this runs per injected line on
+    // every VL workload, and an SQI that never quota-parked a producer
+    // has no queue to wake — don't allocate one just to no-op it.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(device) << 32) | *sqi;
+    const auto it = vl_quota_wqs_.find(key);
+    if (it != vl_quota_wqs_.end()) it->second->wake_all();
+    vl_space_.release(1);
   } else {
     // Coupled-I/O pipeline went idle: any SQI's arrival may now be
     // accepted, so everything parked retries.
@@ -47,7 +56,7 @@ void Machine::vl_push_retry(std::uint32_t device, std::optional<Sqi> sqi) {
       (void)key;
       wq->wake_all();
     }
-    vl_space_wq_.wake_all();
+    vl_space_.kick_all();
   }
 }
 

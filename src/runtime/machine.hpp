@@ -42,15 +42,20 @@ class Machine {
   /// Create a software thread pinned to core `c` (affinity per § IV-A).
   sim::SimThread thread_on(CoreId c) { return core(c).make_thread(); }
 
-  /// Simulated futex for VL producer back-pressure of the *buffer full*
-  /// kind: a freed prodBuf slot can serve any SQI, so one waiter is woken
-  /// per freed slot (counted wake — no thundering herd).
-  sim::WaitQueue& vl_space_wq() { return vl_space_wq_; }
+  /// Credit gate for VL producer back-pressure of the *buffer full* kind:
+  /// every prodBuf slot the injector frees releases one credit, and a
+  /// parked producer declares how many slots its staged burst wants —
+  /// FIFO, so one wake carries an n-slot grant instead of n one-slot
+  /// wakes (no thundering herd, and batched pushes stay batched under
+  /// saturation). Credits are wake hints: the retried vl_push is the
+  /// arbiter, and producers return credits their push could not use.
+  sim::CreditGate& vl_space() { return vl_space_; }
 
   /// Per-(device, SQI) futex for producers NACKed on a per-SQI or
   /// per-class quota: only that SQI draining can free the quota, so these
   /// waiters are woken exclusively by that SQI's injections, never by
-  /// unrelated buffer churn. Lazily created; deterministic (ordered map).
+  /// unrelated buffer churn. Lazily created by the parking side;
+  /// deterministic (ordered map).
   sim::WaitQueue& vl_quota_wq(std::uint32_t device, Sqi sqi);
 
   /// Bump-allocate simulated cacheable memory (line-aligned by default).
@@ -66,7 +71,7 @@ class Machine {
 
   sim::SystemConfig cfg_;
   sim::EventQueue eq_;
-  sim::WaitQueue vl_space_wq_{eq_};
+  sim::CreditGate vl_space_{eq_};
   std::map<std::uint64_t, std::unique_ptr<sim::WaitQueue>> vl_quota_wqs_;
   std::unique_ptr<mem::Hierarchy> hier_;
   std::unique_ptr<vlrd::Cluster> cluster_;

@@ -1,5 +1,6 @@
 #include "runtime/vl_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace vl::runtime {
@@ -24,6 +25,54 @@ Producer::Producer(Machine& m, const QueueHandle& q, Supervisor& sup,
 
 sim::Co<bool> Producer::try_enqueue(std::span<const std::uint64_t> words) {
   co_return co_await try_enqueue_elems(ElemSize::kDword, words);
+}
+
+sim::Co<std::size_t> Producer::stage_burst(std::span<const LineView> lines) {
+  const std::size_t k = std::min(lines.size(), buf_.size());
+  // Stage the run: fill each ring line's data region and arm its control
+  // word (Fig. 10), exactly as the single-line path does — the savings are
+  // all in the fused port/device transaction of push_staged().
+  staged_.clear();
+  for (std::size_t i = 0; i < k; ++i) {
+    const LineView& lv = lines[i];
+    assert(lv.n >= 1 && lv.n <= kMaxWordsPerLine);
+    const Addr line = buf_[(cur_ + i) % buf_.size()];
+    for (std::uint8_t j = 0; j < lv.n; ++j)
+      co_await t_.store(line + dword_offset(j, lv.n), lv.w[j], 8);
+    co_await t_.store(line + kCtrlOffset,
+                      pack_ctrl(ElemSize::kDword, lv.n, lv.qos), 2);
+    staged_.push_back(line);
+  }
+  co_return k;
+}
+
+sim::Co<BurstResult> Producer::push_staged(std::size_t offset,
+                                           std::size_t count) {
+  BurstResult r;
+  r.rc = isa::kVlOk;
+  assert(offset + count <= staged_.size());
+  if (count == 0) co_return r;
+  std::size_t accepted = 0;
+  const int rc =
+      co_await m_.vl_port(t_.core->id())
+          .vl_select_push_burst(
+              t_.tid,
+              std::span<const Addr>(staged_.data() + offset, count), dev_va_,
+              &accepted);
+  cur_ = (cur_ + accepted) % buf_.size();  // hardware zeroed accepted lines
+  r.accepted = accepted;
+  if (accepted < count) {
+    ++retries_;  // unaccepted lines keep their data; caller may re-push
+    r.rc = rc;
+  }
+  co_return r;
+}
+
+sim::Co<BurstResult> Producer::try_enqueue_burst(
+    std::span<const LineView> lines) {
+  if (lines.empty()) co_return BurstResult{0, isa::kVlOk};
+  const std::size_t k = co_await stage_burst(lines);
+  co_return co_await push_staged(0, k);
 }
 
 sim::Co<bool> Producer::try_enqueue_elems(
@@ -70,32 +119,35 @@ sim::Co<void> Producer::enqueue1(std::uint64_t w) {
 sim::Co<void> Producer::enqueue_elems(ElemSize sz,
                                       std::span<const std::uint64_t> elems) {
   sim::WaitQueue& quota_wq = m_.vl_quota_wq(vlrd_id_, sqi_);
-  bool holds_space_baton = false;  // consumed a counted space wake last lap
+  bool holds_credit = false;  // granted a space credit last lap
   for (;;) {
-    // Futex protocol: sample both wake epochs before the attempt so an
-    // injection completing mid-push is never lost as a wakeup.
+    // Futex protocol (quota side): sample the wake epoch before the
+    // attempt so an injection completing mid-push is never lost as a
+    // wakeup. The space side is a credit gate — credits persist, so no
+    // epoch gate is needed there.
     // NB: the await must not sit in the loop condition — GCC 12 destroys
     // condition temporaries before the suspended callee resumes, which
     // tears down the in-flight coroutine (silent no-op).
-    const std::uint64_t gate_space = m_.vl_space_wq().epoch();
     const std::uint64_t gate_quota = quota_wq.epoch();
     const int rc = co_await try_enqueue_raw(sz, elems);
     if (rc == isa::kVlOk) break;
     if (rc == isa::kVlNackQuota) {
       // Our SQI's (or class's) quota is exhausted: only this SQI draining
-      // helps, so park on its futex. If a counted buffer-space wake routed
-      // the freed slot to us, pass the baton on — some other SQI's
-      // space-parked producer may be able to take the slot we cannot.
-      if (holds_space_baton) {
-        holds_space_baton = false;
-        m_.vl_space_wq().wake_one();
+      // helps, so park on its futex. A slot credit we were granted but
+      // cannot use goes back to the gate — some other SQI's space-parked
+      // producer may be able to take the slot we cannot.
+      if (holds_credit) {
+        holds_credit = false;
+        m_.vl_space().release(1);
       }
       co_await t_.park(quota_wq, gate_quota);
     } else {
-      // Buffer full: park until a routing device frees producer-buffer
-      // space, donating the core instead of spinning a backoff timer.
-      co_await t_.park(m_.vl_space_wq(), gate_space);
-      holds_space_baton = true;
+      // Buffer full: wait for a freed-slot credit from the routing device,
+      // donating the core instead of spinning a backoff timer. (A held
+      // credit that still NACKed was stale — taken by a fast-path push —
+      // and is simply dropped.)
+      co_await t_.acquire_credits(m_.vl_space(), 1);
+      holds_credit = true;
     }
   }
 }
@@ -111,6 +163,7 @@ Consumer::Consumer(Machine& m, const QueueHandle& q, Supervisor& sup,
   buf_.reserve(buf_lines);
   for (std::size_t i = 0; i < buf_lines; ++i)
     buf_.push_back(m_.alloc(kLineSize));
+  armed_.assign(buf_lines, false);
 }
 
 sim::Co<std::optional<Frame>> Consumer::poll_once(Addr line) {
@@ -119,6 +172,7 @@ sim::Co<std::optional<Frame>> Consumer::poll_once(Addr line) {
   if (ctrl == 0) co_return std::nullopt;
   Frame f;
   f.size = ctrl_size(ctrl);
+  f.qos = ctrl_qos(ctrl);
   const std::uint8_t n = ctrl_count(ctrl);
   const auto width = static_cast<unsigned>(elem_bytes(f.size));
   f.elems.reserve(n);
@@ -139,31 +193,68 @@ sim::Co<std::optional<Frame>> Consumer::poll_once(Addr line) {
   co_return f;
 }
 
-sim::Co<Frame> Consumer::dequeue_frame() {
+sim::Co<std::optional<Frame>> Consumer::try_dequeue_once() {
   const Addr line = buf_[cur_];
-  // Data may already have landed from a previous registration.
+  // Data may already have landed from an earlier registration.
   if (auto got = co_await poll_once(line)) {
+    armed_[cur_] = false;
+    polls_since_fetch_ = 0;
     cur_ = (cur_ + 1) % buf_.size();
-    co_return *got;
+    co_return got;
   }
-  // Fused select+fetch (see Producer::try_enqueue_elems for why).
   isa::VlPort& port = m_.vl_port(t_.core->id());
-  co_await port.vl_select_fetch(t_.tid, line, dev_va_);
-
-  int polls = 0;
-  for (;;) {
+  if (!armed_[cur_]) {
+    // Fused select+fetch (see Producer::try_enqueue_elems for why).
+    co_await port.vl_select_fetch(t_.tid, line, dev_va_);
+    armed_[cur_] = true;
+    polls_since_fetch_ = 0;
+    // Backlogged data can inject during the fetch's response window — one
+    // immediate poll catches it without waiting out a discovery interval.
     if (auto got = co_await poll_once(line)) {
+      armed_[cur_] = false;
       cur_ = (cur_ + 1) % buf_.size();
-      co_return *got;
+      co_return got;
     }
+  } else if (++polls_since_fetch_ >= kRefetchThreshold) {
+    // A context switch may have cleared the pushable tag: re-issue the
+    // request (sets it again); registration is idempotent per consumer
+    // target so this is loss-free (§ III-B).
+    polls_since_fetch_ = 0;
+    ++refetches_;
+    co_await port.vl_select_fetch(t_.tid, line, dev_va_);
+    armed_[cur_] = true;
+  }
+  co_return std::nullopt;
+}
+
+sim::Co<void> Consumer::arm_ahead(std::size_t k) {
+  if (k > buf_.size()) k = buf_.size();
+  // Demand must stay a contiguous ring-order prefix so injections land in
+  // the order the polls visit the lines; registrations always extend the
+  // armed run and stop at the device's first refusal.
+  std::vector<Addr> want;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t idx = (cur_ + i) % buf_.size();
+    if (!armed_[idx]) want.push_back(buf_[idx]);
+  }
+  if (want.empty()) co_return;
+  std::size_t registered = 0;
+  co_await m_.vl_port(t_.core->id())
+      .vl_select_fetch_burst(t_.tid, want, dev_va_, &registered);
+  std::size_t marked = 0;
+  for (std::size_t i = 0; i < k && marked < registered; ++i) {
+    const std::size_t idx = (cur_ + i) % buf_.size();
+    if (!armed_[idx]) {
+      armed_[idx] = true;
+      ++marked;
+    }
+  }
+}
+
+sim::Co<Frame> Consumer::dequeue_frame() {
+  for (;;) {
+    if (auto got = co_await try_dequeue_once()) co_return *got;
     co_await t_.compute(kPollInterval);
-    if (++polls >= kRefetchThreshold) {
-      // Re-issue the request (sets the pushable tag again); registration is
-      // idempotent per consumer target so this is loss-free (§ III-B).
-      polls = 0;
-      ++refetches_;
-      co_await port.vl_select_fetch(t_.tid, line, dev_va_);
-    }
   }
 }
 
@@ -171,9 +262,14 @@ void Consumer::migrate(sim::SimThread to) {
   const CoreId old_core = t_.core->id();
   if (to.core->id() != old_core) {
     // The OS migration path unsets the pushable flag before the thread can
-    // run elsewhere (§ III-B), exactly like a context switch would.
+    // run elsewhere (§ III-B), exactly like a context switch would. Drop
+    // the armed bookkeeping with it so the next probe re-registers demand
+    // from the new core immediately instead of waiting out the refetch
+    // threshold.
     for (const Addr line : buf_)
       m_.mem().set_pushable(old_core, line, false);
+    armed_.assign(buf_.size(), false);
+    polls_since_fetch_ = 0;
   }
   t_ = to;
 }
@@ -191,21 +287,12 @@ sim::Co<std::uint64_t> Consumer::dequeue1() {
 
 sim::Co<std::optional<std::vector<std::uint64_t>>> Consumer::try_dequeue(
     int poll_budget) {
-  const Addr line = buf_[cur_];
-  if (auto got = co_await poll_once(line)) {
-    cur_ = (cur_ + 1) % buf_.size();
-    co_return std::move(got->elems);
-  }
-  isa::VlPort& port = m_.vl_port(t_.core->id());
-  co_await port.vl_select_fetch(t_.tid, line, dev_va_);
-  for (int i = 0; i < poll_budget; ++i) {
-    if (auto got = co_await poll_once(line)) {
-      cur_ = (cur_ + 1) % buf_.size();
+  for (int i = 0;; ++i) {
+    if (auto got = co_await try_dequeue_once())
       co_return std::move(got->elems);
-    }
+    if (i >= poll_budget) co_return std::nullopt;
     co_await t_.compute(kPollInterval);
   }
-  co_return std::nullopt;
 }
 
 // --- VlQueueLib ---------------------------------------------------------------

@@ -89,6 +89,22 @@ struct QueueHandle {
   Addr cons_page = 0;
 };
 
+/// One message line's worth of payload for a burst enqueue: a borrowed
+/// view of up to 7 dwords plus the service class stamped into the line's
+/// control byte.
+struct LineView {
+  const std::uint64_t* w = nullptr;
+  std::uint8_t n = 0;
+  QosClass qos = QosClass::kStandard;
+};
+
+/// Outcome of a burst enqueue: how many leading lines the device accepted
+/// and, when short, the vl_push status that stopped the run.
+struct BurstResult {
+  std::size_t accepted = 0;
+  int rc = 0;  ///< isa::kVlOk when every line went.
+};
+
 /// Producer endpoint: local circular buffer + mapped device address.
 class Producer {
  public:
@@ -98,6 +114,25 @@ class Producer {
   /// Enqueue up to 7 doublewords as one message line. Non-blocking attempt;
   /// false when the VLRD NACKs (back-pressure).
   sim::Co<bool> try_enqueue(std::span<const std::uint64_t> words);
+
+  /// Burst enqueue (Channel API v2 fast path): stage up to buf_lines
+  /// message lines in the endpoint ring and push the run to the routing
+  /// device in ONE fused port transaction — one selection sequence, one
+  /// bus transit, one device arrival at which the VLRD admits the run
+  /// under a single prodBuf/quota acquisition, one response. Non-blocking:
+  /// the device accepts a prefix and the NACK status of the stopper is
+  /// reported for the caller's parking decision.
+  sim::Co<BurstResult> try_enqueue_burst(std::span<const LineView> lines);
+
+  /// Split form for back-pressure retry loops: stage_burst() writes up to
+  /// buf_lines lines into the endpoint ring ONCE (returns the count
+  /// staged); push_staged() then pushes the staged run's not-yet-accepted
+  /// suffix in one fused port transaction and may be retried after a NACK
+  /// without re-writing any payload — a parked producer that wakes re-pays
+  /// only the push, not the stores. The staged run stays valid until its
+  /// lines are accepted (accepted lines recycle through the ring).
+  sim::Co<std::size_t> stage_burst(std::span<const LineView> lines);
+  sim::Co<BurstResult> push_staged(std::size_t offset, std::size_t count);
 
   /// Enqueue elements of any Fig. 10 size code (byte/half/word/dword) —
   /// values are truncated to the element width; up to max_elems(sz) per
@@ -126,12 +161,12 @@ class Producer {
   Addr endpoint_va() const { return dev_va_; }
   sim::SimThread thread() const { return t_; }
 
- private:
-  /// Attempt returning the raw vl_push status, so the blocking path can
-  /// tell a quota NACK (park per-SQI) from a full buffer (park global).
+  /// Attempt returning the raw vl_push status (isa::VlStatus), so callers
+  /// can tell a quota NACK (park per-SQI) from a full buffer (park global).
   sim::Co<int> try_enqueue_raw(ElemSize sz,
                                std::span<const std::uint64_t> elems);
 
+ private:
   Machine& m_;
   sim::SimThread t_;
   Addr dev_va_ = 0;
@@ -140,13 +175,16 @@ class Producer {
   QosClass qos_ = QosClass::kStandard;
   std::vector<Addr> buf_;  // user-space lines (circular)
   std::size_t cur_ = 0;
+  std::vector<Addr> staged_;  ///< Ring lines of the current staged burst.
   std::uint64_t retries_ = 0;
 };
 
 /// One decoded message line: the Fig. 10 size code and its elements
-/// (values zero-extended to 64 bits).
+/// (values zero-extended to 64 bits), plus the service class carried in
+/// the control region's reserved byte.
 struct Frame {
   ElemSize size = ElemSize::kDword;
+  QosClass qos = QosClass::kStandard;
   std::vector<std::uint64_t> elems;
 };
 
@@ -170,6 +208,20 @@ class Consumer {
   sim::Co<std::optional<std::vector<std::uint64_t>>> try_dequeue(
       int poll_budget = 64);
 
+  /// Cheapest non-blocking probe (Channel API v2 core): one control-word
+  /// poll of the current ring line, arming demand lazily — the fetch
+  /// registration is issued only when the line is not armed yet, and
+  /// re-issued after kRefetchThreshold misses (the § III-B recovery path),
+  /// so repeated probes cost one load each instead of a device round trip.
+  sim::Co<std::optional<Frame>> try_dequeue_once();
+
+  /// Register demand for up to `k` ring lines ahead (k capped at the ring
+  /// size) in ONE fused port transaction, so a burst of queued messages is
+  /// injected into consecutive lines and then drained by pure local polls.
+  /// Only safe when this endpoint is the channel's sole consumer — demand
+  /// registered ahead pins messages to this endpoint.
+  sim::Co<void> arm_ahead(std::size_t k);
+
   /// OS thread migration (§ III-B): clears every "pushable" tag this
   /// endpoint armed on the old core, so in-flight injections are rejected
   /// and their data stays with the VLRD; the next dequeue from `to`'s core
@@ -189,7 +241,9 @@ class Consumer {
   sim::SimThread t_;
   Addr dev_va_ = 0;
   std::vector<Addr> buf_;
+  std::vector<bool> armed_;  ///< Lines with a live fetch registration.
   std::size_t cur_ = 0;
+  int polls_since_fetch_ = 0;  ///< try_dequeue_once() refetch counter.
   std::uint64_t refetches_ = 0;
 };
 

@@ -93,6 +93,22 @@ Co<void> SimThread::park(WaitQueue& wq, std::uint64_t expected) const {
   co_await wq.park(expected);
 }
 
+Co<void> SimThread::acquire_credits(CreditGate& g, std::uint64_t want) const {
+  if (g.try_acquire(want)) co_return;
+  core->yield(tid);
+  co_await g.acquire(want);
+}
+
+Co<std::size_t> SimThread::park_any(
+    std::span<WaitQueue* const> wqs,
+    std::span<const std::uint64_t> gates) const {
+  // Fall through without yielding when a wake already landed on any queue.
+  for (std::size_t i = 0; i < wqs.size(); ++i)
+    if (wqs[i]->epoch() != gates[i]) co_return i;
+  core->yield(tid);
+  co_return co_await ParkAny(wqs, gates);
+}
+
 // --- operations --------------------------------------------------------------
 
 Co<MemResult> Core::issue(int tid, MemRequest req) {

@@ -52,6 +52,17 @@ struct SimThread {
   /// park on `wq` unless its epoch already moved past `expected`. Costs no
   /// simulated time and generates no events while parked.
   Co<void> park(WaitQueue& wq, std::uint64_t expected) const;
+
+  /// Multi-futex blocking (select/wait-any): donate residency and park on
+  /// every queue in `wqs` at once; resumes on the first wake from any of
+  /// them and returns that queue's index. Falls through immediately when
+  /// any epoch already moved past its sampled gate.
+  Co<std::size_t> park_any(std::span<WaitQueue* const> wqs,
+                           std::span<const std::uint64_t> gates) const;
+
+  /// Credit-gate blocking: donate residency and wait FIFO for `want`
+  /// credits (no yield when they are immediately available).
+  Co<void> acquire_credits(CreditGate& g, std::uint64_t want) const;
 };
 
 class Core {

@@ -1,5 +1,6 @@
 #include "squeue/blfq.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace vl::squeue {
@@ -7,6 +8,11 @@ namespace vl::squeue {
 namespace {
 constexpr Tick kEmptyBackoff = 32;
 constexpr Tick kContendedBackoff = 4;
+
+std::uint64_t pack_hdr(const Msg& msg) {
+  return static_cast<std::uint64_t>(msg.n) |
+         (static_cast<std::uint64_t>(msg.qos) << 8);
+}
 }  // namespace
 
 SimBlfq::SimBlfq(runtime::Machine& m, std::size_t capacity)
@@ -20,7 +26,32 @@ SimBlfq::SimBlfq(runtime::Machine& m, std::size_t capacity)
     m_.mem().backing().write(cell_meta(i), i, 8);
 }
 
-sim::Co<void> SimBlfq::send(sim::SimThread t, Msg msg) {
+sim::Co<void> SimBlfq::store_cell(sim::SimThread t, std::uint64_t pos,
+                                  const Msg& msg) {
+  const Addr data = cell_data(pos);
+  // Header word: element count plus the service class, so per-class
+  // accounting stays truthful through the software ring.
+  co_await t.store(data, pack_hdr(msg), 2);
+  for (std::uint8_t i = 0; i < msg.n; ++i)
+    co_await t.store(data + 8 + i * 8, msg.w[i], 8);
+  // Publish: consumers wait for seq == pos + 1.
+  co_await t.store(cell_meta(pos), pos + 1, 8);
+}
+
+sim::Co<Msg> SimBlfq::load_cell(sim::SimThread t, std::uint64_t pos) {
+  const Addr data = cell_data(pos);
+  Msg msg;
+  const auto hdr = co_await t.load(data, 2);
+  msg.n = static_cast<std::uint8_t>(hdr & 0xff);
+  msg.qos = qos_class_from_byte(static_cast<std::uint8_t>(hdr >> 8));
+  for (std::uint8_t i = 0; i < msg.n; ++i)
+    msg.w[i] = co_await t.load(data + 8 + i * 8, 8);
+  // Recycle the slot for the producer one lap ahead.
+  co_await t.store(cell_meta(pos), pos + cap_, 8);
+  co_return msg;
+}
+
+sim::Co<SendResult> SimBlfq::try_send(sim::SimThread t, const Msg& msg) {
   for (;;) {
     const std::uint64_t pos = co_await t.load(tail_, 8);
     const std::uint64_t seq = co_await t.load(cell_meta(pos), 8);
@@ -28,46 +59,140 @@ sim::Co<void> SimBlfq::send(sim::SimThread t, Msg msg) {
     if (dif == 0) {
       // Claim the slot by advancing the shared tail — the contended CAS.
       if (co_await t.cas64(tail_, pos, pos + 1)) {
-        const Addr data = cell_data(pos);
-        co_await t.store(data, msg.n, 1);
-        for (std::uint8_t i = 0; i < msg.n; ++i)
-          co_await t.store(data + 8 + i * 8, msg.w[i], 8);
-        // Publish: consumers wait for seq == pos + 1.
-        co_await t.store(cell_meta(pos), pos + 1, 8);
-        co_return;
+        co_await store_cell(t, pos, msg);
+        co_return SendResult{SendStatus::kOk};
       }
-      co_await t.compute(kContendedBackoff);
+      co_await t.compute(kContendedBackoff);  // lost the race; reload
     } else if (dif < 0) {
-      co_await t.compute(kEmptyBackoff);  // ring wrapped: slot still in use
+      // Ring wrapped: the slot one lap behind is still occupied. BLFQ has
+      // no back-pressure wake — the caller polls.
+      co_return SendResult{SendStatus::kFull};
     } else {
-      co_await t.compute(kContendedBackoff);  // lost the race; reload tail
+      co_await t.compute(kContendedBackoff);  // tail moved on; reload
     }
   }
 }
 
-sim::Co<Msg> SimBlfq::recv(sim::SimThread t) {
+sim::Co<RecvResult> SimBlfq::try_recv(sim::SimThread t) {
   for (;;) {
     const std::uint64_t pos = co_await t.load(head_, 8);
     const std::uint64_t seq = co_await t.load(cell_meta(pos), 8);
     const auto dif = static_cast<std::int64_t>(seq - (pos + 1));
     if (dif == 0) {
       if (co_await t.cas64(head_, pos, pos + 1)) {
-        const Addr data = cell_data(pos);
-        Msg msg;
-        msg.n = static_cast<std::uint8_t>(co_await t.load(data, 1));
-        for (std::uint8_t i = 0; i < msg.n; ++i)
-          msg.w[i] = co_await t.load(data + 8 + i * 8, 8);
-        // Recycle the slot for the producer one lap ahead.
-        co_await t.store(cell_meta(pos), pos + cap_, 8);
-        co_return msg;
+        RecvResult r;
+        r.status = RecvStatus::kOk;
+        r.msg = co_await load_cell(t, pos);
+        co_return r;
       }
       co_await t.compute(kContendedBackoff);
     } else if (dif < 0) {
-      co_await t.compute(kEmptyBackoff);  // empty
+      co_return RecvResult{};  // empty
     } else {
       co_await t.compute(kContendedBackoff);
     }
   }
+}
+
+sim::Co<SendManyResult> SimBlfq::try_send_many(sim::SimThread t,
+                                               std::span<const Msg> msgs) {
+  SendManyResult r;
+  while (r.sent < msgs.size()) {
+    const std::uint64_t pos = co_await t.load(tail_, 8);
+    // Find the longest claimable run: producer-ready cells are contiguous
+    // from the tail (consumers recycle in head order), so probing the
+    // run's *last* cell suffices; shrink until it reads ready.
+    std::size_t k = std::min(msgs.size() - r.sent, kMaxRun);
+    bool raced = false;
+    while (k >= 1) {
+      const std::uint64_t want = pos + k - 1;
+      const std::uint64_t seq = co_await t.load(cell_meta(want), 8);
+      const auto dif = static_cast<std::int64_t>(seq - want);
+      if (dif == 0) break;
+      if (dif > 0) {  // tail already advanced past our snapshot
+        raced = true;
+        break;
+      }
+      if (k == 1) {  // even one slot is still occupied a lap behind: full
+        r.status = SendStatus::kFull;
+        co_return r;
+      }
+      k /= 2;
+    }
+    if (raced) {
+      co_await t.compute(kContendedBackoff);
+      continue;
+    }
+    // One CAS claims the whole run — the batched amortization of the
+    // contended shared-tail ownership transfer.
+    if (!co_await t.cas64(tail_, pos, pos + k)) {
+      co_await t.compute(kContendedBackoff);
+      continue;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      // A consumer one lap behind may still be recycling an inner cell
+      // (recycles can complete out of order); its store is already in
+      // flight, so this wait is memory-latency-bounded, not queue-state
+      // blocking.
+      for (;;) {
+        const std::uint64_t p = pos + i;
+        if (co_await t.load(cell_meta(p), 8) == p) break;
+        co_await t.compute(kContendedBackoff);
+      }
+      co_await store_cell(t, pos + i, msgs[r.sent + i]);
+    }
+    r.sent += k;
+  }
+  co_return r;
+}
+
+sim::Co<std::size_t> SimBlfq::try_recv_many(sim::SimThread t,
+                                            std::span<Msg> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const std::uint64_t pos = co_await t.load(head_, 8);
+    std::size_t k = std::min(out.size() - got, kMaxRun);
+    bool raced = false;
+    while (k >= 1) {
+      const std::uint64_t want = pos + k - 1;
+      const std::uint64_t seq = co_await t.load(cell_meta(want), 8);
+      const auto dif = static_cast<std::int64_t>(seq - (want + 1));
+      if (dif == 0) break;
+      if (dif > 0) {
+        raced = true;
+        break;
+      }
+      if (k == 1) co_return got;  // nothing (more) published
+      k /= 2;
+    }
+    if (raced) {
+      co_await t.compute(kContendedBackoff);
+      continue;
+    }
+    if (!co_await t.cas64(head_, pos, pos + k)) {
+      co_await t.compute(kContendedBackoff);
+      continue;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      for (;;) {  // producers may publish inner cells out of order
+        const std::uint64_t p = pos + i;
+        if (co_await t.load(cell_meta(p), 8) == p + 1) break;
+        co_await t.compute(kContendedBackoff);
+      }
+      out[got + i] = co_await load_cell(t, pos + i);
+    }
+    got += k;
+  }
+  co_return got;
+}
+
+sim::Co<void> SimBlfq::send_blocked(sim::SimThread t, SendStatus,
+                                    BlockGates&, const Msg&) {
+  co_await t.compute(kEmptyBackoff);  // no wake source: poll the wrap
+}
+
+sim::Co<void> SimBlfq::recv_blocked(sim::SimThread t, std::uint64_t) {
+  co_await t.compute(kEmptyBackoff);
 }
 
 std::uint64_t SimBlfq::depth() const {

@@ -8,13 +8,46 @@ namespace {
 constexpr Tick kRetryBackoff = 48;  ///< Empty-dequeue register-poll pause.
 }
 
-sim::Co<bool> SimCaf::dev_enq(sim::SimThread t, std::uint64_t v,
-                              QosClass cls) {
+// Every device access is a register-granularity round trip: hold the issue
+// port, one bus hop out, device-side operation, bounded response.
+
+sim::Co<CafDevice::Grant> SimCaf::dev_open(sim::SimThread t, std::uint64_t v,
+                                           QosClass cls,
+                                           std::uint32_t max_frames,
+                                           std::uint32_t* granted) {
   co_await t.core->acquire_port(t.tid);
   auto& m = dev_.machine();
   const Tick arrive = m.mem().device_hop(0);
   co_await sim::DelayUntil(m.eq(), arrive);
-  const bool ok = dev_.enq(q_, v, cls);
+  const CafDevice::Grant g =
+      dev_.enq_open(q_, v, cls, words_, max_frames, granted);
+  const Tick resp =
+      lat_ > m.cfg().cache.bus_hop ? lat_ - m.cfg().cache.bus_hop : 0;
+  co_await sim::Delay(m.eq(), resp);
+  t.core->release_port();
+  co_return g;
+}
+
+sim::Co<void> SimCaf::dev_enq_reserved(sim::SimThread t, std::uint64_t v,
+                                       QosClass cls) {
+  co_await t.core->acquire_port(t.tid);
+  auto& m = dev_.machine();
+  const Tick arrive = m.mem().device_hop(0);
+  co_await sim::DelayUntil(m.eq(), arrive);
+  dev_.enq_reserved(q_, v, cls);
+  const Tick resp =
+      lat_ > m.cfg().cache.bus_hop ? lat_ - m.cfg().cache.bus_hop : 0;
+  co_await sim::Delay(m.eq(), resp);
+  t.core->release_port();
+}
+
+sim::Co<bool> SimCaf::dev_deq(sim::SimThread t, std::uint64_t& out,
+                              QosClass* cls) {
+  co_await t.core->acquire_port(t.tid);
+  auto& m = dev_.machine();
+  const Tick arrive = m.mem().device_hop(0);
+  co_await sim::DelayUntil(m.eq(), arrive);
+  const bool ok = dev_.deq(q_, out, cls);
   const Tick resp =
       lat_ > m.cfg().cache.bus_hop ? lat_ - m.cfg().cache.bus_hop : 0;
   co_await sim::Delay(m.eq(), resp);
@@ -22,59 +55,133 @@ sim::Co<bool> SimCaf::dev_enq(sim::SimThread t, std::uint64_t v,
   co_return ok;
 }
 
-sim::Co<bool> SimCaf::dev_deq(sim::SimThread t, std::uint64_t& out) {
-  co_await t.core->acquire_port(t.tid);
-  auto& m = dev_.machine();
-  const Tick arrive = m.mem().device_hop(0);
-  co_await sim::DelayUntil(m.eq(), arrive);
-  const bool ok = dev_.deq(q_, out);
-  const Tick resp =
-      lat_ > m.cfg().cache.bus_hop ? lat_ - m.cfg().cache.bus_hop : 0;
-  co_await sim::Delay(m.eq(), resp);
-  t.core->release_port();
-  co_return ok;
-}
-
-sim::Co<void> SimCaf::send(sim::SimThread t, Msg msg) {
+sim::Co<void> SimCaf::transfer_reserved(sim::SimThread t,
+                                        std::span<const Msg> msgs,
+                                        std::size_t frames, QosClass cls) {
   // One register transfer per payload word — the cost of a register-
-  // granularity interface. Frame length is fixed per channel.
+  // granularity interface. The first word of the first frame rode the
+  // frame-open write, so it is skipped here.
+  for (std::size_t f = 0; f < frames; ++f) {
+    const Msg& m = msgs[f];
+    assert(m.n == words_ && "SimCaf channels carry fixed-size frames");
+    for (std::uint8_t i = (f == 0 ? 1 : 0); i < m.n; ++i)
+      co_await dev_enq_reserved(t, m.w[i], cls);
+  }
+}
+
+sim::Co<SendResult> SimCaf::try_send(sim::SimThread t, const Msg& msg) {
   assert(msg.n == words_ && "SimCaf channels carry fixed-size frames");
-  co_await send_mu_.lock();  // device frame grant: no producer interleaving
-  for (std::uint8_t i = 0; i < msg.n; ++i) {
+  // Device frame grant: no producer interleaving. Credits are granted
+  // atomically at frame-open, so the hold is bounded by the transfer.
+  co_await send_mu_.lock();
+  std::uint32_t granted = 0;
+  const CafDevice::Grant g =
+      co_await dev_open(t, msg.w[0], msg.qos, 1, &granted);
+  if (granted == 0) {
+    send_mu_.unlock();
+    co_return SendResult{g == CafDevice::Grant::kQuota ? SendStatus::kQuota
+                                                       : SendStatus::kFull};
+  }
+  co_await transfer_reserved(t, std::span<const Msg>(&msg, 1), 1, msg.qos);
+  send_mu_.unlock();
+  co_return SendResult{SendStatus::kOk};
+}
+
+sim::Co<SendManyResult> SimCaf::try_send_many(sim::SimThread t,
+                                              std::span<const Msg> msgs) {
+  SendManyResult r;
+  if (msgs.empty()) co_return r;
+  // The multi-frame credit grant covers a run of same-class frames (the
+  // grant is per class, so a class change ends the run).
+  std::size_t run = 1;
+  while (run < msgs.size() && msgs[run].qos == msgs[0].qos) ++run;
+  assert(msgs[0].n == words_ && "SimCaf channels carry fixed-size frames");
+
+  co_await send_mu_.lock();
+  std::uint32_t granted = 0;
+  const CafDevice::Grant g = co_await dev_open(
+      t, msgs[0].w[0], msgs[0].qos, static_cast<std::uint32_t>(run), &granted);
+  if (granted == 0) {
+    send_mu_.unlock();
+    r.status = g == CafDevice::Grant::kQuota ? SendStatus::kQuota
+                                             : SendStatus::kFull;
+    co_return r;
+  }
+  co_await transfer_reserved(t, msgs, granted, msgs[0].qos);
+  send_mu_.unlock();
+  r.sent = granted;
+  // Status kOk means "no refusal": a run that merely ended at a class
+  // boundary (full grant, more messages of another class behind it) must
+  // NOT read as back-pressure, or the blocking wrapper would park on the
+  // credit futex with credits to spare.
+  if (granted < run)
+    r.status = g == CafDevice::Grant::kQuota ? SendStatus::kQuota
+                                             : SendStatus::kFull;
+  co_return r;
+}
+
+sim::Co<void> SimCaf::finish_frame(sim::SimThread t, Msg& msg) {
+  for (std::uint8_t i = 1; i < words_; ++i) {
+    std::uint64_t v = 0;
     for (;;) {
-      // Sample the credit futex before the attempt so a dequeue landing
-      // mid-round-trip is never lost; NACK means out of credits -> park
-      // until the consumer side frees one.
+      // The producer transfers its whole frame without parking (credits
+      // were pre-granted), so trailing words are at most a few register
+      // round trips behind the first — poll them in.
       // NB: the await must not sit in the loop condition — GCC 12 destroys
       // condition temporaries before the suspended callee resumes, which
       // tears down the in-flight coroutine (silent no-op).
-      const std::uint64_t gate = dev_.space_wq(q_).epoch();
-      const bool ok = co_await dev_enq(t, msg.w[i], msg.qos);
+      const bool ok = co_await dev_deq(t, v, nullptr);
       if (ok) break;
-      co_await t.park(dev_.space_wq(q_), gate);
-    }
-  }
-  send_mu_.unlock();
-}
-
-sim::Co<Msg> SimCaf::recv(sim::SimThread t) {
-  Msg msg;
-  msg.n = words_;
-  co_await recv_mu_.lock();  // device frame grant: no consumer interleaving
-  for (std::uint8_t i = 0; i < words_; ++i) {
-    std::uint64_t v = 0;
-    for (;;) {
-      const bool ok = co_await dev_deq(t, v);  // see send() re loop conditions
-      if (ok) break;
-      // Empty queue: CAF's dequeue *is* a polling register read — the
-      // discovery latency Fig. 15 measures — so the consumer keeps
-      // polling on a fixed pause rather than parking.
       co_await t.compute(kRetryBackoff);
     }
     msg.w[i] = v;
   }
+}
+
+sim::Co<RecvResult> SimCaf::try_recv(sim::SimThread t) {
+  co_await recv_mu_.lock();  // device frame grant: no consumer interleaving
+  std::uint64_t v = 0;
+  QosClass cls = QosClass::kStandard;
+  const bool ok = co_await dev_deq(t, v, &cls);
+  if (!ok) {
+    recv_mu_.unlock();
+    co_return RecvResult{};  // empty — the Fig. 15 discovery register read
+  }
+  RecvResult r;
+  r.status = RecvStatus::kOk;
+  r.msg.n = words_;
+  r.msg.qos = cls;
+  r.msg.w[0] = v;
+  co_await finish_frame(t, r.msg);
   recv_mu_.unlock();
-  co_return msg;
+  co_return r;
+}
+
+sim::Co<std::size_t> SimCaf::try_recv_many(sim::SimThread t,
+                                           std::span<Msg> out) {
+  std::size_t got = 0;
+  co_await recv_mu_.lock();  // one consumer-side grant covers the run
+  while (got < out.size()) {
+    std::uint64_t v = 0;
+    QosClass cls = QosClass::kStandard;
+    const bool ok = co_await dev_deq(t, v, &cls);
+    if (!ok) break;
+    Msg& m = out[got];
+    m.n = words_;
+    m.qos = cls;
+    m.w[0] = v;
+    co_await finish_frame(t, m);
+    ++got;
+  }
+  recv_mu_.unlock();
+  co_return got;
+}
+
+sim::Co<void> SimCaf::recv_blocked(sim::SimThread t, std::uint64_t) {
+  // Empty queue: CAF's dequeue *is* a polling register read — the
+  // discovery latency Fig. 15 measures — so the consumer keeps polling on
+  // a fixed pause rather than parking.
+  co_await t.compute(kRetryBackoff);
 }
 
 }  // namespace vl::squeue

@@ -1,5 +1,8 @@
 #include "squeue/vl_channel.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace vl::squeue {
 
 runtime::Producer& VlChannel::producer_for(sim::SimThread t) {
@@ -28,19 +31,147 @@ runtime::Consumer& VlChannel::consumer_for(sim::SimThread t) {
   return *it->second;
 }
 
-sim::Co<void> VlChannel::send(sim::SimThread t, Msg msg) {
+sim::Co<SendResult> VlChannel::try_send(sim::SimThread t, const Msg& msg) {
   runtime::Producer& p = producer_for(t);
   p.set_qos(msg.qos);  // endpoint class tag, carried in the frame's ctrl byte
-  co_await p.enqueue(std::span<const std::uint64_t>(msg.w.data(), msg.n));
+  const int rc = co_await p.try_enqueue_raw(
+      runtime::ElemSize::kDword,
+      std::span<const std::uint64_t>(msg.w.data(), msg.n));
+  co_return SendResult{rc == isa::kVlOk ? SendStatus::kOk : status_from(rc)};
 }
 
-sim::Co<Msg> VlChannel::recv(sim::SimThread t) {
+sim::Co<SendManyResult> VlChannel::try_send_many(sim::SimThread t,
+                                                 std::span<const Msg> msgs) {
+  runtime::Producer& p = producer_for(t);
+  SendManyResult r;
+  while (r.sent < msgs.size()) {
+    std::vector<runtime::LineView> views;
+    const std::size_t lap = std::min<std::size_t>(msgs.size() - r.sent, 8);
+    views.reserve(lap);
+    for (std::size_t i = 0; i < lap; ++i) {
+      const Msg& m = msgs[r.sent + i];
+      views.push_back({m.w.data(), m.n, m.qos});
+    }
+    const runtime::BurstResult b = co_await p.try_enqueue_burst(views);
+    r.sent += b.accepted;
+    if (b.rc != isa::kVlOk) {
+      r.status = status_from(b.rc);
+      co_return r;
+    }
+  }
+  co_return r;
+}
+
+sim::Co<void> VlChannel::send_many(sim::SimThread t,
+                                   std::span<const Msg> msgs) {
+  runtime::Machine& m = lib_.machine();
+  runtime::Producer& p = producer_for(t);
+  sim::WaitQueue& quota_wq = m.vl_quota_wq(q_.vlrd_id, q_.sqi);
+  std::size_t done = 0;
+  while (done < msgs.size()) {
+    std::vector<runtime::LineView> views;
+    const std::size_t lap =
+        std::min<std::size_t>(msgs.size() - done, buf_lines_);
+    views.reserve(lap);
+    for (std::size_t i = 0; i < lap; ++i) {
+      const Msg& msg = msgs[done + i];
+      views.push_back({msg.w.data(), msg.n, msg.qos});
+    }
+    // Each lap's lines are written into the endpoint ring ONCE; only the
+    // fused push retries after back-pressure. On a full-buffer NACK the
+    // producer asks the machine's credit gate for the whole remaining
+    // run, so one wake carries an n-slot grant and the re-push re-injects
+    // the run in one transaction — batched injection stays batched under
+    // saturation instead of degrading to slot-at-a-time wakes.
+    const std::size_t staged = co_await p.stage_burst(views);
+    std::size_t pushed = 0;
+    std::size_t held = 0;  // space credits granted for the remaining run
+    while (pushed < staged) {
+      const std::uint64_t gate_quota = quota_wq.epoch();
+      const runtime::BurstResult b =
+          co_await p.push_staged(pushed, staged - pushed);
+      pushed += b.accepted;
+      held -= std::min(held, b.accepted);  // consumed with the slots
+      if (pushed == staged) break;
+      if (b.rc == isa::kVlNackQuota) {
+        // Only this SQI draining helps; slot credits we cannot convert go
+        // back to the gate for producers of other SQIs.
+        if (held) {
+          m.vl_space().release(held);
+          held = 0;
+        }
+        co_await t.park(quota_wq, gate_quota);
+      } else {
+        // Full buffer: any credits we still held were stale (their slots
+        // went to a fast-path push) — drop them and wait for a grant
+        // covering the rest of the run.
+        held = staged - pushed;
+        co_await t.acquire_credits(m.vl_space(), held);
+      }
+    }
+    done += staged;
+  }
+}
+
+sim::Co<RecvResult> VlChannel::try_recv(sim::SimThread t) {
   runtime::Consumer& c = consumer_for(t);
-  const std::vector<std::uint64_t> words = co_await c.dequeue();
-  Msg msg;
-  msg.n = static_cast<std::uint8_t>(words.size());
-  for (std::uint8_t i = 0; i < msg.n; ++i) msg.w[i] = words[i];
-  co_return msg;
+  auto got = co_await c.try_dequeue_once();
+  if (!got) co_return RecvResult{};
+  RecvResult r;
+  r.status = RecvStatus::kOk;
+  r.msg.n = static_cast<std::uint8_t>(got->elems.size());
+  r.msg.qos = got->qos;
+  for (std::uint8_t i = 0; i < r.msg.n; ++i) r.msg.w[i] = got->elems[i];
+  co_return r;
+}
+
+sim::Co<std::size_t> VlChannel::try_recv_many(sim::SimThread t,
+                                              std::span<Msg> out) {
+  runtime::Consumer& c = consumer_for(t);
+  // Burst demand registration pins the run of messages to this endpoint,
+  // which is only sound when it is the channel's sole consumer; with
+  // sharers, fall back to one-registration-at-a-time probes.
+  if (consumers_.size() == 1 && out.size() > 1)
+    co_await c.arm_ahead(std::min<std::size_t>(out.size(), buf_lines_));
+  std::size_t got = 0;
+  while (got < out.size()) {
+    auto f = co_await c.try_dequeue_once();
+    if (!f) break;
+    Msg& m = out[got++];
+    m.n = static_cast<std::uint8_t>(f->elems.size());
+    m.qos = f->qos;
+    for (std::uint8_t i = 0; i < m.n; ++i) m.w[i] = f->elems[i];
+  }
+  co_return got;
+}
+
+void VlChannel::sample_send_gates(BlockGates& g, const Msg&) {
+  // The space side is a credit gate (credits persist — no epoch needed);
+  // only the per-SQI quota futex needs the lost-wake gate.
+  g.quota = lib_.machine().vl_quota_wq(q_.vlrd_id, q_.sqi).epoch();
+}
+
+sim::Co<void> VlChannel::send_blocked(sim::SimThread t, SendStatus why,
+                                      BlockGates& g, const Msg&) {
+  runtime::Machine& m = lib_.machine();
+  if (why == SendStatus::kQuota) {
+    // Our SQI's (or class's) quota is exhausted: only this SQI draining
+    // helps, so park on its futex. A slot credit we were granted but
+    // cannot convert goes back to the gate — some other SQI's
+    // space-parked producer may be able to take the slot we cannot.
+    if (g.baton) {
+      g.baton = false;
+      m.vl_space().release(1);
+    }
+    co_await t.park(m.vl_quota_wq(q_.vlrd_id, q_.sqi), g.quota);
+  } else {
+    // Buffer full: wait for a freed-slot credit from the routing device,
+    // donating the core instead of spinning a backoff timer. (A held
+    // credit that still NACKed was stale and is dropped.)
+    g.baton = false;
+    co_await t.acquire_credits(m.vl_space(), 1);
+    g.baton = true;
+  }
 }
 
 std::uint64_t VlChannel::depth() const {

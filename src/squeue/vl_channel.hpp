@@ -4,10 +4,21 @@
 // private user-space line buffer) the first time it sends or receives —
 // exactly the paper's model where every producer/consumer owns endpoint
 // state and *no* queue state is shared between threads.
+//
+// Channel v2 fast paths: try_send_many stages a run of message lines in
+// the endpoint ring and pushes them with one fused port transaction under
+// one prodBuf/quota acquisition (Producer::try_enqueue_burst); on a
+// single-consumer channel try_recv_many registers demand for a run of
+// lines at once (Consumer::arm_ahead) so a queued burst injects into
+// consecutive lines and drains by pure local control-word polls. Blocking
+// sends park on the machine's VL futexes split by NACK reason — the
+// per-(device,SQI) quota queue vs the global buffer-space queue, with the
+// counted-wake baton pass-back (see sim/README.md).
 
 #include <map>
 #include <memory>
 
+#include "isa/vl_port.hpp"
 #include "runtime/vl_queue.hpp"
 #include "squeue/channel.hpp"
 
@@ -19,8 +30,18 @@ class VlChannel : public Channel {
             std::size_t buf_lines = 8)
       : lib_(lib), q_(lib.open(name)), buf_lines_(buf_lines) {}
 
-  sim::Co<void> send(sim::SimThread t, Msg msg) override;
-  sim::Co<Msg> recv(sim::SimThread t) override;
+  sim::Co<SendResult> try_send(sim::SimThread t, const Msg& msg) override;
+  sim::Co<RecvResult> try_recv(sim::SimThread t) override;
+  sim::Co<SendManyResult> try_send_many(sim::SimThread t,
+                                        std::span<const Msg> msgs) override;
+  sim::Co<std::size_t> try_recv_many(sim::SimThread t,
+                                     std::span<Msg> out) override;
+
+  /// Blocking batched send, specialised over the split stage/push surface:
+  /// each lap of lines is written into the endpoint ring ONCE, and only
+  /// the fused push is retried after a back-pressure park — a woken
+  /// producer re-pays one port transaction, not the payload stores.
+  sim::Co<void> send_many(sim::SimThread t, std::span<const Msg> msgs) override;
 
   /// Message lines queued in the routing device for this channel's SQI
   /// (one line == one message). Lines already injected into a consumer's
@@ -30,10 +51,20 @@ class VlChannel : public Channel {
 
   std::uint64_t producer_retries() const;
 
+ protected:
+  void sample_send_gates(BlockGates& g, const Msg&) override;
+  sim::Co<void> send_blocked(sim::SimThread t, SendStatus why,
+                             BlockGates& g, const Msg&) override;
+  // recv_blocked: inherited poll at kPollBackoff — the § III-B control-word
+  // discovery interval; the VLRD does not wake consumers.
+
  private:
   using Key = std::pair<CoreId, int>;  // (core, tid)
   runtime::Producer& producer_for(sim::SimThread t);
   runtime::Consumer& consumer_for(sim::SimThread t);
+  static SendStatus status_from(int rc) {
+    return rc == isa::kVlNackQuota ? SendStatus::kQuota : SendStatus::kFull;
+  }
 
   runtime::VlQueueLib& lib_;
   runtime::QueueHandle q_;

@@ -1,5 +1,6 @@
 #include "squeue/zmq.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace vl::squeue {
@@ -24,6 +25,11 @@ Tick jitter(const sim::SimThread& t, std::uint32_t attempt, Tick base) {
                     attempt * 2246822519u;
   h ^= h >> 15;
   return base + (h % (base + attempt % 16 + 1));
+}
+
+std::uint64_t pack_hdr(const Msg& msg) {
+  return static_cast<std::uint64_t>(msg.n) |
+         (static_cast<std::uint64_t>(msg.qos) << 8);
 }
 }  // namespace
 
@@ -59,55 +65,113 @@ sim::Co<void> SimZmq::unlock(sim::SimThread t) {
   lock_wq_.wake_one();
 }
 
-sim::Co<void> SimZmq::send(sim::SimThread t, Msg msg) {
-  co_await t.compute(overhead_);  // socket/envelope software path
-  for (;;) {
-    // Futex protocol: sample the wake epoch before inspecting the state so
-    // a dequeue landing between our check and the park is never lost.
-    const std::uint64_t gate = not_full_.epoch();
-    co_await lock(t);
-    const std::uint64_t head = co_await t.load(meta_, 8);
-    const std::uint64_t tail = co_await t.load(meta_ + 8, 8);
-    if (tail - head >= hwm_) {
-      // High-water mark: park until a consumer frees a slot (the
-      // back-pressure path) instead of burning events polling.
-      co_await unlock(t);
-      co_await t.park(not_full_, gate);
-      continue;
-    }
-    const Addr data = cell(tail);
-    co_await t.store(data, msg.n, 1);
-    for (std::uint8_t i = 0; i < msg.n; ++i)
-      co_await t.store(data + 8 + i * 8, msg.w[i], 8);
-    co_await t.store(meta_ + 8, tail + 1, 8);
-    co_await unlock(t);
-    not_empty_.wake_one();
-    co_return;
-  }
+sim::Co<void> SimZmq::store_cell(sim::SimThread t, std::uint64_t pos,
+                                 const Msg& msg) {
+  const Addr data = cell(pos);
+  // Header: element count + service class (carried through the software
+  // ring so per-class accounting stays truthful on ZMQ too).
+  co_await t.store(data, pack_hdr(msg), 2);
+  for (std::uint8_t i = 0; i < msg.n; ++i)
+    co_await t.store(data + 8 + i * 8, msg.w[i], 8);
 }
 
-sim::Co<Msg> SimZmq::recv(sim::SimThread t) {
+sim::Co<Msg> SimZmq::load_cell(sim::SimThread t, std::uint64_t pos) {
+  const Addr data = cell(pos);
+  Msg msg;
+  const auto hdr = co_await t.load(data, 2);
+  msg.n = static_cast<std::uint8_t>(hdr & 0xff);
+  msg.qos = qos_class_from_byte(static_cast<std::uint8_t>(hdr >> 8));
+  for (std::uint8_t i = 0; i < msg.n; ++i)
+    msg.w[i] = co_await t.load(data + 8 + i * 8, 8);
+  co_return msg;
+}
+
+sim::Co<SendResult> SimZmq::try_send(sim::SimThread t, const Msg& msg) {
+  co_await t.compute(overhead_);  // socket/envelope software path
+  co_await lock(t);
+  const std::uint64_t head = co_await t.load(meta_, 8);
+  const std::uint64_t tail = co_await t.load(meta_ + 8, 8);
+  if (tail - head >= hwm_) {
+    co_await unlock(t);
+    co_return SendResult{SendStatus::kFull};  // at the high-water mark
+  }
+  co_await store_cell(t, tail, msg);
+  co_await t.store(meta_ + 8, tail + 1, 8);
+  co_await unlock(t);
+  not_empty_.wake_one();
+  co_return SendResult{SendStatus::kOk};
+}
+
+sim::Co<RecvResult> SimZmq::try_recv(sim::SimThread t) {
   co_await t.compute(overhead_);
-  for (;;) {
-    const std::uint64_t gate = not_empty_.epoch();  // see send()
+  co_await lock(t);
+  const std::uint64_t head = co_await t.load(meta_, 8);
+  const std::uint64_t tail = co_await t.load(meta_ + 8, 8);
+  if (head == tail) {
+    co_await unlock(t);
+    co_return RecvResult{};  // empty
+  }
+  RecvResult r;
+  r.status = RecvStatus::kOk;
+  r.msg = co_await load_cell(t, head);
+  co_await t.store(meta_, head + 1, 8);
+  co_await unlock(t);
+  not_full_.wake_one();
+  co_return r;
+}
+
+sim::Co<SendManyResult> SimZmq::try_send_many(sim::SimThread t,
+                                              std::span<const Msg> msgs) {
+  SendManyResult r;
+  while (r.sent < msgs.size()) {
+    // One socket software pass and one lock hold cover the whole run —
+    // the envelope/lock cost is amortized across the batch.
+    co_await t.compute(overhead_);
     co_await lock(t);
     const std::uint64_t head = co_await t.load(meta_, 8);
     const std::uint64_t tail = co_await t.load(meta_ + 8, 8);
-    if (head == tail) {  // empty: park until a producer publishes
+    const std::uint64_t free = hwm_ - (tail - head);
+    const std::size_t run =
+        std::min({msgs.size() - r.sent, static_cast<std::size_t>(free),
+                  kMaxRun});
+    if (run == 0) {
       co_await unlock(t);
-      co_await t.park(not_empty_, gate);
-      continue;
+      r.status = SendStatus::kFull;
+      co_return r;
     }
-    const Addr data = cell(head);
-    Msg msg;
-    msg.n = static_cast<std::uint8_t>(co_await t.load(data, 1));
-    for (std::uint8_t i = 0; i < msg.n; ++i)
-      msg.w[i] = co_await t.load(data + 8 + i * 8, 8);
-    co_await t.store(meta_, head + 1, 8);
+    for (std::size_t i = 0; i < run; ++i)
+      co_await store_cell(t, tail + i, msgs[r.sent + i]);
+    co_await t.store(meta_ + 8, tail + run, 8);
     co_await unlock(t);
-    not_full_.wake_one();
-    co_return msg;
+    for (std::size_t i = 0; i < run; ++i) not_empty_.wake_one();
+    r.sent += run;
   }
+  co_return r;
+}
+
+sim::Co<std::size_t> SimZmq::try_recv_many(sim::SimThread t,
+                                           std::span<Msg> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    co_await t.compute(overhead_);
+    co_await lock(t);
+    const std::uint64_t head = co_await t.load(meta_, 8);
+    const std::uint64_t tail = co_await t.load(meta_ + 8, 8);
+    const std::size_t run =
+        std::min({out.size() - got, static_cast<std::size_t>(tail - head),
+                  kMaxRun});
+    if (run == 0) {
+      co_await unlock(t);
+      co_return got;
+    }
+    for (std::size_t i = 0; i < run; ++i)
+      out[got + i] = co_await load_cell(t, head + i);
+    co_await t.store(meta_, head + run, 8);
+    co_await unlock(t);
+    for (std::size_t i = 0; i < run; ++i) not_full_.wake_one();
+    got += run;
+  }
+  co_return got;
 }
 
 std::uint64_t SimZmq::depth() const {

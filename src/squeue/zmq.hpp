@@ -19,6 +19,11 @@
 // thread generates zero events and donates its core residency while it
 // waits. The short-lived channel lock still spins (that coherence traffic
 // is the Fig. 13 effect being modelled).
+//
+// Channel v2 batching mirrors real ZeroMQ's message batching: one socket
+// software pass and one channel-lock acquisition move a contiguous run of
+// ring cells, so the per-message lock/unlock and envelope cost is paid once
+// per batch.
 
 #include "sim/sync.hpp"
 #include "squeue/channel.hpp"
@@ -31,18 +36,39 @@ class SimZmq : public Channel {
   /// `hwm` (power of two) is the high-water mark / ring capacity.
   SimZmq(runtime::Machine& m, std::size_t hwm, Tick sw_overhead = 250);
 
-  sim::Co<void> send(sim::SimThread t, Msg msg) override;
-  sim::Co<Msg> recv(sim::SimThread t) override;
+  sim::Co<SendResult> try_send(sim::SimThread t, const Msg& msg) override;
+  sim::Co<RecvResult> try_recv(sim::SimThread t) override;
+  sim::Co<SendManyResult> try_send_many(sim::SimThread t,
+                                        std::span<const Msg> msgs) override;
+  sim::Co<std::size_t> try_recv_many(sim::SimThread t,
+                                     std::span<Msg> out) override;
   std::uint64_t depth() const override;
+  sim::WaitQueue* recv_wq() override { return &not_empty_; }
+
+ protected:
+  void sample_send_gates(BlockGates& g, const Msg&) override {
+    g.full = not_full_.epoch();
+  }
+  sim::Co<void> send_blocked(sim::SimThread t, SendStatus,
+                             BlockGates& g, const Msg&) override {
+    // High-water mark: park until a consumer frees a slot (the
+    // back-pressure path) instead of burning events polling.
+    co_await t.park(not_full_, g.full);
+  }
 
  private:
   sim::Co<void> lock(sim::SimThread t);
   sim::Co<void> unlock(sim::SimThread t);
+  sim::Co<void> store_cell(sim::SimThread t, std::uint64_t pos,
+                           const Msg& msg);
+  sim::Co<Msg> load_cell(sim::SimThread t, std::uint64_t pos);
   Addr cell(std::uint64_t pos) const {
     return cells_ + (pos & mask_) * kCellStride;
   }
 
   static constexpr Addr kCellStride = 2 * kLineSize;
+  /// Longest run moved under one lock hold / software pass.
+  static constexpr std::size_t kMaxRun = 8;
 
   runtime::Machine& m_;
   std::size_t hwm_;

@@ -87,41 +87,65 @@ Co<void> producer(Ctx& cx, SimThread t, int tenant_id, int pid) {
   const auto nch = static_cast<std::uint64_t>(s0.channels.size());
   const std::uint8_t words = cx.payload_words(ts);
   const std::uint64_t target = ts.messages_per_producer;
+  // Closed loops cap the effective batch at the window — a producer may
+  // never hold more unacked messages than its in-flight budget.
+  const std::uint64_t batch =
+      ack ? std::min<std::uint64_t>(ts.batch, cx.spec.window)
+          : std::max<std::uint32_t>(ts.batch, 1);
   int outstanding = 0;
+  std::vector<Msg> burst;
+  burst.reserve(batch);
+  std::uint64_t lap = 0;  // burst counter, drives fan-out round-robin
 
-  for (std::uint64_t i = 0; i < target; ++i) {
-    const Tick gap = arrival->next_gap(eq.now());
-    if (gap) co_await sim::Delay(eq, gap);
-    if (cx.spec.produce_compute) co_await t.compute(cx.spec.produce_compute);
-
+  for (std::uint64_t i = 0; i < target;) {
+    // Assemble up to `batch` messages: each paces on the arrival process
+    // and is stamped at its generation instant, so batching adds the
+    // producer-side accumulation delay to the measured latency — exactly
+    // the trade batched injection makes.
+    burst.clear();
+    // Route the burst as one unit. Round-robin advances per LAP, not per
+    // message index — with a batch that divides the channel count, an
+    // index-based rotation would pin every burst to channel 0 and idle
+    // the other consumers. batch == 1 reproduces the classic per-message
+    // rotation draw for draw.
     std::uint64_t c = 0;
     if (nch > 1)
-      c = cx.spec.topology == Topology::kFanOut ? i % nch
+      c = cx.spec.topology == Topology::kFanOut ? lap % nch
                                                 : route_rng.below(nch);
+    ++lap;
     Channel& ch = *s0.channels[c].ch;
+    while (burst.size() < batch && i < target) {
+      const Tick gap = arrival->next_gap(eq.now());
+      if (gap) co_await sim::Delay(eq, gap);
+      if (cx.spec.produce_compute) co_await t.compute(cx.spec.produce_compute);
 
-    ++tm.generated;
-    if (ts.drop_depth && ch.depth() >= ts.drop_depth) {
-      ++tm.dropped;
-      continue;
+      ++tm.generated;
+      if (ts.drop_depth && ch.depth() >= ts.drop_depth) {
+        ++tm.dropped;
+        ++i;
+        continue;
+      }
+      Msg msg;
+      msg.n = words;
+      msg.qos = ts.qos;
+      msg.w[0] = stamp(tenant_id, pid, eq.now());
+      for (std::uint8_t w = 1; w < words; ++w)
+        msg.w[w] = (static_cast<std::uint64_t>(tenant_id) << 32) | i;
+      burst.push_back(msg);
+      ++i;
     }
+    if (burst.empty()) continue;  // the whole lap was shed
     if (ack)
-      while (outstanding >= cx.spec.window) {
+      while (outstanding + static_cast<int>(burst.size()) >
+             cx.spec.window) {
         co_await ack->recv1(t);
         --outstanding;
       }
-
-    Msg msg;
-    msg.n = words;
-    msg.qos = ts.qos;
-    msg.w[0] = stamp(tenant_id, pid, eq.now());
-    for (std::uint8_t w = 1; w < words; ++w)
-      msg.w[w] = (static_cast<std::uint64_t>(tenant_id) << 32) | i;
     const Tick send_start = eq.now();
-    co_await ch.send(t, msg);
+    co_await ch.send_many(t, burst);  // one batched injection
     tm.blocked_ticks += eq.now() - send_start;  // time-in-backpressure
-    ++tm.sent;
-    if (ack) ++outstanding;
+    tm.sent += burst.size();
+    if (ack) outstanding += static_cast<int>(burst.size());
   }
   if (ack)
     while (outstanding > 0) {
@@ -133,30 +157,50 @@ Co<void> producer(Ctx& cx, SimThread t, int tenant_id, int pid) {
 
 Co<void> worker(Ctx& cx, SimThread t, int stage_idx, int chan_idx) {
   Stage& st = cx.stages[static_cast<std::size_t>(stage_idx)];
-  Channel& ch = *st.channels[static_cast<std::size_t>(chan_idx)].ch;
+  StageChannel& sc = st.channels[static_cast<std::size_t>(chan_idx)];
+  Channel& ch = *sc.ch;
   const bool final_stage =
       stage_idx + 1 == static_cast<int>(cx.stages.size());
   auto& eq = cx.m.eq();
 
-  for (;;) {
-    Msg msg = co_await ch.recv(t);
-    const std::uint64_t tenant = msg.w[0] >> 56;
-    if (tenant == kPillTenant) break;
-    if (cx.spec.consume_compute) co_await t.compute(cx.spec.consume_compute);
-    if (final_stage) {
-      auto& tm = cx.tenants[static_cast<std::size_t>(tenant)];
-      ++tm.delivered;
-      tm.latency.record((eq.now() - msg.w[0]) & kTickMask);
-      if (cx.spec.closed_loop) {
-        const auto pid = static_cast<std::size_t>((msg.w[0] >> 48) & 0xff);
-        co_await cx.acks[pid]->send1(t, 1);
+  // A channel's sole worker drains opportunistically in batches — exactly
+  // one termination pill ever arrives on such a channel, and it is the
+  // last message, so a drained run never swallows a sibling's pill. Shared
+  // channels stay on one-message receives for that reason.
+  const std::size_t window = sc.workers == 1 ? std::size_t{8} : 1;
+  std::vector<Msg> drained(window);
+  std::vector<Msg> relay;
+  bool saw_pill = false;
+
+  while (!saw_pill) {
+    const std::size_t got =
+        co_await ch.recv_many(t, std::span<Msg>(drained.data(), window), 1);
+    relay.clear();
+    for (std::size_t k = 0; k < got; ++k) {
+      Msg& msg = drained[k];
+      const std::uint64_t tenant = msg.w[0] >> 56;
+      if (tenant == kPillTenant) {
+        saw_pill = true;
+        break;
       }
-    } else {
-      // Pipeline relay: preserve the stamp so latency stays end-to-end.
+      if (cx.spec.consume_compute) co_await t.compute(cx.spec.consume_compute);
+      if (final_stage) {
+        auto& tm = cx.tenants[static_cast<std::size_t>(tenant)];
+        ++tm.delivered;
+        tm.latency.record((eq.now() - msg.w[0]) & kTickMask);
+        if (cx.spec.closed_loop) {
+          const auto pid = static_cast<std::size_t>((msg.w[0] >> 48) & 0xff);
+          co_await cx.acks[pid]->send1(t, 1);
+        }
+      } else {
+        // Pipeline relay: preserve the stamp so latency stays end-to-end.
+        relay.push_back(msg);
+      }
+    }
+    if (!relay.empty())
       co_await cx.stages[static_cast<std::size_t>(stage_idx) + 1]
           .channels.front()
-          .ch->send(t, msg);
-    }
+          .ch->send_many(t, relay);  // relay the drained run as one batch
   }
 
   if (--st.workers_remaining == 0 && !final_stage) {
@@ -388,6 +432,12 @@ EngineResult run_scenario(const std::string& name, squeue::Backend backend,
   const ScenarioSpec* spec = find_scenario(name);
   if (!spec) throw std::invalid_argument("unknown scenario: " + name);
   return run_spec(*spec, backend, seed, scale);
+}
+
+ScenarioSpec with_batch(const ScenarioSpec& spec, std::uint32_t batch) {
+  ScenarioSpec out = spec;
+  for (auto& t : out.tenants) t.batch = batch;
+  return out;
 }
 
 }  // namespace vl::traffic

@@ -78,4 +78,8 @@ EngineResult run_spec(const ScenarioSpec& spec, squeue::Backend backend,
 EngineResult run_scenario(const std::string& name, squeue::Backend backend,
                           std::uint64_t seed, int scale = 1);
 
+/// Copy of `spec` with every tenant's injection batch overridden — the
+/// bench CLIs' `--batch` knob (TenantSpec::batch).
+ScenarioSpec with_batch(const ScenarioSpec& spec, std::uint32_t batch);
+
 }  // namespace vl::traffic

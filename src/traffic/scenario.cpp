@@ -33,6 +33,8 @@ std::string validate(const ScenarioSpec& s) {
     if (t.share <= 0.0) return "tenant '" + t.name + "': share must be > 0";
     if (t.msg_words < 1 || t.msg_words > 7)
       return "tenant '" + t.name + "': msg_words must be in 1..7";
+    if (t.batch < 1 || t.batch > 64)
+      return "tenant '" + t.name + "': batch must be in 1..64";
     if (t.messages_per_producer < 1)
       return "tenant '" + t.name + "': messages_per_producer must be >= 1";
     if (t.arrival.mean_gap < 1.0)

@@ -40,6 +40,15 @@ struct TenantSpec {
   ArrivalSpec arrival;       ///< Inter-arrival process per producer.
   std::uint8_t msg_words = 1;           ///< Payload words (1..7).
   std::uint64_t messages_per_producer = 200;  ///< At scale 1.
+  /// Producer-side injection batch: messages are accumulated (each still
+  /// pacing on the arrival process and stamped at generation time) and
+  /// injected with one batched Channel::send_many — the backend amortizes
+  /// its per-message device cost across the run (VL: one port/quota
+  /// acquisition per run of lines; CAF: one multi-frame credit grant;
+  /// ZMQ/BLFQ: one lock hold / index CAS per ring run). 1 = per-message
+  /// injection (the classic paper shape). Closed-loop runs cap the
+  /// effective batch at the window.
+  std::uint32_t batch = 1;
   /// Producer-side load shedding: generated messages are dropped (counted,
   /// not sent) while the target channel's depth() is at or above this
   /// bound. 0 disables shedding — every generated message is sent.

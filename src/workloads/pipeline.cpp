@@ -1,15 +1,21 @@
 // pipeline: 4-stage network-packet processing (the CAF paper's workload):
 //   S1 (1 thread)  --(1:4)-->  S2 (4 threads)  --(4:4)-->  S3 (4 threads)
-//   --(4:1)-->  S4 (1 thread)  --(1:1 credits)-->  S1
+//   --(4x 1:1)-->  S4 (1 thread)  --(1:1 credits)-->  S1
 // Messages carry pointers to 2 KiB packet payloads that live in ordinary
 // cacheable memory; S2 parses (reads) the payload, S3 rewrites it. A fixed
 // pool of packet buffers cycles via the credit channel, so the workload
 // mixes queue traffic with heavy payload coherence traffic.
 // Poison-pill termination: one sentinel per worker flows down the pipe.
+//
+// Channel API v2 shape: each S3 worker owns a private completion queue and
+// the S4 sink services all four with a Selector — wait-any over the
+// completion queues replaces the shared 4:1 merge channel, the standard
+// multi-queue NIC/completion-ring service pattern.
 
 #include <memory>
 #include <vector>
 
+#include "squeue/selector.hpp"
 #include "workloads/runner.hpp"
 
 namespace vl::workloads {
@@ -17,6 +23,7 @@ namespace vl::workloads {
 namespace {
 
 using squeue::Channel;
+using squeue::Selector;
 using sim::Co;
 using sim::SimThread;
 
@@ -71,10 +78,12 @@ Co<void> s3_rewrite(Channel& in, Channel& out, SimThread t) {
   }
 }
 
-Co<void> s4_sink(Channel& in, Channel& credits, SimThread t, int* done) {
+Co<void> s4_sink(Selector& in, Channel& credits, SimThread t, int* done) {
+  // Wait-any across the S3 completion queues: one poison per queue ends it.
   int poisons = 0;
   while (poisons < kStage3) {
-    const std::uint64_t v = co_await in.recv1(t);
+    const Selector::Item item = co_await in.recv_any(t);
+    const std::uint64_t v = item.msg.w[0];
     if (v == kPoison) {
       ++poisons;
       continue;
@@ -91,7 +100,12 @@ WorkloadResult run_pipeline(runtime::Machine& m, squeue::ChannelFactory& f,
                             int scale) {
   auto c1 = f.make("pipe_c1", /*capacity_hint=*/256);
   auto c2 = f.make("pipe_c2", /*capacity_hint=*/256);
-  auto c3 = f.make("pipe_c3", /*capacity_hint=*/256);
+  std::vector<std::unique_ptr<Channel>> c3;
+  Selector done_q;
+  for (int w = 0; w < kStage3; ++w) {
+    c3.push_back(f.make("pipe_c3_" + std::to_string(w), /*capacity_hint=*/64));
+    done_q.add(*c3.back());
+  }
   auto credits = f.make("pipe_credits", /*capacity_hint=*/64);
 
   std::vector<Addr> pool;
@@ -108,8 +122,9 @@ WorkloadResult run_pipeline(runtime::Machine& m, squeue::ChannelFactory& f,
   for (int w = 0; w < kStage2; ++w)
     sim::spawn(s2_parse(*c1, *c2, m.thread_on(static_cast<CoreId>(1 + w))));
   for (int w = 0; w < kStage3; ++w)
-    sim::spawn(s3_rewrite(*c2, *c3, m.thread_on(static_cast<CoreId>(5 + w))));
-  sim::spawn(s4_sink(*c3, *credits, m.thread_on(9), &done));
+    sim::spawn(s3_rewrite(*c2, *c3[static_cast<std::size_t>(w)],
+                          m.thread_on(static_cast<CoreId>(5 + w))));
+  sim::spawn(s4_sink(done_q, *credits, m.thread_on(9), &done));
   m.run();
 
   WorkloadResult r;

@@ -23,21 +23,25 @@ const char* to_string(Kind k) {
 WorkloadResult run(Kind kind, const RunConfig& rc) {
   sim::SystemConfig cfg = squeue::config_for(rc.backend);
   if (rc.backend == squeue::Backend::kVl &&
-      (kind == Kind::kFir || kind == Kind::kPipeline)) {
-    // Chained-stage kernels consume one SQI while producing another, all
-    // through the one shared prodBuf. Left unbounded, upstream stages fill
-    // every slot and the relays' pushes NACK forever — the § V starvation
-    // hazard CAF answers with credit partitioning. Bound per-SQI occupancy
-    // so total demand stays below capacity (num_channels * quota <
-    // prod_entries); quota NACKs then always resolve through the final
-    // consumer and the chain cannot deadlock.
+      (kind == Kind::kFir || kind == Kind::kPipeline ||
+       kind == Kind::kScatterGather)) {
+    // Kernels that consume one SQI while producing another (chained stages,
+    // fork/join relays), all through the one shared prodBuf. Left
+    // unbounded, upstream stages fill every slot and the relays' pushes
+    // NACK forever — the § V starvation hazard CAF answers with credit
+    // partitioning. Bound per-SQI occupancy so total demand stays below
+    // capacity (num_channels * quota < prod_entries); quota NACKs then
+    // always resolve through the final consumer and the chain cannot
+    // deadlock.
     //
     // Channel counts mirror the kernels: FIR opens kStages-1 = 31 chained
-    // channels (fir.cpp), pipeline opens 4 (pipe_c1..c3 + credits,
-    // pipeline.cpp). Keep these in sync — an undercount reintroduces the
+    // channels (fir.cpp), pipeline opens 7 (pipe_c1, pipe_c2, four
+    // per-S3-worker completion queues, credits — pipeline.cpp),
+    // scatter-gather opens 7 (sg_scatter + six per-worker sg_gather
+    // queues). Keep these in sync — an undercount reintroduces the
     // prodBuf-exhaustion deadlock. (ROADMAP: derive from the channel
     // graph in the supervisor instead.)
-    const std::uint32_t nch = kind == Kind::kFir ? 31u : 4u;
+    const std::uint32_t nch = kind == Kind::kFir ? 31u : 7u;
     cfg.vlrd.per_sqi_quota =
         std::max(1u, (cfg.vlrd.prod_entries - 1) / nch);
   }

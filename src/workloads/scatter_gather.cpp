@@ -1,10 +1,21 @@
 // scatter-gather (Ember-style extension): a master scatters task
 // descriptors to a worker pool over one 1:N channel and gathers results
-// over one N:1 channel — the fork/join idiom behind bulk-synchronous
-// phases. Unlike bitonic (which also uses 1:N + M:1), the workers here are
-// stateless and the master re-balances every round, so *queue* throughput
-// — not worker compute — bounds the fork/join rate at small grain sizes.
+// over per-worker N:1 return queues — the fork/join idiom behind
+// bulk-synchronous phases. Unlike bitonic (which also uses 1:N + M:1), the
+// workers here are stateless and the master re-balances every round, so
+// *queue* throughput — not worker compute — bounds the fork/join rate at
+// small grain sizes.
+//
+// Channel API v2 shape: the master injects each round's tasks as one
+// batched send_many (the backend amortizes its per-message device cost
+// across the burst) and gathers with a Selector parked across all worker
+// return queues — wait-any replaces the hand-rolled "drain one shared
+// channel" loop, and the per-worker queues expose which worker finished,
+// the way a real fork/join pool services completion queues.
 
+#include <vector>
+
+#include "squeue/selector.hpp"
 #include "workloads/runner.hpp"
 
 namespace vl::workloads {
@@ -12,6 +23,8 @@ namespace vl::workloads {
 namespace {
 
 using squeue::Channel;
+using squeue::Msg;
+using squeue::Selector;
 using sim::Co;
 using sim::SimThread;
 
@@ -27,14 +40,17 @@ Co<void> worker(Channel& scatter, Channel& gather, SimThread t, int tasks) {
   }
 }
 
-Co<void> master(Channel& scatter, Channel& gather, SimThread t, int rounds,
+Co<void> master(Channel& scatter, Selector& gather, SimThread t, int rounds,
                 int tasks_per_round, std::uint64_t* checksum) {
+  std::vector<Msg> batch(static_cast<std::size_t>(tasks_per_round));
   for (int r = 0; r < rounds; ++r) {
     for (int i = 0; i < tasks_per_round; ++i)
-      co_await scatter.send1(
-          t, static_cast<std::uint64_t>(r) * tasks_per_round + i);
+      batch[static_cast<std::size_t>(i)] =
+          Msg::one(static_cast<std::uint64_t>(r) * tasks_per_round + i);
+    co_await scatter.send_many(t, batch);  // one batched injection per round
     for (int i = 0; i < tasks_per_round; ++i) {
-      *checksum += co_await gather.recv1(t);
+      const Selector::Item item = co_await gather.recv_any(t);
+      *checksum += item.msg.w[0];
       co_await t.compute(kMasterCompute);
     }
   }
@@ -45,7 +61,12 @@ Co<void> master(Channel& scatter, Channel& gather, SimThread t, int rounds,
 WorkloadResult run_scatter_gather(runtime::Machine& m,
                                   squeue::ChannelFactory& f, int scale) {
   auto scatter = f.make("sg_scatter", 256);
-  auto gather = f.make("sg_gather", 256);
+  std::vector<std::unique_ptr<Channel>> gathers;
+  Selector gather;
+  for (int w = 0; w < kWorkers; ++w) {
+    gathers.push_back(f.make("sg_gather" + std::to_string(w), 64));
+    gather.add(*gathers.back());
+  }
   const int rounds = 25 * scale;
   const int tasks_per_round = 24;  // 4 tasks per worker per round
   std::uint64_t checksum = 0;
@@ -54,9 +75,9 @@ WorkloadResult run_scatter_gather(runtime::Machine& m,
   const Tick t0 = m.now();
   const int per_worker = rounds * tasks_per_round / kWorkers;
   for (int w = 0; w < kWorkers; ++w)
-    sim::spawn(worker(*scatter, *gather,
+    sim::spawn(worker(*scatter, *gathers[static_cast<std::size_t>(w)],
                       m.thread_on(static_cast<CoreId>(1 + w)), per_worker));
-  sim::spawn(master(*scatter, *gather, m.thread_on(0), rounds,
+  sim::spawn(master(*scatter, gather, m.thread_on(0), rounds,
                     tasks_per_round, &checksum));
   m.run();
 

@@ -259,5 +259,155 @@ TEST(WaitQueue, NoLostWakeupsUnderConcurrentParkWake) {
   EXPECT_EQ(wq.parked(), 0u);
 }
 
+// --- ParkAny (multi-futex park, the Selector's sim layer) --------------------
+
+TEST(ParkAny, ResumesOnFirstWakeAndReportsWinner) {
+  EventQueue eq;
+  WaitQueue a(eq), b(eq), c(eq);
+  WaitQueue* wqs[] = {&a, &b, &c};
+  std::size_t winner = 99;
+  spawn([](WaitQueue* const* wqs, std::size_t* winner) -> Co<void> {
+    const std::uint64_t gates[] = {wqs[0]->epoch(), wqs[1]->epoch(),
+                                   wqs[2]->epoch()};
+    *winner = co_await ParkAny(std::span<WaitQueue* const>(wqs, 3),
+                               std::span<const std::uint64_t>(gates, 3));
+  }(wqs, &winner));
+  EXPECT_EQ(winner, 99u);  // parked on all three
+  EXPECT_EQ(a.parked(), 1u);
+  EXPECT_EQ(b.parked(), 1u);
+  EXPECT_EQ(c.parked(), 1u);
+  b.wake_one();
+  eq.run();
+  EXPECT_EQ(winner, 1u);
+  // Stale sibling entries were unlinked on resume.
+  EXPECT_EQ(a.parked(), 0u);
+  EXPECT_EQ(c.parked(), 0u);
+}
+
+TEST(ParkAny, StaleEntryDoesNotConsumeASiblingWake) {
+  EventQueue eq;
+  WaitQueue a(eq), b(eq);
+  WaitQueue* wqs[] = {&a, &b};
+  std::size_t winner = 99;
+  bool single_woke = false;
+  spawn([](WaitQueue* const* wqs, std::size_t* winner) -> Co<void> {
+    const std::uint64_t gates[] = {wqs[0]->epoch(), wqs[1]->epoch()};
+    *winner = co_await ParkAny(std::span<WaitQueue* const>(wqs, 2),
+                               std::span<const std::uint64_t>(gates, 2));
+  }(wqs, &winner));
+  spawn([](WaitQueue& b, bool* woke) -> Co<void> {
+    const std::uint64_t gate = b.epoch();
+    co_await b.park(gate);
+    *woke = true;
+  }(b, &single_woke));
+  // Wake the group through `a`, then wake `b` before the group's resume
+  // has run: the group's now-stale entry sits at the front of b's FIFO
+  // and must be skipped WITHOUT swallowing the wake that belongs to the
+  // plain waiter behind it.
+  a.wake_one();
+  b.wake_one();
+  eq.run();
+  EXPECT_EQ(winner, 0u);
+  EXPECT_TRUE(single_woke);
+}
+
+TEST(ParkAny, MovedEpochFallsStraightThrough) {
+  EventQueue eq;
+  WaitQueue a(eq), b(eq);
+  WaitQueue* wqs[] = {&a, &b};
+  const std::uint64_t gates[] = {a.epoch(), b.epoch()};
+  b.wake_one();  // epoch moves before the park
+  std::size_t winner = 99;
+  spawn([](WaitQueue* const* wqs, const std::uint64_t* gates,
+           std::size_t* winner) -> Co<void> {
+    *winner = co_await ParkAny(std::span<WaitQueue* const>(wqs, 2),
+                               std::span<const std::uint64_t>(gates, 2));
+  }(wqs, gates, &winner));
+  EXPECT_EQ(winner, 1u);  // no suspension at all
+  EXPECT_EQ(a.parked(), 0u);
+}
+
+// --- CreditGate (FIFO multi-acquire wake channel) ---------------------------
+
+TEST(CreditGate, FrontWaiterAccumulatesItsWholeWant) {
+  EventQueue eq;
+  CreditGate g(eq);
+  std::vector<int> order;
+  spawn([](CreditGate& g, std::vector<int>* order) -> Co<void> {
+    co_await g.acquire(4);  // front: wants a whole burst
+    order->push_back(4);
+  }(g, &order));
+  spawn([](CreditGate& g, std::vector<int>* order) -> Co<void> {
+    co_await g.acquire(1);  // behind: must not starve the front
+    order->push_back(1);
+  }(g, &order));
+  for (int i = 0; i < 3; ++i) {
+    g.release(1);
+    eq.run();
+    EXPECT_TRUE(order.empty());  // front still short of its want
+  }
+  g.release(1);
+  eq.run();
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 4);  // one wake carried the whole 4-slot grant
+  g.release(1);
+  eq.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(g.credits(), 0u);
+}
+
+TEST(CreditGate, CreditsPersistAcrossTheCheckParkWindow) {
+  EventQueue eq;
+  CreditGate g(eq);
+  g.release(2);  // released before anyone waits: no lost wake possible
+  bool got = false;
+  spawn([](CreditGate& g, bool* got) -> Co<void> {
+    co_await g.acquire(2);
+    *got = true;
+  }(g, &got));
+  eq.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(g.credits(), 0u);
+}
+
+TEST(CreditGate, ReturnedCreditsServeTheNextWaiter) {
+  EventQueue eq;
+  CreditGate g(eq);
+  int first = 0, second = 0;
+  spawn([](CreditGate& g, int* first) -> Co<void> {
+    co_await g.acquire(2);
+    *first = 1;
+    g.release(2);  // could not use the slots (quota NACK): hand them back
+  }(g, &first));
+  spawn([](CreditGate& g, int* second) -> Co<void> {
+    co_await g.acquire(2);
+    *second = 1;
+  }(g, &second));
+  g.release(2);
+  eq.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(CreditGate, KickAllResumesWithoutDebiting) {
+  EventQueue eq;
+  CreditGate g(eq);
+  int resumed = 0;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](CreditGate& g, int* resumed) -> Co<void> {
+      co_await g.acquire(5);
+      ++*resumed;
+    }(g, &resumed));
+  }
+  g.release(1);
+  eq.run();
+  EXPECT_EQ(resumed, 0);
+  g.kick_all();
+  eq.run();
+  EXPECT_EQ(resumed, 3);
+  EXPECT_EQ(g.credits(), 1u);  // the lone credit was never debited
+}
+
 }  // namespace
 }  // namespace vl::sim

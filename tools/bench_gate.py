@@ -9,9 +9,16 @@ and scale (unlike wall-clock, which CI runners make useless), so the gate
 has no flake margin to eat: a regression is a real behavioural change.
 
     bench_gate.py BASELINE CURRENT [--tolerance 0.15]
+                  [--expect-gain "CELL=FRACTION" ...]
 
-Exit status: 0 pass, 1 regression (or a baseline cell missing from the
-current run), 2 bad invocation/input.
+--expect-gain pins a batched fast path's advantage: the named cell — e.g.
+"incast-burst(b8)/VL64" — must show ev/msg at least FRACTION below its
+single-message sibling (the same cell with the "(bN)" suffix stripped) in
+the CURRENT run. This is how CI enforces "batching must keep paying", not
+just "batching must not regress".
+
+Exit status: 0 pass, 1 regression / unmet gain (or a baseline cell missing
+from the current run), 2 bad invocation/input.
 
 Improvements beyond tolerance are reported but pass — commit the fresh
 snapshot as the new baseline when they are intentional.
@@ -19,6 +26,7 @@ snapshot as the new baseline when they are intentional.
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -51,6 +59,11 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed fractional ev/msg increase (default 0.15)")
+    ap.add_argument("--expect-gain", action="append", default=[],
+                    metavar="CELL=FRACTION",
+                    help='batched cell (e.g. "incast-burst(b8)/VL64") that '
+                         'must beat its single-message sibling by at least '
+                         'FRACTION on ev/msg in the current run')
     args = ap.parse_args()
 
     base = load_results(args.baseline)
@@ -78,6 +91,29 @@ def main():
               f"{delta:>+7.1%}{flag}")
     for key in sorted(set(cur) - set(base)):
         print(f"{key[0]} / {key[1]}: new cell (no baseline), skipped")
+
+    for spec in args.expect_gain:
+        cell, _, frac_s = spec.partition("=")
+        scenario, _, backend = cell.partition("/")
+        if not frac_s or not backend:
+            bail(f"bad --expect-gain '{spec}' (want CELL=FRACTION)")
+        frac = float(frac_s)
+        sibling = re.sub(r"\(b\d+\)$", "", scenario)
+        if sibling == scenario:
+            bail(f"--expect-gain cell '{scenario}' has no (bN) suffix")
+        batched, single = (scenario, backend), (sibling, backend)
+        if batched not in cur or single not in cur:
+            failures.append(f"--expect-gain {spec}: cell missing from current")
+            continue
+        gain = 1.0 - cur[batched] / cur[single] if cur[single] else 0.0
+        ok = gain >= frac
+        print(f"gain {scenario} vs {sibling} / {backend}: "
+              f"{cur[single]:.2f} -> {cur[batched]:.2f} ({gain:+.1%}, "
+              f"need >= {frac:.0%}){'' if ok else '  << UNMET'}")
+        if not ok:
+            failures.append(
+                f"{cell}: batched ev/msg gain {gain:.1%} < required "
+                f"{frac:.0%} vs {sibling}/{backend}")
 
     if failures:
         print("\nbench_gate: FAIL")
