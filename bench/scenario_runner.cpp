@@ -28,6 +28,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "traffic/engine.hpp"
+#include "traffic/sharded_engine.hpp"
 
 namespace {
 
@@ -49,22 +50,51 @@ void print_usage() {
                "[--list] [--quiet] [--no-qos]\n"
                "                       [--sweep [--scales N,N,..] "
                "[--batches N,N,..]]\n"
+               "                       [--shards N [--sim-threads N] "
+               "[--tenants N]]\n"
                "  --no-qos  run with tenant QoS classes recorded but not\n"
                "            enforced in hardware (ablation baseline)\n"
                "  --batch   override every tenant's injection batch\n"
-               "            (TenantSpec::batch; 0 keeps preset values)\n");
+               "            (TenantSpec::batch; 0 keeps preset values)\n"
+               "  --shards  run the sharded mesh engine with N shards\n"
+               "            (needs a preset with a sharding block)\n"
+               "  --sim-threads  step shards on N host threads; output is\n"
+               "            byte-identical to sequential stepping\n"
+               "  --tenants override the sharded tenant population\n");
 }
 
 /// Run one (scenario, backend) cell, honouring the --no-qos ablation and
-/// the --batch override (0 = keep the preset's per-tenant batches).
+/// the --batch override (0 = keep the preset's per-tenant batches). With
+/// shards > 0 the cell runs on the sharded mesh engine instead (the
+/// merged EngineResult keeps the single-shard CSV/table shape), with
+/// --tenants overriding the preset's logical population.
 vl::traffic::EngineResult run_cell(const std::string& name, Backend b,
                                    std::uint64_t seed, int scale,
-                                   bool no_qos, std::uint32_t batch) {
+                                   bool no_qos, std::uint32_t batch,
+                                   int shards = 0, int sim_threads = 1,
+                                   std::uint64_t tenants = 0) {
   const vl::traffic::ScenarioSpec* spec = vl::traffic::find_scenario(name);
   if (!spec) throw std::invalid_argument("unknown scenario: " + name);
   vl::traffic::ScenarioSpec run = *spec;
   if (no_qos && run.qos) run.qos = false;
   if (batch) run = vl::traffic::with_batch(run, batch);
+  if (shards > 0) {
+    vl::traffic::ShardedOptions opts;
+    opts.shards = shards;
+    opts.sim_threads = sim_threads;
+    opts.population = tenants;
+    const vl::traffic::ShardedResult r =
+        vl::traffic::run_sharded(run, b, seed, opts, scale);
+    std::fprintf(stderr,
+                 "sharded: shards=%d sim_threads=%d cross_shard=%llu "
+                 "epochs=%llu window_stalls=%llu rebalanced=%llu\n",
+                 r.shards, r.sim_threads,
+                 static_cast<unsigned long long>(r.cross_shard),
+                 static_cast<unsigned long long>(r.epochs),
+                 static_cast<unsigned long long>(r.window_stalls),
+                 static_cast<unsigned long long>(r.rebalanced));
+    return r.engine;
+  }
   return vl::traffic::run_spec(run, b, seed, scale);
 }
 
@@ -175,6 +205,12 @@ int main(int argc, char** argv) {
       std::strtoul(arg_value(argc, argv, "--batch", "0"), nullptr, 10));
   const bool quiet = has_flag(argc, argv, "--quiet");
   const bool no_qos = has_flag(argc, argv, "--no-qos");
+  const int shards = static_cast<int>(
+      std::strtol(arg_value(argc, argv, "--shards", "0"), nullptr, 10));
+  const int sim_threads = static_cast<int>(
+      std::strtol(arg_value(argc, argv, "--sim-threads", "1"), nullptr, 10));
+  const auto tenants = static_cast<std::uint64_t>(
+      std::strtoull(arg_value(argc, argv, "--tenants", "0"), nullptr, 10));
 
   std::vector<std::string> scenarios;
   if (scenario == "all") {
@@ -222,8 +258,8 @@ int main(int argc, char** argv) {
   bool header_done = false;
   for (const auto& name : scenarios) {
     for (Backend b : backends) {
-      const vl::traffic::EngineResult r =
-          run_cell(name, b, seed, scale, no_qos, batch);
+      const vl::traffic::EngineResult r = run_cell(
+          name, b, seed, scale, no_qos, batch, shards, sim_threads, tenants);
       // One shared CSV header across the whole sweep.
       const std::string csv = r.csv();
       const std::size_t nl = csv.find('\n');

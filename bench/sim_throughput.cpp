@@ -27,6 +27,7 @@
 #include "bench/bench_util.hpp"
 #include "common/table.hpp"
 #include "traffic/engine.hpp"
+#include "traffic/sharded_engine.hpp"
 
 namespace {
 
@@ -38,6 +39,7 @@ struct RunSpec {
   std::string scenario;
   Backend backend;
   std::uint32_t batch = 0;  ///< 0 keeps the preset's per-tenant batches.
+  int shards = 0;           ///< 0 = classic engine; >= 1 = sharded mesh.
 };
 
 // Default matrix: the polling-heavy shapes the kernel overhaul targets
@@ -63,6 +65,13 @@ const RunSpec kDefaultMatrix[] = {
     // over its single-message sibling (bench_gate --expect-gain in CI).
     {"incast-burst", Backend::kVl, 8},
     {"incast-burst", Backend::kCaf, 8},
+    // Sharded mesh scaling (consistent-hash tenant routing, per-shard event
+    // loops): the same 100k-tenant diurnal workload on 1, 4, and 8 shards.
+    // ev/msg must keep collapsing with S — bench_gate --expect-gain pins
+    // the s8 row against the single-shard sibling.
+    {"shard-diurnal", Backend::kVl, 0, 1},
+    {"shard-diurnal", Backend::kVl, 0, 4},
+    {"shard-diurnal", Backend::kVl, 0, 8},
 };
 
 struct Row {
@@ -73,20 +82,29 @@ struct Row {
 };
 
 Row run_one(const std::string& scenario, Backend backend, std::uint64_t seed,
-            int scale, std::uint32_t batch = 0) {
+            int scale, std::uint32_t batch = 0, int shards = 0) {
   const vl::traffic::ScenarioSpec* spec = vl::traffic::find_scenario(scenario);
   const auto t0 = std::chrono::steady_clock::now();
-  const vl::traffic::EngineResult r =
-      batch ? vl::traffic::run_spec(vl::traffic::with_batch(*spec, batch),
-                                    backend, seed, scale)
-            : vl::traffic::run_scenario(scenario, backend, seed, scale);
+  vl::traffic::EngineResult r;
+  if (shards > 0) {
+    vl::traffic::ShardedOptions opts;
+    opts.shards = shards;
+    r = vl::traffic::run_sharded(*spec, backend, seed, opts, scale).engine;
+  } else {
+    r = batch ? vl::traffic::run_spec(vl::traffic::with_batch(*spec, batch),
+                                      backend, seed, scale)
+              : vl::traffic::run_scenario(scenario, backend, seed, scale);
+  }
   const auto t1 = std::chrono::steady_clock::now();
 
   Row row;
-  // Batched cells are their own (scenario, backend) key in BENCH_sim.json,
-  // so the perf gate tracks the fast path separately.
-  row.scenario = batch ? scenario + "(b" + std::to_string(batch) + ")"
-                       : scenario;
+  // Batched/sharded cells are their own (scenario, backend) key in
+  // BENCH_sim.json, so the perf gate tracks each variant separately; the
+  // single-shard mesh keeps the plain name — it is the sibling baseline
+  // the "(sN)" rows are gated against.
+  row.scenario = batch        ? scenario + "(b" + std::to_string(batch) + ")"
+                 : shards > 1 ? scenario + "(s" + std::to_string(shards) + ")"
+                              : scenario;
   row.backend = r.backend;
   row.events = r.events;
   row.ticks = r.metrics.ticks;
@@ -147,6 +165,8 @@ int main(int argc, char** argv) {
   const int scale = vl::bench::arg_scale(argc, argv, 1);
   const auto batch = static_cast<std::uint32_t>(
       std::strtoul(arg_value(argc, argv, "--batch", "0"), nullptr, 10));
+  const int shards = static_cast<int>(
+      std::strtol(arg_value(argc, argv, "--shards", "0"), nullptr, 10));
   const char* out = arg_value(argc, argv, "--out", "BENCH_sim.json");
 
   std::vector<RunSpec> matrix;
@@ -166,7 +186,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown backend '%s'\n", backend_s.c_str());
       return 2;
     }
-    for (Backend b : bs) matrix.push_back({sc, b, batch});
+    for (Backend b : bs) matrix.push_back({sc, b, batch, shards});
   } else {
     matrix.assign(std::begin(kDefaultMatrix), std::end(kDefaultMatrix));
   }
@@ -175,7 +195,8 @@ int main(int argc, char** argv) {
                           "kernel events & host throughput per scenario");
   std::vector<Row> rows;
   for (const RunSpec& rs : matrix)
-    rows.push_back(run_one(rs.scenario, rs.backend, seed, scale, rs.batch));
+    rows.push_back(
+        run_one(rs.scenario, rs.backend, seed, scale, rs.batch, rs.shards));
 
   vl::TextTable tt({"scenario", "backend", "events", "sim_ticks", "delivered",
                     "ev/msg", "wall_ms", "events/s", "Mticks/s"});

@@ -216,10 +216,15 @@ sim::Co<std::optional<Frame>> Consumer::try_dequeue_once() {
       co_return got;
     }
   } else if (++polls_since_fetch_ >= kRefetchThreshold) {
+    polls_since_fetch_ = 0;
+    // A rejected injection can have diverted this line's message into a
+    // later armed ring line (the device recycles the next waiting
+    // registration for returned data, § III-B): look for an out-of-order
+    // landing before concluding the registration was lost.
+    if (auto got = co_await sweep_landed()) co_return got;
     // A context switch may have cleared the pushable tag: re-issue the
     // request (sets it again); registration is idempotent per consumer
     // target so this is loss-free (§ III-B).
-    polls_since_fetch_ = 0;
     ++refetches_;
     co_await port.vl_select_fetch(t_.tid, line, dev_va_);
     armed_[cur_] = true;
@@ -249,6 +254,28 @@ sim::Co<void> Consumer::arm_ahead(std::size_t k) {
       ++marked;
     }
   }
+}
+
+void Consumer::release_ahead() {
+  for (std::size_t i = 0; i < buf_.size(); ++i) {
+    if (!armed_[i]) continue;
+    m_.mem().set_pushable(t_.core->id(), buf_[i], false);
+    armed_[i] = false;
+  }
+  polls_since_fetch_ = 0;
+}
+
+sim::Co<std::optional<Frame>> Consumer::sweep_landed() {
+  for (std::size_t k = 0; k < buf_.size(); ++k) {
+    const std::size_t idx = (cur_ + k) % buf_.size();
+    if (auto got = co_await poll_once(buf_[idx])) {
+      armed_[idx] = false;
+      polls_since_fetch_ = 0;
+      cur_ = (idx + 1) % buf_.size();
+      co_return got;
+    }
+  }
+  co_return std::nullopt;
 }
 
 sim::Co<Frame> Consumer::dequeue_frame() {

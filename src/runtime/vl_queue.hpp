@@ -218,9 +218,24 @@ class Consumer {
   /// Register demand for up to `k` ring lines ahead (k capped at the ring
   /// size) in ONE fused port transaction, so a burst of queued messages is
   /// injected into consecutive lines and then drained by pure local polls.
-  /// Only safe when this endpoint is the channel's sole consumer — demand
-  /// registered ahead pins messages to this endpoint.
+  /// Demand registered ahead pins messages to this endpoint, so a sharer
+  /// must treat it as a LEASE: drain, then release_ahead() + sweep_landed()
+  /// so unclaimed messages recover to the other consumers (§ III-B).
   sim::Co<void> arm_ahead(std::size_t k);
+
+  /// Release the demand lease: drop every pushable tag this endpoint
+  /// armed (migrate()'s mechanism without the thread rebind). In-flight
+  /// injections aimed at our lines are rejected and their data recovers
+  /// through the device's § III-B path to whoever holds live demand.
+  void release_ahead();
+
+  /// Scan the ring — current line first — for a frame that already landed,
+  /// regardless of arrival order. A rejected injection makes the device
+  /// recycle the *next* waiting registration for the returned data, so a
+  /// message can land one line ahead of the poll cursor; at a traffic tail
+  /// no later message refills the skipped line and an in-order-only poll
+  /// would wait forever. On a hit the cursor resynchronizes past the line.
+  sim::Co<std::optional<Frame>> sweep_landed();
 
   /// OS thread migration (§ III-B): clears every "pushable" tag this
   /// endpoint armed on the old core, so in-flight injections are rejected

@@ -151,6 +151,11 @@ class EventQueue {
   bool empty() const { return size_ == 0; }
   std::size_t pending() const { return size_; }
 
+  /// Earliest tick (>= now()) holding a pending event, or nullopt when the
+  /// queue is empty. Fires nothing (it may retire an internally drained
+  /// bucket) — the sharded stepper's safe-horizon probe (sim/sharded.hpp).
+  std::optional<Tick> peek_next_tick() { return next_event_tick(); }
+
   /// Total events executed over the queue's lifetime (throughput metric).
   std::uint64_t executed() const { return executed_; }
 

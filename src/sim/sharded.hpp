@@ -1,0 +1,135 @@
+#pragma once
+// Conservative-lookahead sharded simulation (the classic Chandy–Misra /
+// null-message discipline, specialised to a fixed link-latency mesh).
+//
+// A ShardedSim advances S independent EventQueues — one per modelled node
+// ("shard") — in lockstep epochs. The only cross-shard interaction is a
+// message over an inter-shard link with a fixed hop latency L >= the
+// configured lookahead, so an event at tick t on one shard can influence
+// another no earlier than t + L. That bound is the safe horizon: if the
+// earliest pending event anywhere sits at tick t_min, every shard may run
+// independently up to
+//
+//     H = t_min + L - 1
+//
+// without ever receiving an event from a peer inside the window — anything
+// a peer sends during the epoch arrives at >= t_min + L > H. At the epoch
+// barrier the coordinator collects every shard's outbox, sorts the posts
+// by (arrival tick, source shard, source sequence) — a total order that
+// does not depend on which shard stepped first — and schedules them into
+// the destination queues. Per-shard (tick, seq) event order is therefore a
+// pure function of the seed: byte-identical across runs and across the
+// sequential / threaded stepping modes.
+//
+// Stepping is sequential round-robin by default (deterministic, no host
+// threads — works on a 1-CPU container). With threads > 1 the epoch's
+// run_until() calls are spread over a persistent worker pool; shards share
+// no mutable state inside an epoch (outboxes are per-source, ingress
+// happens only at the single-threaded barrier), so the threaded mode
+// produces exactly the sequential result, just faster on real cores.
+//
+// Idle windows cost nothing: the horizon chases the earliest pending event
+// (run_until() fast-forwards now_ over gaps), so a diurnal trough advances
+// in one epoch instead of thousands of empty ones.
+//
+// Links apply back-pressure through a bounded in-flight window: can_post()
+// refuses once `link_window` posts from src->dst accumulate in the current
+// epoch, and the sender retries after a backoff (its shard keeps running).
+// The barrier drains every outbox, so the window resets per epoch —
+// in-flight here means "posted but not yet exchanged".
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace vl::sim {
+
+struct ShardedStats {
+  std::uint64_t epochs = 0;         ///< Lookahead windows executed.
+  std::uint64_t messages = 0;       ///< Cross-shard posts exchanged.
+  std::uint64_t window_stalls = 0;  ///< can_post() refusals (window full).
+};
+
+class ShardedSim {
+ public:
+  /// `lookahead` is the inter-shard link latency in ticks (>= 1): both the
+  /// hop delay every post pays and the safe horizon shards run ahead.
+  /// `threads` > 1 steps each epoch's shards on that many host threads.
+  explicit ShardedSim(Tick lookahead, int threads = 1);
+  ~ShardedSim();
+
+  ShardedSim(const ShardedSim&) = delete;
+  ShardedSim& operator=(const ShardedSim&) = delete;
+
+  /// Register a shard's queue (before run()); returns its shard id.
+  int add_shard(EventQueue& eq);
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  Tick lookahead() const { return lookahead_; }
+  int threads() const { return threads_; }
+
+  /// Bound on posts per (src, dst) link per epoch; 0 = unbounded.
+  void set_link_window(std::uint32_t w) { link_window_ = w; }
+
+  /// Room on the src->dst link? Senders must check before post() and back
+  /// off locally when refused (the refusal is counted in stats).
+  bool can_post(int src, int dst);
+
+  /// Cross-shard message: `deliver` runs in dst's queue at
+  /// src.now() + lookahead. Only call from code executing on shard `src`
+  /// (its outbox is single-writer by construction).
+  void post(int src, int dst, EventFn deliver);
+
+  /// Posts sitting in outboxes right now (not yet exchanged).
+  std::uint64_t posts_pending() const;
+
+  /// Called at every barrier, after the exchange, with all shards aligned
+  /// at the epoch boundary. Return true once the workload is complete;
+  /// run() then exits as soon as every queue has drained. The hook may
+  /// schedule events (e.g. termination pills) — scheduling keeps run()
+  /// going regardless of the returned flag.
+  using BarrierHook = std::function<bool()>;
+
+  /// Drive all shards until every queue drains and the hook (if any) has
+  /// declared the workload complete.
+  void run(BarrierHook hook = {});
+
+  /// Aggregate counters (window stalls are kept per-shard so threaded
+  /// stepping races on nothing; summed here).
+  ShardedStats stats() const;
+  /// Total events executed across every shard's queue.
+  std::uint64_t executed() const;
+
+ private:
+  struct OutMsg {
+    Tick arrival;
+    std::uint64_t seq;  ///< Per-source post counter (exchange tie-break).
+    int dst;
+    EventFn fn;
+  };
+  struct Shard {
+    EventQueue* eq = nullptr;
+    std::vector<OutMsg> outbox;      ///< Single-writer: only shard code posts.
+    std::uint64_t next_seq = 0;
+    std::uint64_t window_stalls = 0;
+  };
+  struct Pool;  // persistent worker threads for threads_ > 1
+
+  void exchange();
+  void step_all(Tick horizon);
+
+  Tick lookahead_;
+  int threads_;
+  std::uint32_t link_window_ = 0;
+  std::vector<Shard> shards_;
+  std::vector<std::uint32_t> in_flight_;  ///< S*S per-epoch link counters.
+  ShardedStats stats_;
+  std::unique_ptr<Pool> pool_;
+};
+
+}  // namespace vl::sim

@@ -129,18 +129,47 @@ sim::Co<std::size_t> VlChannel::try_recv_many(sim::SimThread t,
                                               std::span<Msg> out) {
   runtime::Consumer& c = consumer_for(t);
   // Burst demand registration pins the run of messages to this endpoint,
-  // which is only sound when it is the channel's sole consumer; with
-  // sharers, fall back to one-registration-at-a-time probes.
-  if (consumers_.size() == 1 && out.size() > 1)
+  // so only the channel's sole consumer may hold registrations across
+  // calls. A sharer's demand is a per-call LEASE: it probes one
+  // registration at a time (queued data injects inside the fetch's
+  // response window, so backlog still drains at full batch width) and
+  // releases whatever stayed armed before returning, so no message can be
+  // pinned to a ring nobody is polling.
+  const bool sole = consumers_.size() == 1;
+  if (sole && out.size() > 1)
     co_await c.arm_ahead(std::min<std::size_t>(out.size(), buf_lines_));
   std::size_t got = 0;
+  auto take = [&out, &got](const runtime::Frame& f) {
+    Msg& m = out[got++];
+    m.n = static_cast<std::uint8_t>(f.elems.size());
+    m.qos = f.qos;
+    for (std::uint8_t i = 0; i < m.n; ++i) m.w[i] = f.elems[i];
+  };
   while (got < out.size()) {
     auto f = co_await c.try_dequeue_once();
+    // A sharer registers demand one line at a time, and its in-flight
+    // injection needs the device's stash latency to land. Give that one
+    // injection a bounded window before concluding the queue is dry —
+    // otherwise the lease release below would bounce it on every call and
+    // the caller could starve with data queued.
+    constexpr int kLeasePolls = 5;
+    constexpr Tick kLeasePollGap = 16;
+    for (int w = 0; !f && !sole && w < kLeasePolls; ++w) {
+      co_await t.compute(kLeasePollGap);
+      f = co_await c.try_dequeue_once();
+    }
     if (!f) break;
-    Msg& m = out[got++];
-    m.n = static_cast<std::uint8_t>(f->elems.size());
-    m.qos = f->qos;
-    for (std::uint8_t i = 0; i < m.n; ++i) m.w[i] = f->elems[i];
+    take(*f);
+  }
+  if (!sole) {
+    c.release_ahead();
+    // Injections that landed in our lines while the lease was live are
+    // already ours — sweep them out before handing demand back.
+    while (got < out.size()) {
+      auto f = co_await c.sweep_landed();
+      if (!f) break;
+      take(*f);
+    }
   }
   co_return got;
 }

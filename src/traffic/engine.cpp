@@ -1,6 +1,7 @@
 #include "traffic/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -37,6 +38,10 @@ struct StageChannel {
   std::unique_ptr<Channel> ch;
   int workers = 1;
   std::string label;
+  /// Payload messages fed into this channel (producer flushes + upstream
+  /// relays). Final by the time its termination pill is built, so the pill
+  /// can carry the exact drain target for the channel's sole worker.
+  std::uint64_t fed = 0;
 };
 
 struct Stage {
@@ -66,10 +71,16 @@ struct Ctx {
     return backend == squeue::Backend::kCaf ? std::uint8_t{1} : t.msg_words;
   }
 
-  Msg make_pill() const {
+  /// Termination pill. The stamp bits [47:0] — meaningless for a pill —
+  /// carry the channel's exact payload count, so a sole worker can drain
+  /// to the count instead of trusting arrival order: VL's § III-B
+  /// injection-retry recovery can land a straggler *after* a younger line
+  /// (the registration recycle maps returned data to the next armed ring
+  /// line), so "pill seen" does not imply "channel empty".
+  Msg make_pill(std::uint64_t count = 0) const {
     Msg p;
     p.n = 1;
-    p.w[0] = kPillTenant << 56;
+    p.w[0] = (kPillTenant << 56) | (count & kTickMask);
     return p;
   }
 };
@@ -93,33 +104,35 @@ Co<void> producer(Ctx& cx, SimThread t, int tenant_id, int pid) {
       ack ? std::min<std::uint64_t>(ts.batch, cx.spec.window)
           : std::max<std::uint32_t>(ts.batch, 1);
   int outstanding = 0;
-  std::vector<Msg> burst;
-  burst.reserve(batch);
-  std::uint64_t lap = 0;  // burst counter, drives fan-out round-robin
+  // Per-channel sub-batches: every message routes individually (fan-out
+  // rotates per message, mesh redraws per message) and accumulates into
+  // its channel's sub-batch; at lap end the non-empty sub-batches flush in
+  // ascending channel order, one send_many per channel touched. This keeps
+  // batched injection (the per-lap accumulation trade) without pinning a
+  // whole burst to one consumer. With batch == 1 a lap is one message, so
+  // the rotation counter and mesh RNG draws replay the historic per-lap
+  // routing draw for draw and BENCH baselines are unaffected.
+  std::vector<std::vector<Msg>> sub(nch);
+  std::uint64_t seq = 0;  // routing counter: advances per generated message
 
   for (std::uint64_t i = 0; i < target;) {
     // Assemble up to `batch` messages: each paces on the arrival process
     // and is stamped at its generation instant, so batching adds the
     // producer-side accumulation delay to the measured latency — exactly
     // the trade batched injection makes.
-    burst.clear();
-    // Route the burst as one unit. Round-robin advances per LAP, not per
-    // message index — with a batch that divides the channel count, an
-    // index-based rotation would pin every burst to channel 0 and idle
-    // the other consumers. batch == 1 reproduces the classic per-message
-    // rotation draw for draw.
-    std::uint64_t c = 0;
-    if (nch > 1)
-      c = cx.spec.topology == Topology::kFanOut ? lap % nch
-                                                : route_rng.below(nch);
-    ++lap;
-    Channel& ch = *s0.channels[c].ch;
-    while (burst.size() < batch && i < target) {
+    std::uint64_t assembled = 0;
+    while (assembled < batch && i < target) {
       const Tick gap = arrival->next_gap(eq.now());
       if (gap) co_await sim::Delay(eq, gap);
       if (cx.spec.produce_compute) co_await t.compute(cx.spec.produce_compute);
 
       ++tm.generated;
+      std::uint64_t c = 0;
+      if (nch > 1)
+        c = cx.spec.topology == Topology::kFanOut ? seq % nch
+                                                  : route_rng.below(nch);
+      ++seq;  // dropped messages advance the rotation too
+      Channel& ch = *s0.channels[c].ch;
       if (ts.drop_depth && ch.depth() >= ts.drop_depth) {
         ++tm.dropped;
         ++i;
@@ -131,21 +144,28 @@ Co<void> producer(Ctx& cx, SimThread t, int tenant_id, int pid) {
       msg.w[0] = stamp(tenant_id, pid, eq.now());
       for (std::uint8_t w = 1; w < words; ++w)
         msg.w[w] = (static_cast<std::uint64_t>(tenant_id) << 32) | i;
-      burst.push_back(msg);
+      sub[c].push_back(msg);
       ++i;
+      ++assembled;
     }
-    if (burst.empty()) continue;  // the whole lap was shed
-    if (ack)
-      while (outstanding + static_cast<int>(burst.size()) >
-             cx.spec.window) {
-        co_await ack->recv1(t);
-        --outstanding;
-      }
-    const Tick send_start = eq.now();
-    co_await ch.send_many(t, burst);  // one batched injection
-    tm.blocked_ticks += eq.now() - send_start;  // time-in-backpressure
-    tm.sent += burst.size();
-    if (ack) outstanding += static_cast<int>(burst.size());
+    // Flush the lap: ascending channel order, closed-loop window re-checked
+    // per sub-batch so outstanding never exceeds the in-flight budget.
+    for (std::uint64_t c = 0; c < nch; ++c) {
+      auto& b = sub[c];
+      if (b.empty()) continue;
+      if (ack)
+        while (outstanding + static_cast<int>(b.size()) > cx.spec.window) {
+          co_await ack->recv1(t);
+          --outstanding;
+        }
+      const Tick send_start = eq.now();
+      co_await s0.channels[c].ch->send_many(t, b);  // one batched injection
+      tm.blocked_ticks += eq.now() - send_start;  // time-in-backpressure
+      tm.sent += b.size();
+      s0.channels[c].fed += b.size();
+      if (ack) outstanding += static_cast<int>(b.size());
+      b.clear();
+    }
   }
   if (ack)
     while (outstanding > 0) {
@@ -163,16 +183,19 @@ Co<void> worker(Ctx& cx, SimThread t, int stage_idx, int chan_idx) {
       stage_idx + 1 == static_cast<int>(cx.stages.size());
   auto& eq = cx.m.eq();
 
-  // A channel's sole worker drains opportunistically in batches — exactly
-  // one termination pill ever arrives on such a channel, and it is the
-  // last message, so a drained run never swallows a sibling's pill. Shared
-  // channels stay on one-message receives for that reason.
+  // A channel's sole worker drains opportunistically in batches and
+  // terminates on the exact payload count its pill carries — arrival order
+  // is not trusted, because VL's injection-retry recovery can surface the
+  // pill ahead of a straggling payload line. Shared channels stay on
+  // one-message receives and first-pill semantics: the coordinator sends
+  // one pill per worker, and their payload split is not knowable up front.
   const std::size_t window = sc.workers == 1 ? std::size_t{8} : 1;
   std::vector<Msg> drained(window);
   std::vector<Msg> relay;
-  bool saw_pill = false;
+  std::uint64_t expected = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t received = 0;
 
-  while (!saw_pill) {
+  while (received < expected) {
     const std::size_t got =
         co_await ch.recv_many(t, std::span<Msg>(drained.data(), window), 1);
     relay.clear();
@@ -180,7 +203,11 @@ Co<void> worker(Ctx& cx, SimThread t, int stage_idx, int chan_idx) {
       Msg& msg = drained[k];
       const std::uint64_t tenant = msg.w[0] >> 56;
       if (tenant == kPillTenant) {
-        saw_pill = true;
+        if (sc.workers == 1) {
+          expected = msg.w[0] & kTickMask;  // drain target; keep going
+          continue;
+        }
+        expected = received;  // shared channel: this pill is ours, stop
         break;
       }
       if (cx.spec.consume_compute) co_await t.compute(cx.spec.consume_compute);
@@ -196,11 +223,14 @@ Co<void> worker(Ctx& cx, SimThread t, int stage_idx, int chan_idx) {
         // Pipeline relay: preserve the stamp so latency stays end-to-end.
         relay.push_back(msg);
       }
+      ++received;
     }
-    if (!relay.empty())
-      co_await cx.stages[static_cast<std::size_t>(stage_idx) + 1]
-          .channels.front()
+    if (!relay.empty()) {
+      Stage& next = cx.stages[static_cast<std::size_t>(stage_idx) + 1];
+      co_await next.channels.front()
           .ch->send_many(t, relay);  // relay the drained run as one batch
+      next.channels.front().fed += relay.size();
+    }
   }
 
   if (--st.workers_remaining == 0 && !final_stage) {
@@ -209,7 +239,7 @@ Co<void> worker(Ctx& cx, SimThread t, int stage_idx, int chan_idx) {
     Stage& next = cx.stages[static_cast<std::size_t>(stage_idx) + 1];
     for (auto& nc : next.channels)
       for (int k = 0; k < nc.workers; ++k)
-        co_await nc.ch->send(t, cx.make_pill());
+        co_await nc.ch->send(t, cx.make_pill(nc.workers == 1 ? nc.fed : 0));
   }
   if (final_stage && --cx.consumers_remaining == 0) cx.all_done = true;
 }
@@ -218,7 +248,7 @@ Co<void> coordinator(Ctx& cx, SimThread t) {
   co_await cx.producers_done;
   for (auto& sc : cx.stages.front().channels)
     for (int k = 0; k < sc.workers; ++k)
-      co_await sc.ch->send(t, cx.make_pill());
+      co_await sc.ch->send(t, cx.make_pill(sc.workers == 1 ? sc.fed : 0));
 }
 
 Co<void> depth_sampler(Ctx& cx) {
@@ -354,6 +384,23 @@ std::string EngineResult::table() const {
 sim::SystemConfig machine_config_for(const ScenarioSpec& spec,
                                      squeue::Backend backend) {
   sim::SystemConfig cfg = squeue::config_for(backend);
+
+  // Provision routing devices for wide fan-outs (paper § III-C2: address
+  // bits J:N+1 spread virtual queues across VLRDs with zero shared state).
+  // One device's prodBuf/consBuf/linkTab saturate around 4-8 heavily
+  // consumed SQIs — beyond that, consumer arm-ahead registrations exceed
+  // the consBuf and the fetch-retry traffic starves injection into a
+  // livelock. Cap at 4 SQIs per device; queue descriptors round-robin
+  // across devices, so consecutive channels land on distinct VLRDs.
+  const int payload_sqis =
+      (spec.topology == Topology::kFanOut || spec.topology == Topology::kMesh)
+          ? spec.consumers
+          : 1;
+  if (backend == squeue::Backend::kVl && payload_sqis > 4)
+    cfg.vlrd.num_devices = std::min<std::uint32_t>(
+        (static_cast<std::uint32_t>(payload_sqis) + 3) / 4,
+        1u << vlrd::kVlrdIdBits);
+
   const bool has_relay_cycle =
       spec.topology == Topology::kPipeline || spec.closed_loop;
   if (backend == squeue::Backend::kVl && has_relay_cycle) {
@@ -399,7 +446,11 @@ sim::SystemConfig machine_config_for(const ScenarioSpec& spec,
         sqis = static_cast<std::uint32_t>(std::max(spec.stages, 1));
       else if (spec.topology == Topology::kFanOut ||
                spec.topology == Topology::kMesh)
-        sqis = static_cast<std::uint32_t>(std::max(spec.consumers, 1));
+        // Quotas guard each device's own prodBuf, so the divisor is the
+        // SQIs *per device* (channels round-robin across the cluster).
+        sqis = (static_cast<std::uint32_t>(std::max(spec.consumers, 1)) +
+                cfg.vlrd.num_devices - 1) /
+               cfg.vlrd.num_devices;
     }
     const std::uint32_t budget = backend == squeue::Backend::kVl
                                      ? cfg.vlrd.prod_entries - 1

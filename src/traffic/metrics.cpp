@@ -98,6 +98,22 @@ void TenantMetrics::merge(const TenantMetrics& o) {
   latency.merge(o.latency);
 }
 
+void ScenarioMetrics::merge(const ScenarioMetrics& o) {
+  for (const auto& ot : o.tenants) {
+    auto it = std::find_if(tenants.begin(), tenants.end(),
+                           [&](const TenantMetrics& t) {
+                             return t.tenant == ot.tenant;
+                           });
+    if (it != tenants.end())
+      it->merge(ot);
+    else
+      tenants.push_back(ot);
+  }
+  for (const auto& d : o.depths) depths.push_back(d);
+  ticks = std::max(ticks, o.ticks);
+  ns = std::max(ns, o.ns);
+}
+
 double ClassAgg::slo_attained_pct() const {
   if (!slo_delivered) return 100.0;
   return 100.0 * static_cast<double>(slo_within) /

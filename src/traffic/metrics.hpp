@@ -120,6 +120,13 @@ struct ScenarioMetrics {
   std::uint64_t total_delivered() const;
   std::uint64_t total_dropped() const;
 
+  /// Fold another run's metrics in — the per-shard aggregation the sharded
+  /// engine uses. Tenants are matched by name (histograms merged, counters
+  /// summed; unmatched tenants appended), depth series are appended, and
+  /// ticks/ns take the max: shards run the same virtual clock, so the
+  /// merged duration is the latest finisher, not the sum.
+  void merge(const ScenarioMetrics& o);
+
   /// Per-class aggregation, ascending class order, classes present only.
   std::vector<ClassAgg> by_class() const;
   /// Distinct service classes among the tenants.

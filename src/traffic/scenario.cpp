@@ -311,6 +311,59 @@ std::vector<ScenarioSpec> build_registry() {
     reg.push_back(std::move(s));
   }
 
+  {
+    // The sharding workhorse (ROADMAP item 2): three service classes under
+    // a day/night ramp, fanned out one channel per consumer, designed to
+    // run across a shard mesh. The classic engine runs it too (small —
+    // messages_per_producer below — so the every-preset regression stays
+    // cheap); run_sharded ignores messages_per_producer and spreads
+    // sharding.messages_total over the producers against a
+    // sharding.population-sized tenant ring instead.
+    ScenarioSpec s;
+    s.name = "shard-diurnal";
+    s.summary = "32x32 fan-out, 3-class diurnal mix over a 100k-tenant ring";
+    s.topology = Topology::kFanOut;
+    s.producers = 32;
+    s.consumers = 32;
+    s.capacity_hint = 4096;
+    s.consume_compute = 20;
+    s.qos = true;
+    s.sharding.population = 100000;
+    s.sharding.messages_total = 32768;
+    s.sharding.link_latency = 512;
+    s.sharding.link_window = 4096;
+    TenantSpec web;
+    web.name = "web";
+    web.qos = QosClass::kLatency;
+    web.share = 0.4;
+    web.arrival = ArrivalSpec::diurnal(/*gap=*/40, /*amplitude=*/0.8,
+                                       /*cycle=*/40000);
+    web.msg_words = 2;
+    web.messages_per_producer = 20;
+    web.batch = 8;
+    web.slo_p99 = 20000;
+    TenantSpec api;
+    api.name = "api";
+    api.qos = QosClass::kStandard;
+    api.share = 0.3;
+    api.arrival = ArrivalSpec::poisson(60);
+    api.msg_words = 3;
+    api.messages_per_producer = 20;
+    api.batch = 8;
+    TenantSpec bulk;
+    bulk.name = "bulk";
+    bulk.qos = QosClass::kBulk;
+    bulk.share = 0.3;
+    bulk.arrival = ArrivalSpec::bursty(/*burst_gap=*/20, /*idle_gap=*/2000,
+                                       /*burst_dwell=*/3000,
+                                       /*idle_dwell=*/2000);
+    bulk.msg_words = 5;
+    bulk.messages_per_producer = 20;
+    bulk.batch = 8;
+    s.tenants = {web, api, bulk};
+    reg.push_back(std::move(s));
+  }
+
   return reg;
 }
 

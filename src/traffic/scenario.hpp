@@ -64,6 +64,20 @@ struct TenantSpec {
   Tick slo_p99 = 0;
 };
 
+/// Parameters for sharded runs (traffic/sharded_engine.hpp): a logical
+/// tenant population routed over a consistent-hash ring onto S shards,
+/// each a full Machine, synchronised by conservative lookahead. The
+/// classic single-machine engine ignores this block entirely — a preset
+/// carrying it still runs (small) on one machine, which is what keeps
+/// sharded presets inside the every-preset regression tests.
+struct ShardingSpec {
+  std::uint64_t population = 0;      ///< Tenant ids on the hash ring.
+  std::uint64_t messages_total = 0;  ///< Global message budget at scale 1.
+  Tick link_latency = 512;           ///< Inter-shard hop; also the lookahead.
+  std::uint32_t link_window = 4096;  ///< Max in-flight posts per link/epoch.
+  bool rebalance = false;            ///< Overload-triggered tenant moves.
+};
+
 struct ScenarioSpec {
   std::string name;
   std::string summary;       ///< One-line description for --list.
@@ -84,6 +98,9 @@ struct ScenarioSpec {
   /// VLRD (see traffic::machine_config_for). Software backends (BLFQ/ZMQ)
   /// have no enforcement knob and ignore it.
   bool qos = false;
+  /// Sharded-run parameters; population == 0 means the preset was not
+  /// designed for sharding (run_sharded rejects it).
+  ShardingSpec sharding;
   std::vector<TenantSpec> tenants;
 };
 

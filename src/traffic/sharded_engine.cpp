@@ -1,0 +1,457 @@
+#include "traffic/sharded_engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/sharded.hpp"
+#include "sim/task.hpp"
+#include "traffic/shard_router.hpp"
+
+namespace vl::traffic {
+
+namespace {
+
+using squeue::Channel;
+using squeue::Msg;
+using sim::Co;
+using sim::SimThread;
+
+constexpr std::uint64_t kTickMask = (std::uint64_t{1} << 48) - 1;
+constexpr std::uint64_t kPillTenant = 0xff;
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr Tick kWindowBackoff = 32;  ///< Retry gap when a link is full.
+constexpr std::uint64_t kRebalancePeriod = 64;  ///< Barriers between checks.
+
+std::uint64_t split_seed(std::uint64_t seed, std::uint64_t salt) {
+  return seed ^ (0x9e3779b97f4a7c15ull * (salt + 1));
+}
+
+/// Same framing as the classic engine, with the class index in the tenant
+/// byte: logical tenants are a population of ids, so metrics aggregate per
+/// service class rather than per id.
+std::uint64_t stamp(int cls, int pid, Tick now) {
+  return (static_cast<std::uint64_t>(cls) << 56) |
+         (static_cast<std::uint64_t>(pid & 0xff) << 48) | (now & kTickMask);
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// A message in flight on an inter-shard link, bound for channel `ch` of
+/// the destination shard.
+struct InMsg {
+  Msg msg;
+  int ch;
+};
+
+struct ShardCtx {
+  int id = 0;
+  std::unique_ptr<runtime::Machine> m;
+  std::unique_ptr<squeue::ChannelFactory> f;
+  std::vector<std::unique_ptr<Channel>> channels;
+
+  /// Link landing zone: cross-shard deliveries append here (on this
+  /// shard's event queue) and the relay thread injects them into channels.
+  std::deque<InMsg> ingress;
+  std::unique_ptr<sim::WaitQueue> ingress_wq;
+  bool stop = false;  ///< All producers (mesh-wide) done; relay may poison.
+
+  int producers_remaining = 0;
+  int workers_remaining = 0;
+  bool all_done = false;  ///< Final worker exited; sampler unwinds.
+
+  std::vector<TenantMetrics> classes;  ///< One per spec tenant (class).
+  std::vector<DepthSeries> depths;
+  std::uint64_t digest = kFnvBasis;  ///< (tick, stamp) event-stream fold.
+  std::uint64_t cross_in = 0;        ///< Messages that arrived over links.
+  std::uint64_t delivered = 0;
+
+  /// Payload messages fed into each channel (local producer flushes +
+  /// relay injections). Final before the relay poisons, so each pill can
+  /// carry its channel's exact drain target.
+  std::vector<std::uint64_t> chan_sent;
+};
+
+struct Mesh {
+  const ScenarioSpec& spec;
+  squeue::Backend backend;
+  std::uint64_t seed;
+  std::uint64_t population;
+  sim::ShardedSim& ssim;
+  ShardRouter& router;
+  std::vector<std::unique_ptr<ShardCtx>>& shards;
+
+  std::uint8_t payload_words(const TenantSpec& t) const {
+    return backend == squeue::Backend::kCaf ? std::uint8_t{1} : t.msg_words;
+  }
+  /// Termination pill; the stamp bits [47:0] carry the channel's payload
+  /// count so the worker drains to the count rather than trusting arrival
+  /// order (VL's injection-retry recovery can surface the pill ahead of a
+  /// straggling payload line).
+  Msg make_pill(std::uint64_t count) const {
+    Msg p;
+    p.n = 1;
+    p.w[0] = (kPillTenant << 56) | (count & kTickMask);
+    return p;
+  }
+};
+
+/// One producer thread on shard `home`. Each message draws a destination
+/// tenant from the population; the router decides which shard (and the
+/// tenant hash which channel) serves it. Local messages accumulate into
+/// per-channel sub-batches flushed at lap end; remote messages post onto
+/// the inter-shard link as they are generated (the destination relay does
+/// the batched injection).
+Co<void> producer(Mesh& mesh, ShardCtx& cx, SimThread t, int cls, int gpid,
+                  std::uint64_t target) {
+  const TenantSpec& ts = mesh.spec.tenants[static_cast<std::size_t>(cls)];
+  auto arrival = make_arrival(ts.arrival, split_seed(mesh.seed, 0x5000 + gpid));
+  Xoshiro256 dest_rng(split_seed(mesh.seed, 0x6000 + gpid));
+  auto& eq = cx.m->eq();
+  auto& tm = cx.classes[static_cast<std::size_t>(cls)];
+  const std::uint8_t words = mesh.payload_words(ts);
+  const std::uint64_t batch = std::max<std::uint32_t>(ts.batch, 1);
+  const int home = cx.id;
+
+  std::vector<std::vector<Msg>> sub(cx.channels.size());
+  for (std::uint64_t i = 0; i < target;) {
+    // One lap: accumulate up to `batch` messages, each paced by the
+    // arrival process and routed individually — local ones into
+    // per-channel sub-batches, remote ones straight onto their link.
+    for (std::uint64_t b = 0; b < batch && i < target; ++b, ++i) {
+      const Tick gap = arrival->next_gap(eq.now());
+      if (gap) co_await sim::Delay(eq, gap);
+      if (mesh.spec.produce_compute)
+        co_await t.compute(mesh.spec.produce_compute);
+
+      ++tm.generated;
+      const std::uint64_t dest = dest_rng.below(mesh.population);
+      const int dst = mesh.router.shard_for(dest);
+      const int nch_dst =
+          static_cast<int>(mesh.shards[static_cast<std::size_t>(dst)]
+                               ->channels.size());
+      const int ch = static_cast<int>(ShardRouter::hash(dest) %
+                                      static_cast<std::uint64_t>(nch_dst));
+      Msg msg;
+      msg.n = words;
+      msg.qos = ts.qos;
+      msg.w[0] = stamp(cls, gpid, eq.now());
+      for (std::uint8_t w = 1; w < words; ++w)
+        msg.w[w] = (static_cast<std::uint64_t>(cls) << 32) | i;
+
+      if (dst == home) {
+        sub[static_cast<std::size_t>(ch)].push_back(msg);
+        continue;
+      }
+      // Remote: respect the link's in-flight window, then hand the
+      // message to the destination's ingress at now + link latency.
+      while (!mesh.ssim.can_post(home, dst)) {
+        co_await sim::Delay(eq, kWindowBackoff);
+        tm.blocked_ticks += kWindowBackoff;
+      }
+      ShardCtx* d = mesh.shards[static_cast<std::size_t>(dst)].get();
+      mesh.ssim.post(home, dst, [d, msg, ch] {
+        d->digest = fnv1a(d->digest, d->m->now());
+        d->digest = fnv1a(d->digest, msg.w[0]);
+        ++d->cross_in;
+        d->ingress.push_back(InMsg{msg, ch});
+        d->ingress_wq->wake_one();
+      });
+      ++tm.sent;
+    }
+    // Flush the lap's local sub-batches, ascending channel order.
+    for (std::size_t c = 0; c < sub.size(); ++c) {
+      if (sub[c].empty()) continue;
+      const Tick send_start = eq.now();
+      co_await cx.channels[c]->send_many(t, sub[c]);
+      tm.blocked_ticks += eq.now() - send_start;
+      tm.sent += sub[c].size();
+      cx.chan_sent[c] += sub[c].size();
+      sub[c].clear();
+    }
+  }
+  --cx.producers_remaining;  // the barrier hook polls this
+}
+
+/// Per-shard link relay: drains the ingress deque into per-channel
+/// sub-batches and injects them with one send_many per channel. Once the
+/// stop flag is up (all producers mesh-wide finished — every delivery is
+/// already scheduled, and same-tick events fire in schedule order, so the
+/// flag can never overtake payload) and the ingress is dry, it poisons
+/// each channel's sole worker.
+Co<void> relay(Mesh& mesh, ShardCtx& cx, SimThread t) {
+  std::vector<std::vector<Msg>> sub(cx.channels.size());
+  for (;;) {
+    const auto gate = cx.ingress_wq->epoch();
+    if (cx.ingress.empty()) {
+      if (cx.stop) break;
+      co_await t.park(*cx.ingress_wq, gate);
+      continue;
+    }
+    while (!cx.ingress.empty()) {
+      const InMsg& im = cx.ingress.front();
+      sub[static_cast<std::size_t>(im.ch)].push_back(im.msg);
+      cx.ingress.pop_front();
+    }
+    for (std::size_t c = 0; c < sub.size(); ++c) {
+      if (sub[c].empty()) continue;
+      co_await cx.channels[c]->send_many(t, sub[c]);
+      cx.chan_sent[c] += sub[c].size();
+      sub[c].clear();
+    }
+  }
+  for (std::size_t c = 0; c < cx.channels.size(); ++c)
+    co_await cx.channels[c]->send(t, mesh.make_pill(cx.chan_sent[c]));
+}
+
+/// Sole consumer of one channel: batched opportunistic drain, per-class
+/// delivery accounting, digest fold per delivery.
+Co<void> worker(Mesh& mesh, ShardCtx& cx, SimThread t, int ci) {
+  Channel& ch = *cx.channels[static_cast<std::size_t>(ci)];
+  auto& eq = cx.m->eq();
+  constexpr std::size_t kWindow = 8;
+  std::vector<Msg> drained(kWindow);
+  std::uint64_t expected = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t received = 0;
+
+  while (received < expected) {
+    const std::size_t got =
+        co_await ch.recv_many(t, std::span<Msg>(drained.data(), kWindow), 1);
+    for (std::size_t k = 0; k < got; ++k) {
+      const Msg& msg = drained[k];
+      const std::uint64_t cls = msg.w[0] >> 56;
+      if (cls == kPillTenant) {
+        expected = msg.w[0] & kTickMask;  // drain target; keep going
+        continue;
+      }
+      if (mesh.spec.consume_compute)
+        co_await t.compute(mesh.spec.consume_compute);
+      auto& tm = cx.classes[static_cast<std::size_t>(cls)];
+      ++tm.delivered;
+      tm.latency.record((eq.now() - msg.w[0]) & kTickMask);
+      ++cx.delivered;
+      cx.digest = fnv1a(cx.digest, eq.now());
+      cx.digest = fnv1a(cx.digest, msg.w[0]);
+      ++received;
+    }
+  }
+  if (--cx.workers_remaining == 0) cx.all_done = true;
+}
+
+Co<void> depth_sampler(Mesh& mesh, ShardCtx& cx) {
+  for (;;) {
+    for (std::size_t c = 0; c < cx.channels.size(); ++c) {
+      auto& d = cx.depths[c];
+      d.depth.record(static_cast<double>(cx.channels[c]->depth()));
+      ++d.samples;
+    }
+    if (cx.all_done) break;
+    co_await sim::Delay(cx.m->eq(), mesh.spec.depth_sample_period);
+  }
+}
+
+}  // namespace
+
+ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
+                          std::uint64_t seed, const ShardedOptions& opts,
+                          int scale) {
+  const std::string err = validate(raw);
+  if (!err.empty())
+    throw std::invalid_argument("invalid scenario '" + raw.name + "': " + err);
+  const ScenarioSpec& spec = raw;  // sharded budget scales globally, below
+
+  const std::uint64_t population =
+      opts.population ? opts.population : spec.sharding.population;
+  const std::uint64_t messages_total =
+      (opts.messages ? opts.messages : spec.sharding.messages_total) *
+      static_cast<std::uint64_t>(std::max(scale, 1));
+  const int S = opts.shards;
+  if (S < 1) throw std::invalid_argument("shards must be >= 1");
+  if (population == 0)
+    throw std::invalid_argument("scenario '" + spec.name +
+                                "' has no sharding population");
+  if (messages_total == 0)
+    throw std::invalid_argument("scenario '" + spec.name +
+                                "' has no sharding message budget");
+  if (spec.topology != Topology::kFanOut && spec.topology != Topology::kMesh)
+    throw std::invalid_argument(
+        "sharded runs need a fan-out/mesh topology (channel per consumer)");
+  if (spec.closed_loop)
+    throw std::invalid_argument("sharded runs are open-loop only");
+  if (spec.consumers < S)
+    throw std::invalid_argument(
+        "need at least one consumer per shard (consumers >= shards)");
+
+  ShardRouter router(S);
+  sim::ShardedSim ssim(spec.sharding.link_latency, opts.sim_threads);
+  ssim.set_link_window(spec.sharding.link_window);
+
+  // Producers and channels are dealt round-robin: global producer p lives
+  // on shard p % S, global channel c on shard c % S.
+  std::vector<int> np(static_cast<std::size_t>(S), 0);
+  std::vector<int> nch(static_cast<std::size_t>(S), 0);
+  for (int p = 0; p < spec.producers; ++p) ++np[static_cast<std::size_t>(p % S)];
+  for (int c = 0; c < spec.consumers; ++c)
+    ++nch[static_cast<std::size_t>(c % S)];
+
+  std::vector<std::unique_ptr<ShardCtx>> shards;
+  std::uint8_t frame = 1;
+  for (const auto& t : spec.tenants)
+    frame = std::max(frame, backend == squeue::Backend::kCaf
+                                ? std::uint8_t{1}
+                                : t.msg_words);
+  for (int sh = 0; sh < S; ++sh) {
+    auto cx = std::make_unique<ShardCtx>();
+    cx->id = sh;
+    // Each shard's hardware knobs (QoS quota carve, per-SQI splits) are
+    // sized for the channels *it* hosts, exactly as a standalone node's
+    // would be.
+    ScenarioSpec node = spec;
+    node.producers = std::max(np[static_cast<std::size_t>(sh)], 1);
+    node.consumers = nch[static_cast<std::size_t>(sh)];
+    cx->m = std::make_unique<runtime::Machine>(
+        machine_config_for(node, backend));
+    cx->f = std::make_unique<squeue::ChannelFactory>(*cx->m, backend);
+    for (int c = 0; c < nch[static_cast<std::size_t>(sh)]; ++c) {
+      const std::string label =
+          "sh" + std::to_string(sh) + "c" + std::to_string(c);
+      cx->channels.push_back(cx->f->make(label, spec.capacity_hint, frame));
+      DepthSeries d;
+      d.channel = label;
+      cx->depths.push_back(std::move(d));
+    }
+    cx->ingress_wq = std::make_unique<sim::WaitQueue>(cx->m->eq());
+    cx->chan_sent.assign(cx->channels.size(), 0);
+    for (const auto& t : spec.tenants) {
+      TenantMetrics tm;
+      tm.tenant = t.name;
+      tm.qos = t.qos;
+      tm.slo_p99 = t.slo_p99;
+      cx->classes.push_back(std::move(tm));
+    }
+    cx->producers_remaining = np[static_cast<std::size_t>(sh)];
+    cx->workers_remaining = nch[static_cast<std::size_t>(sh)];
+    ssim.add_shard(cx->m->eq());
+    shards.push_back(std::move(cx));
+  }
+
+  Mesh mesh{spec, backend, seed, population, ssim, router, shards};
+
+  // Global message budget over global producer ids (largest remainder),
+  // classes assigned by the same split as the classic engine — both are
+  // shard-count-invariant, which is what makes delivered counts equal
+  // across S.
+  const std::vector<int> split = tenant_producer_split(spec);
+  std::vector<int> cls_of(static_cast<std::size_t>(spec.producers), 0);
+  {
+    int p = 0;
+    for (std::size_t ti = 0; ti < split.size(); ++ti)
+      for (int k = 0; k < split[ti] && p < spec.producers; ++k)
+        cls_of[static_cast<std::size_t>(p++)] = static_cast<int>(ti);
+  }
+  const std::uint64_t per =
+      messages_total / static_cast<std::uint64_t>(spec.producers);
+  const std::uint64_t rem =
+      messages_total % static_cast<std::uint64_t>(spec.producers);
+
+  for (int sh = 0; sh < S; ++sh) {
+    ShardCtx& cx = *shards[static_cast<std::size_t>(sh)];
+    CoreId core = 0;
+    auto next_thread = [&] {
+      const CoreId c = core;
+      core = (core + 1) % cx.m->num_cores();
+      return cx.m->thread_on(c);
+    };
+    sim::spawn(relay(mesh, cx, next_thread()));
+    for (int c = 0; c < static_cast<int>(cx.channels.size()); ++c)
+      sim::spawn(worker(mesh, cx, next_thread(), c));
+    for (int p = sh; p < spec.producers; p += S) {
+      const std::uint64_t target =
+          per + (static_cast<std::uint64_t>(p) < rem ? 1 : 0);
+      if (target)
+        sim::spawn(producer(mesh, cx, next_thread(),
+                            cls_of[static_cast<std::size_t>(p)], p, target));
+      else
+        --cx.producers_remaining;
+    }
+    sim::spawn(depth_sampler(mesh, cx));
+  }
+
+  // Barrier hook: once every producer mesh-wide has finished (their posts
+  // were drained by this barrier's exchange), raise each shard's stop flag
+  // one lookahead out — deliveries landing on that same tick were
+  // scheduled first, so relays always drain payload before poisoning.
+  // Until then, optionally rebalance the ring off persistently hot shards.
+  bool stop_sent = false;
+  std::uint64_t rebalanced = 0;
+  std::uint64_t barriers = 0;
+  auto hook = [&]() -> bool {
+    if (stop_sent) return true;
+    bool producers_done = true;
+    for (const auto& cx : shards)
+      if (cx->producers_remaining > 0) {
+        producers_done = false;
+        break;
+      }
+    if (producers_done) {
+      for (auto& cx : shards) {
+        ShardCtx* p = cx.get();
+        p->m->eq().schedule_at(p->m->now() + spec.sharding.link_latency, [p] {
+          p->stop = true;
+          p->ingress_wq->wake_one();
+        });
+      }
+      stop_sent = true;
+      return true;
+    }
+    if (spec.sharding.rebalance && ++barriers % kRebalancePeriod == 0) {
+      std::vector<std::uint64_t> load;
+      load.reserve(shards.size());
+      for (const auto& cx : shards) {
+        std::uint64_t l = cx->ingress.size();
+        for (const auto& ch : cx->channels) l += ch->depth();
+        load.push_back(l);
+      }
+      rebalanced += router.rebalance(load, population);
+    }
+    return false;
+  };
+
+  ssim.run(hook);
+
+  ShardedResult r;
+  r.engine.scenario = spec.name;
+  r.engine.backend = squeue::to_string(backend);
+  r.engine.seed = seed;
+  r.engine.scale = scale;
+  r.engine.events = ssim.executed();
+  r.shards = S;
+  r.sim_threads = opts.sim_threads;
+  r.epochs = ssim.stats().epochs;
+  r.cross_shard = ssim.stats().messages;
+  r.window_stalls = ssim.stats().window_stalls;
+  r.rebalanced = rebalanced;
+  for (auto& cx : shards) {
+    ScenarioMetrics sm;
+    sm.tenants = std::move(cx->classes);
+    sm.depths = std::move(cx->depths);
+    sm.ticks = cx->m->now();
+    sm.ns = cx->m->ns(sm.ticks);
+    r.engine.metrics.merge(sm);
+    r.shard_digests.push_back(cx->digest);
+    r.shard_delivered.push_back(cx->delivered);
+  }
+  return r;
+}
+
+}  // namespace vl::traffic

@@ -31,6 +31,7 @@ VlrdStats Cluster::total_stats() const {
     const VlrdStats& t = d->stats();
     s.pushes += t.pushes;
     s.push_nacks += t.push_nacks;
+    s.push_quota_nacks += t.push_quota_nacks;
     s.fetches += t.fetches;
     s.fetch_nacks += t.fetch_nacks;
     s.matches += t.matches;

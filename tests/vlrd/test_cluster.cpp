@@ -61,6 +61,22 @@ TEST(Cluster, TotalStatsSumsDevices) {
   EXPECT_EQ(s.pushes, 3u);
 }
 
+TEST(Cluster, TotalStatsAggregatesQuotaNacks) {
+  // Regression: total_stats() summed push_nacks but dropped the
+  // push_quota_nacks breakdown, so cluster-wide QoS telemetry read zero.
+  sim::SystemConfig cfg = sim::SystemConfig::table3_multi(2);
+  cfg.vlrd.per_sqi_quota = 1;
+  Machine m(cfg);
+  mem::Line data{};
+  for (std::uint32_t d = 0; d < 2; ++d) {
+    EXPECT_TRUE(m.cluster().device(d).push(1, data));
+    EXPECT_FALSE(m.cluster().device(d).push(1, data));  // over SQI quota
+    EXPECT_EQ(m.cluster().device(d).stats().push_quota_nacks, 1u);
+  }
+  const VlrdStats s = m.vlrd_stats();
+  EXPECT_EQ(s.push_quota_nacks, 2u);
+}
+
 TEST(Cluster, RejectsTooManyDevices) {
   sim::SystemConfig cfg;
   cfg.vlrd.num_devices = (1u << kVlrdIdBits) + 1;

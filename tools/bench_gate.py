@@ -11,11 +11,12 @@ has no flake margin to eat: a regression is a real behavioural change.
     bench_gate.py BASELINE CURRENT [--tolerance 0.15]
                   [--expect-gain "CELL=FRACTION" ...]
 
---expect-gain pins a batched fast path's advantage: the named cell — e.g.
-"incast-burst(b8)/VL64" — must show ev/msg at least FRACTION below its
-single-message sibling (the same cell with the "(bN)" suffix stripped) in
-the CURRENT run. This is how CI enforces "batching must keep paying", not
-just "batching must not regress".
+--expect-gain pins a variant's advantage: the named cell — e.g.
+"incast-burst(b8)/VL64" (batched injection) or "shard-diurnal(s8)/VL64"
+(8-shard mesh) — must show ev/msg at least FRACTION below its baseline
+sibling (the same cell with the "(bN)"/"(sN)" suffix stripped) in the
+CURRENT run. This is how CI enforces "batching/sharding must keep paying",
+not just "must not regress".
 
 Exit status: 0 pass, 1 regression / unmet gain (or a baseline cell missing
 from the current run), 2 bad invocation/input.
@@ -98,9 +99,9 @@ def main():
         if not frac_s or not backend:
             bail(f"bad --expect-gain '{spec}' (want CELL=FRACTION)")
         frac = float(frac_s)
-        sibling = re.sub(r"\(b\d+\)$", "", scenario)
+        sibling = re.sub(r"\((?:b|s)\d+\)$", "", scenario)
         if sibling == scenario:
-            bail(f"--expect-gain cell '{scenario}' has no (bN) suffix")
+            bail(f"--expect-gain cell '{scenario}' has no (bN)/(sN) suffix")
         batched, single = (scenario, backend), (sibling, backend)
         if batched not in cur or single not in cur:
             failures.append(f"--expect-gain {spec}: cell missing from current")
