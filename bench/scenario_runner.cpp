@@ -7,6 +7,9 @@
 //   scenario_runner --scenario incast-burst --backend vl --batch 8
 //   scenario_runner --sweep --scales 1,2,4 --batches 1,8
 //   scenario_runner --list
+//   scenario_runner --scenario qos-incast --backend vl \
+//       --timeline tl.csv --sample-every 5000 --trace trace.json \
+//       --metrics-json metrics.json
 //
 // CSV goes to stdout (byte-identical across runs for fixed arguments —
 // the simulation is fully deterministic); human-readable tables go to
@@ -27,6 +30,9 @@
 #include "bench/bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "obs/hooks.hpp"
+#include "obs/timeline.hpp"
+#include "obs/tracer.hpp"
 #include "traffic/engine.hpp"
 #include "traffic/sharded_engine.hpp"
 
@@ -60,7 +66,18 @@ void print_usage() {
                "            (needs a preset with a sharding block)\n"
                "  --sim-threads  step shards on N host threads; output is\n"
                "            byte-identical to sequential stepping\n"
-               "  --tenants override the sharded tenant population\n");
+               "  --tenants override the sharded tenant population\n"
+               "  --timeline FILE  sample an epoch time-series into FILE\n"
+               "            (.json for JSON, anything else long-form CSV);\n"
+               "            single (scenario, backend) cell only\n"
+               "  --sample-every N  timeline sampling period in sim ticks\n"
+               "            (classic engine; sharded runs sample at every\n"
+               "            lookahead barrier instead)\n"
+               "  --trace FILE  write a Chrome-trace JSON of the run\n"
+               "            (load in Perfetto / chrome://tracing);\n"
+               "            single cell only\n"
+               "  --metrics-json FILE  dump end-of-run ScenarioMetrics\n"
+               "            (incl. per-class rows) as a JSON runs array\n");
 }
 
 /// Run one (scenario, backend) cell, honouring the --no-qos ablation and
@@ -72,7 +89,8 @@ vl::traffic::EngineResult run_cell(const std::string& name, Backend b,
                                    std::uint64_t seed, int scale,
                                    bool no_qos, std::uint32_t batch,
                                    int shards = 0, int sim_threads = 1,
-                                   std::uint64_t tenants = 0) {
+                                   std::uint64_t tenants = 0,
+                                   const vl::obs::RunHooks* obs = nullptr) {
   const vl::traffic::ScenarioSpec* spec = vl::traffic::find_scenario(name);
   if (!spec) throw std::invalid_argument("unknown scenario: " + name);
   vl::traffic::ScenarioSpec run = *spec;
@@ -83,6 +101,7 @@ vl::traffic::EngineResult run_cell(const std::string& name, Backend b,
     opts.shards = shards;
     opts.sim_threads = sim_threads;
     opts.population = tenants;
+    opts.obs = obs;
     const vl::traffic::ShardedResult r =
         vl::traffic::run_sharded(run, b, seed, opts, scale);
     std::fprintf(stderr,
@@ -95,7 +114,19 @@ vl::traffic::EngineResult run_cell(const std::string& name, Backend b,
                  static_cast<unsigned long long>(r.rebalanced));
     return r.engine;
   }
-  return vl::traffic::run_spec(run, b, seed, scale);
+  return vl::traffic::run_spec(run, b, seed, scale, obs);
+}
+
+/// Write `text` to `path`; exits the process on I/O failure so a silently
+/// missing artifact can't pass CI.
+void write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
 }
 
 std::vector<int> parse_scales(const char* s) {
@@ -211,6 +242,13 @@ int main(int argc, char** argv) {
       std::strtol(arg_value(argc, argv, "--sim-threads", "1"), nullptr, 10));
   const auto tenants = static_cast<std::uint64_t>(
       std::strtoull(arg_value(argc, argv, "--tenants", "0"), nullptr, 10));
+  const std::string timeline_path = arg_value(argc, argv, "--timeline", "");
+  const std::string trace_path = arg_value(argc, argv, "--trace", "");
+  const std::string metrics_json_path =
+      arg_value(argc, argv, "--metrics-json", "");
+  const auto sample_every = static_cast<vl::Tick>(
+      std::strtoull(arg_value(argc, argv, "--sample-every", "10000"), nullptr,
+                    10));
 
   std::vector<std::string> scenarios;
   if (scenario == "all") {
@@ -255,18 +293,52 @@ int main(int argc, char** argv) {
     return run_sweep(scenarios, backends, scales, batches, seed, no_qos);
   }
 
+  // Timeline/trace capture one run's time axis; a multi-cell sweep would
+  // interleave unrelated runs into one file, so require a single cell.
+  const bool want_obs = !timeline_path.empty() || !trace_path.empty();
+  if (want_obs && scenarios.size() * backends.size() != 1) {
+    std::fprintf(stderr,
+                 "--timeline/--trace need a single (scenario, backend) "
+                 "cell; pick --scenario NAME and --backend NAME\n");
+    return 2;
+  }
+
+  vl::obs::Timeline timeline;
+  vl::obs::Tracer tracer;
+  vl::obs::RunHooks hooks;
+  hooks.sample_every = sample_every;
+  if (!timeline_path.empty()) hooks.timeline = &timeline;
+  if (!trace_path.empty()) hooks.tracer = &tracer;
+
+  std::string metrics_json;  // Accumulated `runs` array body.
   bool header_done = false;
   for (const auto& name : scenarios) {
     for (Backend b : backends) {
-      const vl::traffic::EngineResult r = run_cell(
-          name, b, seed, scale, no_qos, batch, shards, sim_threads, tenants);
+      const vl::traffic::EngineResult r =
+          run_cell(name, b, seed, scale, no_qos, batch, shards, sim_threads,
+                   tenants, hooks.any() ? &hooks : nullptr);
       // One shared CSV header across the whole sweep.
       const std::string csv = r.csv();
       const std::size_t nl = csv.find('\n');
       std::fputs(header_done ? csv.c_str() + nl + 1 : csv.c_str(), stdout);
       header_done = true;
       if (!quiet) std::fprintf(stderr, "%s\n", r.table().c_str());
+      if (!metrics_json_path.empty()) {
+        if (!metrics_json.empty()) metrics_json += ",\n";
+        metrics_json += "{\"scenario\":\"" + r.scenario + "\",\"backend\":\"" +
+                        r.backend + "\",\"seed\":" + std::to_string(r.seed) +
+                        ",\"scale\":" + std::to_string(r.scale) +
+                        ",\"events\":" + std::to_string(r.events) +
+                        ",\"metrics\":" + r.metrics.json() + "}";
+      }
     }
   }
+  if (!timeline_path.empty() && !timeline.write(timeline_path)) {
+    std::fprintf(stderr, "cannot write %s\n", timeline_path.c_str());
+    return 1;
+  }
+  if (!trace_path.empty()) write_file(trace_path, tracer.json());
+  if (!metrics_json_path.empty())
+    write_file(metrics_json_path, "{\"runs\":[\n" + metrics_json + "\n]}\n");
   return 0;
 }

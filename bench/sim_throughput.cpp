@@ -26,6 +26,8 @@
 
 #include "bench/bench_util.hpp"
 #include "common/table.hpp"
+#include "obs/hooks.hpp"
+#include "obs/timeline.hpp"
 #include "traffic/engine.hpp"
 #include "traffic/sharded_engine.hpp"
 
@@ -40,6 +42,7 @@ struct RunSpec {
   Backend backend;
   std::uint32_t batch = 0;  ///< 0 keeps the preset's per-tenant batches.
   int shards = 0;           ///< 0 = classic engine; >= 1 = sharded mesh.
+  bool timeline = false;    ///< Attach an obs::Timeline (overhead guard).
 };
 
 // Default matrix: the polling-heavy shapes the kernel overhaul targets
@@ -72,6 +75,11 @@ const RunSpec kDefaultMatrix[] = {
     {"shard-diurnal", Backend::kVl, 0, 1},
     {"shard-diurnal", Backend::kVl, 0, 4},
     {"shard-diurnal", Backend::kVl, 0, 8},
+    // Observability overhead guard: the same qos-incast/VL cell with an
+    // epoch Timeline attached. Sampling lives outside the event loop, so
+    // its event count must equal the plain row's exactly; the in-binary
+    // assert below fails the bench if ev/msg drifts > 5%.
+    {"qos-incast", Backend::kVl, 0, 0, true},
 };
 
 struct Row {
@@ -82,28 +90,36 @@ struct Row {
 };
 
 Row run_one(const std::string& scenario, Backend backend, std::uint64_t seed,
-            int scale, std::uint32_t batch = 0, int shards = 0) {
+            int scale, std::uint32_t batch = 0, int shards = 0,
+            bool timeline = false) {
   const vl::traffic::ScenarioSpec* spec = vl::traffic::find_scenario(scenario);
+  vl::obs::Timeline tl;
+  vl::obs::RunHooks hooks;
+  hooks.timeline = &tl;
+  const vl::obs::RunHooks* obs = timeline ? &hooks : nullptr;
   const auto t0 = std::chrono::steady_clock::now();
   vl::traffic::EngineResult r;
   if (shards > 0) {
     vl::traffic::ShardedOptions opts;
     opts.shards = shards;
+    opts.obs = obs;
     r = vl::traffic::run_sharded(*spec, backend, seed, opts, scale).engine;
   } else {
     r = batch ? vl::traffic::run_spec(vl::traffic::with_batch(*spec, batch),
                                       backend, seed, scale)
-              : vl::traffic::run_scenario(scenario, backend, seed, scale);
+              : vl::traffic::run_spec(*spec, backend, seed, scale, obs);
   }
   const auto t1 = std::chrono::steady_clock::now();
 
   Row row;
-  // Batched/sharded cells are their own (scenario, backend) key in
+  // Batched/sharded/timeline cells are their own (scenario, backend) key in
   // BENCH_sim.json, so the perf gate tracks each variant separately; the
   // single-shard mesh keeps the plain name — it is the sibling baseline
-  // the "(sN)" rows are gated against.
+  // the "(sN)" rows are gated against, and the plain qos-incast row is the
+  // baseline the "(tl)" overhead guard compares against.
   row.scenario = batch        ? scenario + "(b" + std::to_string(batch) + ")"
                  : shards > 1 ? scenario + "(s" + std::to_string(shards) + ")"
+                 : timeline   ? scenario + "(tl)"
                               : scenario;
   row.backend = r.backend;
   row.events = r.events;
@@ -195,8 +211,8 @@ int main(int argc, char** argv) {
                           "kernel events & host throughput per scenario");
   std::vector<Row> rows;
   for (const RunSpec& rs : matrix)
-    rows.push_back(
-        run_one(rs.scenario, rs.backend, seed, scale, rs.batch, rs.shards));
+    rows.push_back(run_one(rs.scenario, rs.backend, seed, scale, rs.batch,
+                           rs.shards, rs.timeline));
 
   vl::TextTable tt({"scenario", "backend", "events", "sim_ticks", "delivered",
                     "ev/msg", "wall_ms", "events/s", "Mticks/s"});
@@ -210,5 +226,39 @@ int main(int argc, char** argv) {
   std::printf("%s\n", tt.render().c_str());
 
   write_json(out, rows, seed, scale);
-  return 0;
+
+  // Observability overhead guard: every "(tl)" row must stay within 5% of
+  // its plain sibling's ev/msg. Timeline sampling runs outside the event
+  // loop, so the expected delta is exactly zero — a violation means
+  // someone made observation schedule events.
+  int rc = 0;
+  for (const Row& r : rows) {
+    const std::string suffix = "(tl)";
+    if (r.scenario.size() <= suffix.size() ||
+        r.scenario.compare(r.scenario.size() - suffix.size(), suffix.size(),
+                           suffix) != 0)
+      continue;
+    const std::string base = r.scenario.substr(0, r.scenario.size() - 4);
+    for (const Row& b : rows) {
+      if (b.scenario != base || b.backend != r.backend) continue;
+      const double delta =
+          b.events_per_msg > 0
+              ? (r.events_per_msg - b.events_per_msg) / b.events_per_msg
+              : 0.0;
+      if (delta > 0.05) {
+        std::fprintf(stderr,
+                     "FAIL: %s/%s ev/msg %.2f exceeds plain %.2f by %.1f%% "
+                     "(budget 5%%)\n",
+                     r.scenario.c_str(), r.backend.c_str(), r.events_per_msg,
+                     b.events_per_msg, delta * 100.0);
+        rc = 1;
+      } else {
+        std::fprintf(stderr, "obs overhead guard: %s/%s ev/msg %.2f vs %.2f "
+                     "(%+.2f%%) within 5%% budget\n",
+                     r.scenario.c_str(), r.backend.c_str(), r.events_per_msg,
+                     b.events_per_msg, delta * 100.0);
+      }
+    }
+  }
+  return rc;
 }

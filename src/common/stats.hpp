@@ -1,9 +1,13 @@
 #pragma once
 // Lightweight named-counter and histogram facilities.
 //
-// Every simulator component exposes its event counts through a StatSet so
-// that benchmark harnesses can diff counters around a region of interest
-// (the same way the paper reads gem5 stats around the ROI).
+// StatSet is the *snapshot* view of the telemetry system: a cold,
+// map-backed bag of named values that supports diff around a region of
+// interest (the same way the paper reads gem5 stats around the ROI),
+// merge across shards, and to_string. Live counters belong in
+// obs::Registry (src/obs/registry.hpp) — hot paths hold pointer-stable
+// handles there and Registry::snapshot() exports into a StatSet, so
+// everything downstream of a snapshot keeps using this type.
 
 #include <cstdint>
 #include <map>

@@ -1,0 +1,26 @@
+#pragma once
+// Observability hook bundle passed into the traffic engines. Every pointer
+// is optional; a default-constructed RunHooks (or nullptr) means "observe
+// nothing" and the engines behave byte-identically to a build without obs.
+
+#include "common/types.hpp"
+#include "obs/timeline.hpp"
+#include "obs/tracer.hpp"
+
+namespace vl::obs {
+
+struct RunHooks {
+  /// Sampled every `sample_every` ticks (classic engine) or at every
+  /// lookahead barrier (sharded engine), plus one final cumulative sample
+  /// at end of run. Series are registered by the engine.
+  Timeline* timeline = nullptr;
+  Tick sample_every = 10000;
+
+  /// Flag-gated Chrome-trace sink. The engine wires per-shard buffers into
+  /// each EventQueue; hooks in sim/squeue/vlrd test the queue's pointer.
+  Tracer* tracer = nullptr;
+
+  bool any() const { return timeline || tracer; }
+};
+
+}  // namespace vl::obs

@@ -1,0 +1,67 @@
+#include "obs/registry.hpp"
+
+namespace vl::obs {
+
+std::uint64_t Registry::Entry::read() const {
+  if (owned) return owned->get();
+  if (link64) return *link64;
+  if (link32) return *link32;
+  if (fn) return fn();
+  return 0;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end() && it->second.owned) return *it->second.owned;
+  Counter& c = cells_.emplace_back();
+  Entry e;
+  e.owned = &c;
+  index_[name] = e;  // overwrite: an owned cell supersedes a reader entry
+  return c;
+}
+
+void Registry::link(const std::string& name, const std::uint64_t* src) {
+  Entry e;
+  e.link64 = src;
+  index_[name] = e;
+}
+
+void Registry::link32(const std::string& name, const std::uint32_t* src) {
+  Entry e;
+  e.link32 = src;
+  index_[name] = e;
+}
+
+void Registry::gauge(const std::string& name,
+                     std::function<std::uint64_t()> fn) {
+  Entry e;
+  e.fn = std::move(fn);
+  index_[name] = std::move(e);
+}
+
+std::uint64_t Registry::value(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? 0 : it->second.read();
+}
+
+StatSet Registry::snapshot(const std::string& prefix) const {
+  StatSet out;
+  merge_into(out, prefix);
+  return out;
+}
+
+void Registry::merge_into(StatSet& out, const std::string& prefix) const {
+  for (const auto& [name, e] : index_) out.add(prefix + name, e.read());
+}
+
+void Registry::clear_readers() {
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (it->second.owned) {
+      ++it;
+    } else {
+      it = index_.erase(it);
+    }
+  }
+}
+
+}  // namespace vl::obs

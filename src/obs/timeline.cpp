@@ -1,0 +1,103 @@
+#include "obs/timeline.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace vl::obs {
+
+namespace {
+
+// Matches metrics.cpp's fmt_double: fixed 3 decimals, trailing zeros kept,
+// so timeline CSV values diff cleanly against ScenarioMetrics CSV values.
+std::string fmt_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+void Timeline::add_series(std::string name, std::function<double()> fn) {
+  names_.push_back(std::move(name));
+  series_.push_back(std::move(fn));
+}
+
+void Timeline::sample(Tick tick) {
+  Epoch e;
+  e.index = next_index_++;
+  e.tick = tick;
+  e.values.reserve(series_.size());
+  for (auto& fn : series_) e.values.push_back(fn ? fn() : 0.0);
+  ring_.push_back(std::move(e));
+  if (ring_.size() > cap_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+void Timeline::detach() {
+  for (auto& fn : series_) fn = nullptr;
+}
+
+double Timeline::last(const std::string& name) const {
+  if (ring_.empty()) return 0.0;
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return ring_.back().values[i];
+  return 0.0;
+}
+
+std::string Timeline::csv() const {
+  std::string out = "epoch,tick,series,value\n";
+  for (const Epoch& e : ring_) {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      out += std::to_string(e.index);
+      out += ',';
+      out += std::to_string(e.tick);
+      out += ',';
+      out += names_[i];
+      out += ',';
+      out += fmt_value(e.values[i]);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string Timeline::json() const {
+  std::string out = "{\n  \"series\": [";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (i) out += ", ";
+    out += '"';
+    out += names_[i];
+    out += '"';
+  }
+  out += "],\n  \"dropped\": " + std::to_string(dropped_);
+  out += ",\n  \"epochs\": [\n";
+  bool first = true;
+  for (const Epoch& e : ring_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"epoch\": " + std::to_string(e.index) +
+           ", \"tick\": " + std::to_string(e.tick) + ", \"values\": [";
+    for (std::size_t i = 0; i < e.values.size(); ++i) {
+      if (i) out += ", ";
+      out += fmt_value(e.values[i]);
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool Timeline::write(const std::string& path) const {
+  const bool as_json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string body = as_json ? json() : csv();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace vl::obs

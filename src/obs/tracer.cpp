@@ -1,0 +1,79 @@
+#include "obs/tracer.hpp"
+
+#include <cstdio>
+
+namespace vl::obs {
+
+TraceBuffer& Tracer::buffer(std::uint32_t pid) {
+  while (bufs_.size() <= pid) bufs_.emplace_back();
+  return bufs_[pid];
+}
+
+void Tracer::set_process_name(std::uint32_t pid, std::string name) {
+  if (proc_names_.size() <= pid) proc_names_.resize(pid + 1);
+  proc_names_[pid] = std::move(name);
+}
+
+std::size_t Tracer::total_events() const {
+  std::size_t n = 0;
+  for (const auto& b : bufs_) n += b.size();
+  return n;
+}
+
+std::string Tracer::json() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (std::uint32_t pid = 0; pid < proc_names_.size(); ++pid) {
+    if (proc_names_[pid].empty()) continue;
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"" +
+           proc_names_[pid] + "\"}}";
+  }
+  char buf[256];
+  for (std::uint32_t pid = 0; pid < bufs_.size(); ++pid) {
+    for (const TraceEvent& e : bufs_[pid].events()) {
+      sep();
+      if (e.ph == 'E') {
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"E\",\"pid\":%u,\"tid\":%u,\"ts\":%llu,"
+                      "\"cat\":\"%s\",\"name\":\"%s\"}",
+                      pid, e.tid, static_cast<unsigned long long>(e.ts),
+                      e.cat, e.name);
+      } else if (e.arg_name) {
+        std::snprintf(
+            buf, sizeof buf,
+            "{\"ph\":\"%c\",\"pid\":%u,\"tid\":%u,\"ts\":%llu,"
+            "\"cat\":\"%s\",\"name\":\"%s\"%s,\"args\":{\"%s\":%llu}}",
+            e.ph, pid, e.tid, static_cast<unsigned long long>(e.ts), e.cat,
+            e.name, e.ph == 'i' ? ",\"s\":\"t\"" : "", e.arg_name,
+            static_cast<unsigned long long>(e.arg));
+      } else {
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"%c\",\"pid\":%u,\"tid\":%u,\"ts\":%llu,"
+                      "\"cat\":\"%s\",\"name\":\"%s\"%s}",
+                      e.ph, pid, e.tid,
+                      static_cast<unsigned long long>(e.ts), e.cat, e.name,
+                      e.ph == 'i' ? ",\"s\":\"t\"" : "");
+      }
+      out += buf;
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+bool Tracer::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string body = json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace vl::obs

@@ -19,6 +19,51 @@ Machine::Machine(const sim::SystemConfig& cfg) : cfg_(cfg) {
   for (std::uint32_t d = 0; d < cluster_->size(); ++d)
     cluster_->device(d).set_push_retry_callback(
         [this, d](std::optional<Sqi> sqi) { vl_push_retry(d, sqi); });
+  register_obs();
+}
+
+void Machine::register_obs() {
+  // Kernel: the event loop's lifetime throughput counter.
+  obs_.gauge("eq.executed", [this] { return eq_.executed(); });
+
+  // VLRD cluster totals. Gauges (not links) because multi-device configs
+  // sum per-device stats; total_stats() is a cheap struct fold.
+  obs_.gauge("vlrd.pushes", [this] { return vlrd_stats().pushes; });
+  obs_.gauge("vlrd.push_nacks", [this] { return vlrd_stats().push_nacks; });
+  obs_.gauge("vlrd.push_quota_nacks",
+             [this] { return vlrd_stats().push_quota_nacks; });
+  obs_.gauge("vlrd.fetches", [this] { return vlrd_stats().fetches; });
+  obs_.gauge("vlrd.fetch_nacks", [this] { return vlrd_stats().fetch_nacks; });
+  obs_.gauge("vlrd.matches", [this] { return vlrd_stats().matches; });
+  obs_.gauge("vlrd.inject_ok", [this] { return vlrd_stats().inject_ok; });
+  obs_.gauge("vlrd.inject_retry",
+             [this] { return vlrd_stats().inject_retry; });
+
+  // Memory hierarchy: pointer-stable fields (hier_ is heap-allocated and
+  // owned by the machine), so plain links suffice.
+  const mem::MemStats& ms = hier_->stats();
+  obs_.link("mem.l1_hits", &ms.l1_hits);
+  obs_.link("mem.l1_misses", &ms.l1_misses);
+  obs_.link("mem.llc_hits", &ms.llc_hits);
+  obs_.link("mem.llc_misses", &ms.llc_misses);
+  obs_.link("mem.snoops", &ms.snoops);
+  obs_.link("mem.c2c_transfers", &ms.c2c_transfers);
+  obs_.link("mem.dram_reads", &ms.dram_reads);
+  obs_.link("mem.dram_writes", &ms.dram_writes);
+  obs_.link("mem.injections", &ms.injections);
+  obs_.link("mem.inject_rejects", &ms.inject_rejects);
+
+  // Scheduler pressure, summed over cores.
+  obs_.gauge("core.ctx_switches", [this] {
+    std::uint64_t n = 0;
+    for (const auto& c : cores_) n += c->ctx_switches();
+    return n;
+  });
+  obs_.gauge("core.yields", [this] {
+    std::uint64_t n = 0;
+    for (const auto& c : cores_) n += c->yields();
+    return n;
+  });
 }
 
 sim::WaitQueue& Machine::vl_quota_wq(std::uint32_t device, Sqi sqi) {

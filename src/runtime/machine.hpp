@@ -11,6 +11,7 @@
 #include "common/types.hpp"
 #include "isa/vl_port.hpp"
 #include "mem/hierarchy.hpp"
+#include "obs/registry.hpp"
 #include "sim/config.hpp"
 #include "sim/core.hpp"
 #include "sim/event_queue.hpp"
@@ -66,8 +67,19 @@ class Machine {
   Tick now() const { return eq_.now(); }
   double ns(Tick t) const { return static_cast<double>(t) * cfg_.ns_per_tick; }
 
+  /// The machine's telemetry tables (src/obs/README.md): every device
+  /// counter — eq.executed, vlrd.*, mem.*, core.* — registered at
+  /// construction. The timeline sampler and the PR-8 supervisor poll
+  /// these; components never pay more than the increments they already do
+  /// (links/gauges read existing fields at snapshot time).
+  obs::Registry& obs() { return obs_; }
+  const obs::Registry& obs() const { return obs_; }
+  /// Full counter-table snapshot as a StatSet (diff/merge/to_string view).
+  StatSet statset() const { return obs_.snapshot(); }
+
  private:
   void vl_push_retry(std::uint32_t device, std::optional<Sqi> sqi);
+  void register_obs();
 
   sim::SystemConfig cfg_;
   sim::EventQueue eq_;
@@ -77,6 +89,7 @@ class Machine {
   std::unique_ptr<vlrd::Cluster> cluster_;
   std::vector<std::unique_ptr<sim::Core>> cores_;
   std::vector<std::unique_ptr<isa::VlPort>> ports_;
+  obs::Registry obs_;
   Addr brk_ = 0x1000'0000;  // heap base; far below the device window
 };
 

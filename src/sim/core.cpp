@@ -1,5 +1,7 @@
 #include "sim/core.hpp"
 
+#include "obs/tracer.hpp"
+
 namespace vl::sim {
 
 // --- run-queue scheduling ----------------------------------------------------
@@ -89,14 +91,24 @@ void Core::arm_preempt_timer(Tick when) {
 
 Co<void> SimThread::park(WaitQueue& wq, std::uint64_t expected) const {
   if (wq.epoch() != expected) co_return;  // wake already happened
+  EventQueue& eq = core->eq();
+  obs::TraceBuffer* const tb = eq.trace();
+  const std::uint32_t lane = obs::thread_tid(core->id(), tid);
+  if (tb) tb->begin(eq.now(), lane, "sim", "park");
   core->yield(tid);
   co_await wq.park(expected);
+  if (tb) tb->end(eq.now(), lane, "sim", "park");
 }
 
 Co<void> SimThread::acquire_credits(CreditGate& g, std::uint64_t want) const {
   if (g.try_acquire(want)) co_return;
+  EventQueue& eq = core->eq();
+  obs::TraceBuffer* const tb = eq.trace();
+  const std::uint32_t lane = obs::thread_tid(core->id(), tid);
+  if (tb) tb->begin(eq.now(), lane, "sim", "credit_wait", "want", want);
   core->yield(tid);
   co_await g.acquire(want);
+  if (tb) tb->end(eq.now(), lane, "sim", "credit_wait");
 }
 
 Co<std::size_t> SimThread::park_any(
@@ -105,8 +117,14 @@ Co<std::size_t> SimThread::park_any(
   // Fall through without yielding when a wake already landed on any queue.
   for (std::size_t i = 0; i < wqs.size(); ++i)
     if (wqs[i]->epoch() != gates[i]) co_return i;
+  EventQueue& eq = core->eq();
+  obs::TraceBuffer* const tb = eq.trace();
+  const std::uint32_t lane = obs::thread_tid(core->id(), tid);
+  if (tb) tb->begin(eq.now(), lane, "sim", "park_any", "n", wqs.size());
   core->yield(tid);
-  co_return co_await ParkAny(wqs, gates);
+  const std::size_t idx = co_await ParkAny(wqs, gates);
+  if (tb) tb->end(eq.now(), lane, "sim", "park_any");
+  co_return idx;
 }
 
 // --- operations --------------------------------------------------------------

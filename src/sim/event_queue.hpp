@@ -34,6 +34,10 @@
 
 #include "common/types.hpp"
 
+namespace vl::obs {
+class TraceBuffer;
+}
+
 namespace vl::sim {
 
 /// Move-only, fire-once callable with small-buffer storage sized for the
@@ -159,6 +163,18 @@ class EventQueue {
   /// Total events executed over the queue's lifetime (throughput metric).
   std::uint64_t executed() const { return executed_; }
 
+#ifndef VL_OBS_NO_TRACE
+  /// Trace sink for everything running on this queue's timeline (SimThread
+  /// parks, channel bursts, VLRD pipeline). Null unless tracing was
+  /// requested; hooks test the pointer and skip. With -DVL_OBS_NO_TRACE=ON
+  /// trace() is constexpr nullptr and every hook compiles away.
+  obs::TraceBuffer* trace() const { return trace_; }
+  void set_trace(obs::TraceBuffer* tb) { trace_ = tb; }
+#else
+  static constexpr obs::TraceBuffer* trace() { return nullptr; }
+  static constexpr void set_trace(obs::TraceBuffer*) {}
+#endif
+
  private:
   // Calendar ring: one bucket per tick over [now, now + kRingSize).
   static constexpr std::size_t kRingBits = 13;
@@ -204,6 +220,9 @@ class EventQueue {
   std::vector<Bucket> ring_;
   std::array<std::uint64_t, kRingSize / 64> bits_{};
   std::vector<FarEv> far_;  // binary heap under FarAfter
+#ifndef VL_OBS_NO_TRACE
+  obs::TraceBuffer* trace_ = nullptr;
+#endif
 };
 
 }  // namespace vl::sim

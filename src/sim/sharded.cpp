@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/tracer.hpp"
+
 namespace vl::sim {
 
 // ---------------------------------------------------------------------------
@@ -184,7 +186,13 @@ void ShardedSim::run(BarrierHook hook) {
       }
       continue;  // exchange the stragglers, then re-probe
     }
-    step_all(*t_min + lookahead_ - 1);
+    const Tick horizon = *t_min + lookahead_ - 1;
+    const std::uint32_t barrier_tid = 0;
+    if (trace_)
+      trace_->begin(*t_min, barrier_tid, "shard", "epoch", "epoch",
+                    stats_.epochs);
+    step_all(horizon);
+    if (trace_) trace_->end(horizon, barrier_tid, "shard", "epoch");
     ++stats_.epochs;
   }
 }

@@ -104,6 +104,15 @@ class ShardedSim {
   ShardedStats stats() const;
   /// Total events executed across every shard's queue.
   std::uint64_t executed() const;
+  /// One shard's can_post() refusal count (per-link timeline series).
+  std::uint64_t shard_window_stalls(int shard) const {
+    return shards_[static_cast<std::size_t>(shard)].window_stalls;
+  }
+
+  /// Trace sink for barrier epochs (pid = shards(), the synthetic barrier
+  /// process): one B/E span per lookahead window, [t_min, horizon]. Written
+  /// only on the coordinator thread between epochs.
+  void set_trace(obs::TraceBuffer* tb) { trace_ = tb; }
 
  private:
   struct OutMsg {
@@ -130,6 +139,7 @@ class ShardedSim {
   std::vector<std::uint32_t> in_flight_;  ///< S*S per-epoch link counters.
   ShardedStats stats_;
   std::unique_ptr<Pool> pool_;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace vl::sim

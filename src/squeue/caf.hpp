@@ -165,6 +165,14 @@ class CafDevice {
   std::uint32_t class_credit(QosClass cls) const {
     return class_credits_[static_cast<std::size_t>(cls)];
   }
+  /// Device-wide credit occupancy of class `cls` (queued words across all
+  /// queues) — the timeline's caf.occupancy.<class> series.
+  std::uint64_t class_occupancy(QosClass cls) const {
+    const auto c = static_cast<std::size_t>(cls);
+    std::uint64_t n = 0;
+    for (const auto& q : queues_) n += q->used[c];
+    return n;
+  }
   /// Budget waiters: producers NACKed because the queue's whole credit
   /// budget was exhausted (SendStatus::kFull).
   sim::WaitQueue& space_wq(std::uint32_t q) { return queues_.at(q)->space; }
@@ -236,10 +244,17 @@ class SimCaf : public Channel {
     // Out of credits: park until the consumer-side register read frees
     // one — on the class-cap futex when the NACK named our class's cap,
     // on the whole-budget futex otherwise (the VL-style reason split).
+    sim::EventQueue& eq = t.core->eq();
+    obs::TraceBuffer* const tb = eq.trace();
+    const std::uint32_t lane = obs::thread_tid(t.core->id(), t.tid);
+    if (tb)
+      tb->begin(eq.now(), lane, "caf", "credit_wait", "qos",
+                static_cast<std::uint64_t>(msg.qos));
     if (why == SendStatus::kQuota)
       co_await t.park(dev_.class_wq(q_, msg.qos), g.quota);
     else
       co_await t.park(dev_.space_wq(q_), g.full);
+    if (tb) tb->end(eq.now(), lane, "caf", "credit_wait");
   }
   sim::Co<void> recv_blocked(sim::SimThread t, std::uint64_t) override;
 

@@ -45,6 +45,7 @@
 #include <span>
 #include <string>
 
+#include "obs/tracer.hpp"
 #include "sim/core.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -168,21 +169,38 @@ class Channel {
 
   /// Blocking send (applies the backend's back-pressure policy).
   virtual sim::Co<void> send(sim::SimThread t, Msg msg) {
+    sim::EventQueue& eq = t.core->eq();
+    obs::TraceBuffer* const tb = eq.trace();
+    const std::uint32_t lane = obs::thread_tid(t.core->id(), t.tid);
+    if (tb) tb->begin(eq.now(), lane, "chan", "send");
     BlockGates g;
     for (;;) {
       sample_send_gates(g, msg);  // futex protocol: epochs before the attempt
       const SendResult r = co_await try_send(t, msg);
-      if (r.ok()) co_return;
+      if (r.ok()) break;
+      if (tb)
+        tb->instant(eq.now(), lane, "chan",
+                    r.status == SendStatus::kQuota ? "nack_quota"
+                                                   : "nack_full",
+                    "qos", static_cast<std::uint64_t>(msg.qos));
       co_await send_blocked(t, r.status, g, msg);
     }
+    if (tb) tb->end(eq.now(), lane, "chan", "send");
   }
 
   /// Blocking receive of one message.
   virtual sim::Co<Msg> recv(sim::SimThread t) {
+    sim::EventQueue& eq = t.core->eq();
+    obs::TraceBuffer* const tb = eq.trace();
+    const std::uint32_t lane = obs::thread_tid(t.core->id(), t.tid);
+    if (tb) tb->begin(eq.now(), lane, "chan", "recv");
     for (;;) {
       const std::uint64_t gate = sample_recv_gate();
       RecvResult r = co_await try_recv(t);
-      if (r.ok()) co_return r.msg;
+      if (r.ok()) {
+        if (tb) tb->end(eq.now(), lane, "chan", "recv");
+        co_return r.msg;
+      }
       co_await recv_blocked(t, gate);
     }
   }
@@ -191,6 +209,10 @@ class Channel {
   /// the backend's fast path allows per lap and applying the blocking
   /// policy between laps.
   virtual sim::Co<void> send_many(sim::SimThread t, std::span<const Msg> msgs) {
+    sim::EventQueue& eq = t.core->eq();
+    obs::TraceBuffer* const tb = eq.trace();
+    const std::uint32_t lane = obs::thread_tid(t.core->id(), t.tid);
+    if (tb) tb->begin(eq.now(), lane, "chan", "send_many", "n", msgs.size());
     BlockGates g;
     std::size_t done = 0;
     while (done < msgs.size()) {
@@ -200,9 +222,16 @@ class Channel {
       // Park only on an actual refusal; a short lap with status kOk (a
       // backend batching boundary, e.g. a CAF class-run end) retries
       // immediately.
-      if (done < msgs.size() && r.status != SendStatus::kOk)
+      if (done < msgs.size() && r.status != SendStatus::kOk) {
+        if (tb)
+          tb->instant(eq.now(), lane, "chan",
+                      r.status == SendStatus::kQuota ? "nack_quota"
+                                                     : "nack_full",
+                      "qos", static_cast<std::uint64_t>(msgs[done].qos));
         co_await send_blocked(t, r.status, g, msgs[done]);
+      }
     }
+    if (tb) tb->end(eq.now(), lane, "chan", "send_many");
   }
 
   /// Blocking batched receive: waits until at least `min_n` messages were
@@ -213,11 +242,18 @@ class Channel {
     if (out.empty()) co_return 0;
     if (min_n < 1) min_n = 1;
     if (min_n > out.size()) min_n = out.size();
+    sim::EventQueue& eq = t.core->eq();
+    obs::TraceBuffer* const tb = eq.trace();
+    const std::uint32_t lane = obs::thread_tid(t.core->id(), t.tid);
+    if (tb) tb->begin(eq.now(), lane, "chan", "recv_many", "cap", out.size());
     std::size_t got = 0;
     for (;;) {
       const std::uint64_t gate = sample_recv_gate();
       got += co_await try_recv_many(t, out.subspan(got));
-      if (got >= min_n) co_return got;
+      if (got >= min_n) {
+        if (tb) tb->end(eq.now(), lane, "chan", "recv_many");
+        co_return got;
+      }
       co_await recv_blocked(t, gate);
     }
   }

@@ -34,6 +34,9 @@ class ChannelFactory {
 
   Backend backend() const { return backend_; }
   runtime::Machine& machine() { return m_; }
+  /// The machine's CAF queue-management device (per-class occupancy is a
+  /// timeline series on CAF runs).
+  CafDevice& caf_device() { return caf_dev_; }
 
  private:
   runtime::Machine& m_;

@@ -265,10 +265,111 @@ Co<void> depth_sampler(Ctx& cx) {
   }
 }
 
+/// Register the run's timeline series: per-class cumulative traffic
+/// counters (aggregated over the class's tenants exactly the way
+/// ScenarioMetrics::by_class() does, so the final epoch equals the
+/// end-of-run report), plus the kernel/device counters the QoS supervisor
+/// watches. Closures read cx/machine state in place — call
+/// Timeline::detach() before cx's metrics are moved out.
+void register_series(obs::Timeline& tl, Ctx& cx, runtime::Machine& m,
+                     squeue::ChannelFactory& f) {
+  tl.add_series("eq.executed",
+                [&m] { return static_cast<double>(m.eq().executed()); });
+  tl.add_series("chan.depth", [&cx] {
+    std::uint64_t d = 0;
+    for (auto& st : cx.stages)
+      for (auto& sc : st.channels) d += sc.ch->depth();
+    return static_cast<double>(d);
+  });
+  tl.add_series("vlrd.push_quota_nacks", [&m] {
+    return static_cast<double>(m.vlrd_stats().push_quota_nacks);
+  });
+  tl.add_series("vlrd.fetch_nacks", [&m] {
+    return static_cast<double>(m.vlrd_stats().fetch_nacks);
+  });
+  if (f.backend() == squeue::Backend::kCaf) {
+    squeue::CafDevice& dev = f.caf_device();
+    for (std::size_t c = 0; c < kQosClasses; ++c) {
+      const auto cls = static_cast<QosClass>(c);
+      tl.add_series(std::string("caf.occupancy.") + to_string(cls),
+                    [&dev, cls] {
+                      return static_cast<double>(dev.class_occupancy(cls));
+                    });
+    }
+  }
+
+  bool present[kQosClasses] = {};
+  for (const auto& t : cx.tenants) present[static_cast<std::size_t>(t.qos)] = true;
+  for (std::size_t c = 0; c < kQosClasses; ++c) {
+    if (!present[c]) continue;
+    const auto cls = static_cast<QosClass>(c);
+    const std::string base = std::string("class.") + to_string(cls) + ".";
+    auto fold = [&cx, cls](auto&& view) {
+      double acc = 0.0;
+      for (const auto& t : cx.tenants)
+        if (t.qos == cls) acc += view(t);
+      return acc;
+    };
+    tl.add_series(base + "delivered", [fold] {
+      return fold([](const TenantMetrics& t) {
+        return static_cast<double>(t.delivered);
+      });
+    });
+    tl.add_series(base + "sent", [fold] {
+      return fold(
+          [](const TenantMetrics& t) { return static_cast<double>(t.sent); });
+    });
+    tl.add_series(base + "blocked_ticks", [fold] {
+      return fold([](const TenantMetrics& t) {
+        return static_cast<double>(t.blocked_ticks);
+      });
+    });
+    tl.add_series(base + "p99", [&cx, cls] {
+      LogHistogram h;
+      for (const auto& t : cx.tenants)
+        if (t.qos == cls) h.merge(t.latency);
+      return static_cast<double>(h.percentile(99));
+    });
+    tl.add_series(base + "slo_att_pct", [&cx, cls] {
+      // ClassAgg::slo_attained_pct over the class's SLO-carrying tenants.
+      std::uint64_t slo_delivered = 0, slo_within = 0;
+      for (const auto& t : cx.tenants) {
+        if (t.qos != cls || !t.slo_p99) continue;
+        slo_delivered += t.delivered;
+        slo_within += t.slo_within();
+      }
+      if (!slo_delivered) return 100.0;
+      return 100.0 * static_cast<double>(slo_within) /
+             static_cast<double>(slo_delivered);
+    });
+  }
+}
+
+/// Drive the queue to completion, sampling the timeline at every
+/// `period`-tick boundary. Replays the exact event sequence m.run() would:
+/// events step one at a time, boundary samples happen *between* events
+/// (all events <= the boundary have fired, the next lies beyond it), and
+/// now_ is never fast-forwarded past the last event — run_until() would
+/// inflate the run's measured ticks when the queue drains mid-window.
+void run_sampled(runtime::Machine& m, obs::Timeline& tl, Tick period) {
+  if (period == 0) period = 1;
+  sim::EventQueue& eq = m.eq();
+  Tick next = m.now() + period;
+  for (;;) {
+    const auto nt = eq.peek_next_tick();
+    if (!nt) break;
+    while (*nt > next) {
+      tl.sample(next);
+      next += period;
+    }
+    eq.step();
+  }
+}
+
 }  // namespace
 
 EngineResult Engine::run(const ScenarioSpec& raw, std::uint64_t seed,
-                         int scale) {
+                         int scale, const obs::RunHooks* obs) {
   const std::string err = validate(raw);
   if (!err.empty())
     throw std::invalid_argument("invalid scenario '" + raw.name + "': " + err);
@@ -344,9 +445,29 @@ EngineResult Engine::run(const ScenarioSpec& raw, std::uint64_t seed,
   sim::spawn(coordinator(cx, next_thread()));
   sim::spawn(depth_sampler(cx));
 
+  // --- observability hookup (zero-perturbation: see run_sampled) ------------
+  obs::Timeline* const tl = obs ? obs->timeline : nullptr;
+  if (tl) register_series(*tl, cx, m_, f_);
+  if (obs && obs->tracer) {
+    m_.eq().set_trace(&obs->tracer->buffer(0));
+    obs->tracer->set_process_name(0, "machine");
+  }
+
   const Tick t0 = m_.now();
   const std::uint64_t ev0 = m_.eq().executed();
-  m_.run();
+  if (tl)
+    run_sampled(m_, *tl, obs->sample_every);
+  else
+    m_.run();
+  if (tl) {
+    // Final cumulative sample: the last epoch's class series equal the
+    // end-of-run ScenarioMetrics by construction (same aggregation, same
+    // source counters). Then detach — the closures dangle once cx's
+    // metrics move into the result.
+    tl->sample(m_.now());
+    tl->detach();
+  }
+  m_.eq().set_trace(nullptr);
 
   // --- collect --------------------------------------------------------------
   EngineResult r;
@@ -359,6 +480,7 @@ EngineResult Engine::run(const ScenarioSpec& raw, std::uint64_t seed,
   r.metrics.depths = std::move(cx.depths);
   r.metrics.ticks = m_.now() - t0;
   r.metrics.ns = m_.ns(r.metrics.ticks);
+  r.device_stats = m_.statset();
   return r;
 }
 
@@ -471,18 +593,20 @@ sim::SystemConfig machine_config_for(const ScenarioSpec& spec,
 }
 
 EngineResult run_spec(const ScenarioSpec& spec, squeue::Backend backend,
-                      std::uint64_t seed, int scale) {
+                      std::uint64_t seed, int scale,
+                      const obs::RunHooks* obs) {
   runtime::Machine m(machine_config_for(spec, backend));
   squeue::ChannelFactory f(m, backend);
   Engine eng(m, f);
-  return eng.run(spec, seed, scale);
+  return eng.run(spec, seed, scale, obs);
 }
 
 EngineResult run_scenario(const std::string& name, squeue::Backend backend,
-                          std::uint64_t seed, int scale) {
+                          std::uint64_t seed, int scale,
+                          const obs::RunHooks* obs) {
   const ScenarioSpec* spec = find_scenario(name);
   if (!spec) throw std::invalid_argument("unknown scenario: " + name);
-  return run_spec(*spec, backend, seed, scale);
+  return run_spec(*spec, backend, seed, scale, obs);
 }
 
 ScenarioSpec with_batch(const ScenarioSpec& spec, std::uint32_t batch) {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/hooks.hpp"
 #include "runtime/machine.hpp"
 #include "squeue/factory.hpp"
 #include "traffic/metrics.hpp"
@@ -33,6 +34,10 @@ struct EngineResult {
   int scale = 1;
   std::uint64_t events = 0;  ///< Kernel events executed during the run.
   ScenarioMetrics metrics;
+  /// End-of-run snapshot of the machine's telemetry tables (Machine::obs());
+  /// per-shard snapshots merged on sharded runs. Diff/merge/to_string via
+  /// the StatSet view.
+  StatSet device_stats;
 
   /// Per-tenant CSV (header + rows). Fully deterministic for a fixed
   /// (scenario, backend, seed, scale): byte-identical across runs.
@@ -48,8 +53,15 @@ class Engine {
   /// Run `spec` (already scaled) to completion on this machine. The
   /// machine must be freshly constructed — the engine assumes an empty
   /// event queue and takes over thread placement.
+  ///
+  /// `obs` (optional) attaches the observability layer: a Timeline gets
+  /// per-class delivered/p99/SLO/blocked series plus device counters
+  /// sampled every obs->sample_every ticks, a Tracer gets the machine's
+  /// event stream (pid 0). Observation is external to the event loop — it
+  /// schedules nothing and consumes no (tick, seq) numbers — so results
+  /// are byte-identical with and without it.
   EngineResult run(const ScenarioSpec& spec, std::uint64_t seed,
-                   int scale = 1);
+                   int scale = 1, const obs::RunHooks* obs = nullptr);
 
  private:
   runtime::Machine& m_;
@@ -71,12 +83,14 @@ sim::SystemConfig machine_config_for(const ScenarioSpec& spec,
 /// set) and run `spec` at `scale`. The spec-level entry point for QoS
 /// on/off experiments. Throws std::invalid_argument for an invalid spec.
 EngineResult run_spec(const ScenarioSpec& spec, squeue::Backend backend,
-                      std::uint64_t seed, int scale = 1);
+                      std::uint64_t seed, int scale = 1,
+                      const obs::RunHooks* obs = nullptr);
 
 /// Convenience: run_spec over the named preset. Throws
 /// std::invalid_argument for an unknown scenario or invalid spec.
 EngineResult run_scenario(const std::string& name, squeue::Backend backend,
-                          std::uint64_t seed, int scale = 1);
+                          std::uint64_t seed, int scale = 1,
+                          const obs::RunHooks* obs = nullptr);
 
 /// Copy of `spec` with every tenant's injection batch overridden — the
 /// bench CLIs' `--batch` knob (TenantSpec::batch).

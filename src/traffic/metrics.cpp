@@ -238,6 +238,65 @@ std::vector<std::vector<std::string>> ScenarioMetrics::csv_rows() const {
   return rows;
 }
 
+namespace {
+
+/// One tenant-shaped JSON object (tenants and class aggregates share it).
+std::string metrics_json_obj(const TenantMetrics& t, double ns,
+                             const std::string& label,
+                             const std::string& qos_label, Tick slo_p99,
+                             double slo_att_pct, bool has_slo) {
+  std::string o = "{\"name\": \"" + label + "\", \"qos\": \"" + qos_label +
+                  "\", \"slo_p99\": " + std::to_string(slo_p99);
+  o += ", \"slo_att_pct\": ";
+  o += has_slo ? fmt_double(slo_att_pct) : std::string("null");
+  o += ", \"generated\": " + std::to_string(t.generated);
+  o += ", \"sent\": " + std::to_string(t.sent);
+  o += ", \"delivered\": " + std::to_string(t.delivered);
+  o += ", \"dropped\": " + std::to_string(t.dropped);
+  o += ", \"blocked_ticks\": " + std::to_string(t.blocked_ticks);
+  o += ", \"lat_p50\": " + std::to_string(t.latency.percentile(50));
+  o += ", \"lat_p95\": " + std::to_string(t.latency.percentile(95));
+  o += ", \"lat_p99\": " + std::to_string(t.latency.percentile(99));
+  o += ", \"lat_p999\": " + std::to_string(t.latency.percentile(99.9));
+  o += ", \"lat_max\": " + std::to_string(t.latency.max());
+  o += ", \"lat_mean\": " + fmt_double(t.latency.mean());
+  const double secs = ns * 1e-9;
+  const double rate =
+      secs > 0.0 ? static_cast<double>(t.delivered) / secs / 1e6 : 0.0;
+  o += ", \"mmsgs_per_s\": " + fmt_double(rate) + "}";
+  return o;
+}
+
+}  // namespace
+
+std::string ScenarioMetrics::json() const {
+  std::string out = "{\n  \"ticks\": " + std::to_string(ticks) +
+                    ",\n  \"ns\": " + fmt_double(ns);
+  out += ",\n  \"generated\": " + std::to_string(total_generated());
+  out += ",\n  \"delivered\": " + std::to_string(total_delivered());
+  out += ",\n  \"dropped\": " + std::to_string(total_dropped());
+  out += ",\n  \"tenants\": [\n";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantMetrics& t = tenants[i];
+    if (i) out += ",\n";
+    out += "    " + metrics_json_obj(t, ns, t.tenant, to_string(t.qos),
+                                     t.slo_p99, t.slo_attained_pct(),
+                                     t.slo_p99 != 0);
+  }
+  out += "\n  ],\n  \"classes\": [\n";
+  const auto classes = by_class();
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const ClassAgg& c = classes[i];
+    if (i) out += ",\n";
+    out += "    " + metrics_json_obj(c.agg, ns, c.agg.tenant,
+                                     to_string(c.cls), 0,
+                                     c.slo_attained_pct(),
+                                     c.slo_delivered != 0);
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
 std::string ScenarioMetrics::table() const {
   TextTable tt(csv_header());
   for (auto& row : csv_rows()) tt.add_row(row);

@@ -140,6 +140,11 @@ struct ScenarioMetrics {
 
   /// Aligned-text rendering for terminal output.
   std::string table() const;
+
+  /// Machine-readable dump: tenants, per-class aggregates, totals, and
+  /// run duration — the scenario_runner --metrics-json payload, so tools
+  /// stop parsing the human table.
+  std::string json() const;
 };
 
 }  // namespace vl::traffic

@@ -260,6 +260,105 @@ Co<void> depth_sampler(Mesh& mesh, ShardCtx& cx) {
   }
 }
 
+/// Mesh-wide timeline series: the classic engine's per-class set folded
+/// over every shard, plus the sharded-only signals (per-shard link window
+/// stalls, cross-link ingress). Closures are evaluated only at the
+/// single-threaded barrier, so threaded stepping races on nothing.
+void register_sharded_series(obs::Timeline& tl, Mesh& mesh) {
+  auto& shards = mesh.shards;
+  tl.add_series("eq.executed", [&mesh] {
+    return static_cast<double>(mesh.ssim.executed());
+  });
+  tl.add_series("chan.depth", [&shards] {
+    std::uint64_t d = 0;
+    for (const auto& cx : shards)
+      for (const auto& ch : cx->channels) d += ch->depth();
+    return static_cast<double>(d);
+  });
+  tl.add_series("cross_shard.ingress", [&shards] {
+    std::uint64_t n = 0;
+    for (const auto& cx : shards) n += cx->cross_in;
+    return static_cast<double>(n);
+  });
+  tl.add_series("vlrd.push_quota_nacks", [&shards] {
+    std::uint64_t n = 0;
+    for (const auto& cx : shards) n += cx->m->vlrd_stats().push_quota_nacks;
+    return static_cast<double>(n);
+  });
+  tl.add_series("vlrd.fetch_nacks", [&shards] {
+    std::uint64_t n = 0;
+    for (const auto& cx : shards) n += cx->m->vlrd_stats().fetch_nacks;
+    return static_cast<double>(n);
+  });
+  if (mesh.backend == squeue::Backend::kCaf) {
+    for (std::size_t c = 0; c < kQosClasses; ++c) {
+      const auto cls = static_cast<QosClass>(c);
+      tl.add_series(std::string("caf.occupancy.") + to_string(cls),
+                    [&shards, cls] {
+                      std::uint64_t n = 0;
+                      for (const auto& cx : shards)
+                        n += cx->f->caf_device().class_occupancy(cls);
+                      return static_cast<double>(n);
+                    });
+    }
+  }
+  for (int sh = 0; sh < static_cast<int>(shards.size()); ++sh)
+    tl.add_series("shard" + std::to_string(sh) + ".window_stalls",
+                  [&mesh, sh] {
+                    return static_cast<double>(
+                        mesh.ssim.shard_window_stalls(sh));
+                  });
+
+  bool present[kQosClasses] = {};
+  for (const auto& t : mesh.spec.tenants)
+    present[static_cast<std::size_t>(t.qos)] = true;
+  for (std::size_t ci = 0; ci < kQosClasses; ++ci) {
+    if (!present[ci]) continue;
+    const auto cls = static_cast<QosClass>(ci);
+    const std::string base = std::string("class.") + to_string(cls) + ".";
+    auto fold = [&shards, cls](auto&& view) {
+      double acc = 0.0;
+      for (const auto& cx : shards)
+        for (const auto& t : cx->classes)
+          if (t.qos == cls) acc += view(t);
+      return acc;
+    };
+    tl.add_series(base + "delivered", [fold] {
+      return fold([](const TenantMetrics& t) {
+        return static_cast<double>(t.delivered);
+      });
+    });
+    tl.add_series(base + "sent", [fold] {
+      return fold(
+          [](const TenantMetrics& t) { return static_cast<double>(t.sent); });
+    });
+    tl.add_series(base + "blocked_ticks", [fold] {
+      return fold([](const TenantMetrics& t) {
+        return static_cast<double>(t.blocked_ticks);
+      });
+    });
+    tl.add_series(base + "p99", [&shards, cls] {
+      LogHistogram h;
+      for (const auto& cx : shards)
+        for (const auto& t : cx->classes)
+          if (t.qos == cls) h.merge(t.latency);
+      return static_cast<double>(h.percentile(99));
+    });
+    tl.add_series(base + "slo_att_pct", [&shards, cls] {
+      std::uint64_t slo_delivered = 0, slo_within = 0;
+      for (const auto& cx : shards)
+        for (const auto& t : cx->classes) {
+          if (t.qos != cls || !t.slo_p99) continue;
+          slo_delivered += t.delivered;
+          slo_within += t.slo_within();
+        }
+      if (!slo_delivered) return 100.0;
+      return 100.0 * static_cast<double>(slo_within) /
+             static_cast<double>(slo_delivered);
+    });
+  }
+}
+
 }  // namespace
 
 ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
@@ -347,6 +446,24 @@ ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
 
   Mesh mesh{spec, backend, seed, population, ssim, router, shards};
 
+  // --- observability hookup -------------------------------------------------
+  obs::Timeline* const tl = opts.obs ? opts.obs->timeline : nullptr;
+  if (tl) register_sharded_series(*tl, mesh);
+  if (opts.obs && opts.obs->tracer) {
+    obs::Tracer& tr = *opts.obs->tracer;
+    // All buffers are created here, before any (possibly threaded)
+    // stepping: each shard's queue writes only its own buffer while that
+    // shard steps, and the barrier lane (pid = S) only between epochs.
+    for (int sh = 0; sh < S; ++sh) {
+      shards[static_cast<std::size_t>(sh)]->m->eq().set_trace(
+          &tr.buffer(static_cast<std::uint32_t>(sh)));
+      tr.set_process_name(static_cast<std::uint32_t>(sh),
+                          "shard" + std::to_string(sh));
+    }
+    ssim.set_trace(&tr.buffer(static_cast<std::uint32_t>(S)));
+    tr.set_process_name(static_cast<std::uint32_t>(S), "barrier");
+  }
+
   // Global message budget over global producer ids (largest remainder),
   // classes assigned by the same split as the classic engine — both are
   // shard-count-invariant, which is what makes delivered counts equal
@@ -396,6 +513,11 @@ ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
   std::uint64_t rebalanced = 0;
   std::uint64_t barriers = 0;
   auto hook = [&]() -> bool {
+    // Timeline epoch: after the exchange every shard stands at the same
+    // tick, so one sample captures a consistent mesh-wide cut. Sampling
+    // reads counters only — it never schedules — so the run's (tick, seq)
+    // stream is untouched.
+    if (tl) tl->sample(shards.front()->m->now());
     if (stop_sent) return true;
     bool producers_done = true;
     for (const auto& cx : shards)
@@ -429,6 +551,17 @@ ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
 
   ssim.run(hook);
 
+  if (tl) {
+    // Final cumulative epoch, taken before the per-shard metrics move out
+    // of the contexts: its class.* values equal the merged end-of-run
+    // ScenarioMetrics (same counters, same aggregation).
+    Tick end = 0;
+    for (const auto& cx : shards) end = std::max(end, cx->m->now());
+    tl->sample(end);
+    tl->detach();
+  }
+  for (auto& cx : shards) cx->m->eq().set_trace(nullptr);
+
   ShardedResult r;
   r.engine.scenario = spec.name;
   r.engine.backend = squeue::to_string(backend);
@@ -448,6 +581,7 @@ ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
     sm.ticks = cx->m->now();
     sm.ns = cx->m->ns(sm.ticks);
     r.engine.metrics.merge(sm);
+    r.engine.device_stats.merge(cx->m->statset());
     r.shard_digests.push_back(cx->digest);
     r.shard_delivered.push_back(cx->delivered);
   }

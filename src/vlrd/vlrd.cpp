@@ -4,6 +4,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "obs/tracer.hpp"
 #include "vlrd/addressing.hpp"
 
 namespace vl::vlrd {
@@ -118,6 +119,9 @@ bool Vlrd::fetch(Sqi sqi, Addr cons_tgt, CoreId cons_core) {
         // Coupled ablation: the re-issued packet is a bus arrival like any
         // other and the un-decoupled pipeline cannot buffer it.
         ++stats_.fetch_nacks;
+        if (obs::TraceBuffer* const tb = eq_.trace())
+          tb->instant(eq_.now(), obs::kDeviceTid, "vlrd", "fetch_nack", "sqi",
+                      sqi);
         return false;
       }
       if (prev == kNil)
@@ -144,11 +148,17 @@ bool Vlrd::fetch(Sqi sqi, Addr cons_tgt, CoreId cons_core) {
 
   if (cfg_.coupled_io && pipeline_pending()) {
     ++stats_.fetch_nacks;
+    if (obs::TraceBuffer* const tb = eq_.trace())
+      tb->instant(eq_.now(), obs::kDeviceTid, "vlrd", "fetch_nack", "sqi",
+                  sqi);
     return false;
   }
   const std::uint16_t idx = alloc_cons_slot();
   if (idx == kNil) {
     ++stats_.fetch_nacks;
+    if (obs::TraceBuffer* const tb = eq_.trace())
+      tb->instant(eq_.now(), obs::kDeviceTid, "vlrd", "fetch_nack", "sqi",
+                  sqi);
     return false;
   }
   ConsBufEntry& e = cons_buf_[idx];
@@ -509,9 +519,12 @@ bool Vlrd::line_drained(Addr tgt) const {
 void Vlrd::injector_done(std::uint16_t idx) {
   ProdBufEntry& p = prod_buf_[idx];
   assert(p.out_valid);
+  obs::TraceBuffer* const tb = eq_.trace();
   if (line_drained(p.cons_tgt) &&
       hier_.inject(p.cons_core, p.cons_tgt, p.data.data())) {
     ++stats_.inject_ok;
+    if (tb)
+      tb->instant(eq_.now(), obs::kDeviceTid, "vlrd", "inject", "sqi", p.sqi);
     p.out_valid = false;  // slot free again
     p.mapped = kNil;
     LinkTabEntry& freed = link_tab_[p.sqi];
@@ -526,6 +539,9 @@ void Vlrd::injector_done(std::uint16_t idx) {
     // VLRD at the head of its SQI list; the consumer's re-issued vl_fetch
     // will map it again (§ III-B).
     ++stats_.inject_retry;
+    if (tb)
+      tb->instant(eq_.now(), obs::kDeviceTid, "vlrd", "inject_retry", "sqi",
+                  p.sqi);
     p.out_valid = false;
     p.valid = true;
     p.mapped = kNil;

@@ -1,0 +1,85 @@
+// Timeline unit tests: sampling, ring eviction past the cap, last(),
+// detach(), and the CSV/JSON export formats.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/timeline.hpp"
+
+namespace vl::obs {
+namespace {
+
+TEST(Timeline, SampleEvaluatesEverySeries) {
+  Timeline tl;
+  std::uint64_t counter = 0;
+  tl.add_series("count", [&] { return static_cast<double>(counter); });
+  tl.add_series("doubled", [&] { return static_cast<double>(2 * counter); });
+  counter = 3;
+  tl.sample(100);
+  counter = 5;
+  tl.sample(200);
+  ASSERT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl.at(0).tick, 100u);
+  EXPECT_EQ(tl.at(0).values, (std::vector<double>{3.0, 6.0}));
+  EXPECT_EQ(tl.at(1).tick, 200u);
+  EXPECT_EQ(tl.at(1).values, (std::vector<double>{5.0, 10.0}));
+  EXPECT_EQ(tl.last("count"), 5.0);
+  EXPECT_EQ(tl.last("doubled"), 10.0);
+  EXPECT_EQ(tl.last("nope"), 0.0);
+}
+
+TEST(Timeline, RingEvictsOldestPastCap) {
+  Timeline tl(3);
+  int x = 0;
+  tl.add_series("x", [&] { return static_cast<double>(x); });
+  for (x = 0; x < 10; ++x) tl.sample(static_cast<Tick>(x) * 10);
+  EXPECT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl.epochs(), 10u);
+  EXPECT_EQ(tl.dropped(), 7u);
+  // Absolute epoch indices survive eviction: the retained window is 7..9.
+  EXPECT_EQ(tl.at(0).index, 7u);
+  EXPECT_EQ(tl.at(2).index, 9u);
+  EXPECT_EQ(tl.last("x"), 9.0);
+}
+
+TEST(Timeline, DetachDropsClosuresKeepsSamples) {
+  Timeline tl;
+  int live = 7;
+  tl.add_series("x", [&] { return static_cast<double>(live); });
+  tl.sample(1);
+  tl.detach();
+  // After detach the closure (and its referent) may die; retained samples
+  // and exports must still work.
+  EXPECT_EQ(tl.size(), 1u);
+  EXPECT_EQ(tl.last("x"), 7.0);
+  EXPECT_NE(tl.csv().find("0,1,x,7.000"), std::string::npos);
+}
+
+TEST(Timeline, CsvIsLongFormat) {
+  Timeline tl;
+  tl.add_series("a", [] { return 1.5; });
+  tl.add_series("b", [] { return 2.0; });
+  tl.sample(10);
+  tl.sample(20);
+  EXPECT_EQ(tl.csv(),
+            "epoch,tick,series,value\n"
+            "0,10,a,1.500\n"
+            "0,10,b,2.000\n"
+            "1,20,a,1.500\n"
+            "1,20,b,2.000\n");
+}
+
+TEST(Timeline, JsonCarriesSeriesAndEpochs) {
+  Timeline tl;
+  tl.add_series("a", [] { return 1.0; });
+  tl.sample(5);
+  const std::string j = tl.json();
+  EXPECT_NE(j.find("\"series\""), std::string::npos);
+  EXPECT_NE(j.find("\"a\""), std::string::npos);
+  EXPECT_NE(j.find("\"tick\": 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vl::obs

@@ -1,0 +1,61 @@
+// Tracer unit tests: buffer-per-pid management, lane helpers, and the
+// Chrome-trace JSON shape (metadata, B/E/i records, args).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/tracer.hpp"
+
+namespace vl::obs {
+namespace {
+
+TEST(Tracer, ThreadTidLanesAreUniquePerCoroutine) {
+  EXPECT_EQ(thread_tid(0, 0), 0u);
+  EXPECT_EQ(thread_tid(0, 1), 1u);
+  EXPECT_EQ(thread_tid(1, 0), kTidStride);
+  EXPECT_EQ(thread_tid(7, 3), 7u * kTidStride + 3u);
+  // Device lane never collides with a sim-thread lane on a 16-core machine.
+  EXPECT_GT(kDeviceTid, thread_tid(12, kTidStride - 1));
+}
+
+TEST(Tracer, BufferPerPidIsReferenceStable) {
+  Tracer tr;
+  TraceBuffer& b0 = tr.buffer(0);
+  b0.begin(1, 0, "sim", "park");
+  // Creating later pids (including a gap) must not move buffer 0.
+  TraceBuffer& b3 = tr.buffer(3);
+  b3.instant(2, 0, "vlrd", "inject");
+  EXPECT_EQ(&b0, &tr.buffer(0));
+  b0.end(5, 0, "sim", "park");
+  EXPECT_EQ(tr.buffer(0).size(), 2u);
+  EXPECT_EQ(tr.total_events(), 3u);
+}
+
+TEST(Tracer, JsonShape) {
+  Tracer tr;
+  tr.set_process_name(0, "machine");
+  TraceBuffer& b = tr.buffer(0);
+  b.begin(10, 5, "chan", "send", "n", 8);
+  b.end(20, 5, "chan", "send");
+  b.instant(15, kDeviceTid, "vlrd", "fetch_nack", "sqi", 3);
+  const std::string j = tr.json();
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(j.find("\"machine\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(j.find("\"args\":{\"n\":8}"), std::string::npos);
+  EXPECT_NE(j.find("\"args\":{\"sqi\":3}"), std::string::npos);
+}
+
+TEST(Tracer, EmptyTracerStillEmitsValidDocument) {
+  Tracer tr;
+  const std::string j = tr.json();
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(tr.total_events(), 0u);
+}
+
+}  // namespace
+}  // namespace vl::obs

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace JSON file emitted by the obs::Tracer.
+
+Checks the subset of the Trace Event Format that Perfetto / chrome://tracing
+require to load the file, plus the invariants our tracer guarantees:
+
+  * top-level object with a "traceEvents" array;
+  * every event has numeric "pid"/"tid" and a "ph" in {B, E, i, M};
+  * B/E/i events carry a numeric "ts"; B and i also carry "name" and "cat";
+  * per (pid, tid) lane, B/E events are balanced (every E closes the most
+    recent open B with the same name — proper nesting, no dangling spans);
+  * per (pid, tid) lane, "ts" is non-decreasing (the tracer appends in
+    event-execution order, which is (tick, seq)-sorted per lane).
+
+Exit status 0 when the file passes, 1 with a diagnostic per violation
+otherwise.  Usage: tools/trace_check.py TRACE.json
+"""
+
+import json
+import sys
+
+
+VALID_PH = {"B", "E", "i", "M"}
+
+
+def check(path):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return ["%s: cannot parse: %s" % (path, e)]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["%s: no traceEvents array" % path]
+
+    stacks = {}  # (pid, tid) -> list of open B-span names
+    last_ts = {}  # (pid, tid) -> last seen ts
+    n_spans = 0
+    for i, ev in enumerate(events):
+        where = "event %d" % i
+
+        def err(msg):
+            errors.append("%s: %s: %s" % (path, where, msg))
+
+        if not isinstance(ev, dict):
+            err("not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in VALID_PH:
+            err("bad ph %r" % (ph,))
+            continue
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+            ev.get("tid"), int
+        ):
+            err("pid/tid missing or non-numeric")
+            continue
+        lane = (ev["pid"], ev["tid"])
+        if ph == "M":
+            continue  # Metadata events carry no ts.
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            err("ts missing or non-numeric")
+            continue
+        if ts < last_ts.get(lane, 0):
+            err(
+                "ts %s decreases below %s in lane pid=%d tid=%d"
+                % (ts, last_ts[lane], lane[0], lane[1])
+            )
+        last_ts[lane] = ts
+
+        if ph in ("B", "i"):
+            if not isinstance(ev.get("name"), str) or not isinstance(
+                ev.get("cat"), str
+            ):
+                err("B/i event without string name/cat")
+                continue
+        if ph == "B":
+            stacks.setdefault(lane, []).append(ev["name"])
+            n_spans += 1
+        elif ph == "E":
+            stack = stacks.get(lane)
+            if not stack:
+                err(
+                    "E with no open span in lane pid=%d tid=%d" % lane
+                )
+            else:
+                top = stack.pop()
+                name = ev.get("name")
+                if name is not None and name != top:
+                    err(
+                        "E name %r closes open span %r (improper nesting)"
+                        % (name, top)
+                    )
+
+    for lane, stack in stacks.items():
+        if stack:
+            errors.append(
+                "%s: %d unclosed span(s) in lane pid=%d tid=%d: %s"
+                % (path, len(stack), lane[0], lane[1], ", ".join(stack))
+            )
+
+    if not errors:
+        print(
+            "%s: OK (%d events, %d spans, %d lanes)"
+            % (path, len(events), n_spans, len(last_ts))
+        )
+    return errors
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = check(argv[1])
+    for e in errors:
+        print(e, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
