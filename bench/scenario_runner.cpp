@@ -77,7 +77,16 @@ void print_usage() {
                "            (load in Perfetto / chrome://tracing);\n"
                "            single cell only\n"
                "  --metrics-json FILE  dump end-of-run ScenarioMetrics\n"
-               "            (incl. per-class rows) as a JSON runs array\n");
+               "            (incl. per-class rows) as a JSON runs array\n"
+               "  --faults SPEC  deterministic fault schedule (see\n"
+               "            fault/spec.hpp grammar), e.g.\n"
+               "            'stall@20000+30000;spike@10000+5000:extra=256'\n"
+               "            or 'rand:7' — overrides the preset's schedule\n"
+               "  --no-supervisor  disable the closed-loop QoS supervisor\n"
+               "            on presets that enable it (ablation baseline)\n"
+               "  --assert-slo CLASS=PCT  exit non-zero unless CLASS's SLO\n"
+               "            attainment is >= PCT in every cell (CI gate),\n"
+               "            e.g. --assert-slo latency=90\n");
 }
 
 /// Run one (scenario, backend) cell, honouring the --no-qos ablation and
@@ -90,11 +99,15 @@ vl::traffic::EngineResult run_cell(const std::string& name, Backend b,
                                    bool no_qos, std::uint32_t batch,
                                    int shards = 0, int sim_threads = 1,
                                    std::uint64_t tenants = 0,
-                                   const vl::obs::RunHooks* obs = nullptr) {
+                                   const vl::obs::RunHooks* obs = nullptr,
+                                   bool no_supervisor = false,
+                                   const std::string& faults = "") {
   const vl::traffic::ScenarioSpec* spec = vl::traffic::find_scenario(name);
   if (!spec) throw std::invalid_argument("unknown scenario: " + name);
   vl::traffic::ScenarioSpec run = *spec;
   if (no_qos && run.qos) run.qos = false;
+  if (no_supervisor) run.supervisor = false;
+  if (!faults.empty()) run.faults = vl::fault::FaultSpec::parse(faults);
   if (batch) run = vl::traffic::with_batch(run, batch);
   if (shards > 0) {
     vl::traffic::ShardedOptions opts;
@@ -152,7 +165,8 @@ std::vector<int> parse_scales(const char* s) {
 int run_sweep(const std::vector<std::string>& scenarios,
               const std::vector<Backend>& backends,
               const std::vector<int>& scales, const std::vector<int>& batches,
-              std::uint64_t seed, bool no_qos) {
+              std::uint64_t seed, bool no_qos, bool no_supervisor,
+              const std::string& faults) {
   vl::TextTable tt({"backend", "scale", "batch", "scenarios",
                     "geomean_Mmsg/s", "geomean_ticks", "geomean_ev/msg",
                     "geomean_p99_lat", "slo_att_%"});
@@ -163,7 +177,8 @@ int run_sweep(const std::vector<std::string>& scenarios,
       std::uint64_t slo_delivered = 0, slo_within = 0;
       for (const auto& name : scenarios) {
         const vl::traffic::EngineResult r = run_cell(
-            name, b, seed, scale, no_qos, static_cast<std::uint32_t>(batch));
+            name, b, seed, scale, no_qos, static_cast<std::uint32_t>(batch),
+            0, 1, 0, nullptr, no_supervisor, faults);
         const double secs = r.metrics.ns * 1e-9;
         const auto delivered = r.metrics.total_delivered();
         rates.push_back(secs > 0
@@ -249,6 +264,30 @@ int main(int argc, char** argv) {
   const auto sample_every = static_cast<vl::Tick>(
       std::strtoull(arg_value(argc, argv, "--sample-every", "10000"), nullptr,
                     10));
+  const bool no_supervisor = has_flag(argc, argv, "--no-supervisor");
+  const std::string faults = arg_value(argc, argv, "--faults", "");
+  if (!faults.empty()) {
+    try {
+      const vl::fault::FaultSpec fs = vl::fault::FaultSpec::parse(faults);
+      std::fprintf(stderr, "faults: %s\n", fs.summary().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  // --assert-slo CLASS=PCT: the CI chaos-smoke gate.
+  const std::string assert_slo = arg_value(argc, argv, "--assert-slo", "");
+  std::string slo_class;
+  double slo_threshold = 0.0;
+  if (!assert_slo.empty()) {
+    const auto eq = assert_slo.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "--assert-slo needs CLASS=PCT\n");
+      return 2;
+    }
+    slo_class = assert_slo.substr(0, eq);
+    slo_threshold = std::strtod(assert_slo.c_str() + eq + 1, nullptr);
+  }
 
   std::vector<std::string> scenarios;
   if (scenario == "all") {
@@ -290,7 +329,8 @@ int main(int argc, char** argv) {
       print_usage();
       return 2;
     }
-    return run_sweep(scenarios, backends, scales, batches, seed, no_qos);
+    return run_sweep(scenarios, backends, scales, batches, seed, no_qos,
+                     no_supervisor, faults);
   }
 
   // Timeline/trace capture one run's time axis; a multi-cell sweep would
@@ -304,19 +344,35 @@ int main(int argc, char** argv) {
   }
 
   vl::obs::Timeline timeline;
+  // On overflow, coarsen (halve history, keeping full-run coverage) rather
+  // than silently evicting the oldest epochs.
+  timeline.set_auto_coarsen(true);
   vl::obs::Tracer tracer;
   vl::obs::RunHooks hooks;
   hooks.sample_every = sample_every;
   if (!timeline_path.empty()) hooks.timeline = &timeline;
   if (!trace_path.empty()) hooks.tracer = &tracer;
 
+  bool slo_ok = true;
   std::string metrics_json;  // Accumulated `runs` array body.
   bool header_done = false;
   for (const auto& name : scenarios) {
     for (Backend b : backends) {
       const vl::traffic::EngineResult r =
           run_cell(name, b, seed, scale, no_qos, batch, shards, sim_threads,
-                   tenants, hooks.any() ? &hooks : nullptr);
+                   tenants, hooks.any() ? &hooks : nullptr, no_supervisor,
+                   faults);
+      if (!slo_class.empty()) {
+        for (const auto& c : r.metrics.by_class()) {
+          if (to_string(c.cls) != slo_class || !c.slo_delivered) continue;
+          const double att = 100.0 * static_cast<double>(c.slo_within) /
+                             static_cast<double>(c.slo_delivered);
+          std::fprintf(stderr, "assert-slo: %s %s %s=%.2f%% (need %.2f%%)\n",
+                       name.c_str(), r.backend.c_str(), slo_class.c_str(),
+                       att, slo_threshold);
+          if (att < slo_threshold) slo_ok = false;
+        }
+      }
       // One shared CSV header across the whole sweep.
       const std::string csv = r.csv();
       const std::size_t nl = csv.find('\n');
@@ -333,12 +389,34 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (!timeline_path.empty() && !timeline.write(timeline_path)) {
-    std::fprintf(stderr, "cannot write %s\n", timeline_path.c_str());
-    return 1;
+  if (!timeline_path.empty()) {
+    // Surface ring-capacity losses: with auto-coarsen the file still
+    // covers the whole run, but at a coarser effective cadence the reader
+    // should know about; dropped() > 0 would mean truncated history.
+    if (timeline.coarsenings() > 0)
+      std::fprintf(stderr,
+                   "timeline: ring filled %llu time(s); auto-coarsened to an "
+                   "effective --sample-every of ~%llu ticks\n",
+                   static_cast<unsigned long long>(timeline.coarsenings()),
+                   static_cast<unsigned long long>(
+                       sample_every << timeline.coarsenings()));
+    if (timeline.dropped() > 0)
+      std::fprintf(stderr,
+                   "timeline: warning: %llu oldest epochs evicted by the "
+                   "ring cap; raise --sample-every to keep full coverage\n",
+                   static_cast<unsigned long long>(timeline.dropped()));
+    if (!timeline.write(timeline_path)) {
+      std::fprintf(stderr, "cannot write %s\n", timeline_path.c_str());
+      return 1;
+    }
   }
   if (!trace_path.empty()) write_file(trace_path, tracer.json());
   if (!metrics_json_path.empty())
     write_file(metrics_json_path, "{\"runs\":[\n" + metrics_json + "\n]}\n");
+  if (!slo_ok) {
+    std::fprintf(stderr, "assert-slo: FAILED (attainment below %.2f%%)\n",
+                 slo_threshold);
+    return 3;
+  }
   return 0;
 }

@@ -15,6 +15,8 @@
 //
 //   sim_throughput                         # default preset matrix
 //   sim_throughput --scenario incast-burst --backend zmq --scale 2
+//   sim_throughput --scenario qos-adversarial-bulk --backend vl
+//       --faults 'stall@40000+20000:every=1' --no-supervisor
 //   sim_throughput --out build/BENCH_sim.json
 
 #include <chrono>
@@ -26,9 +28,11 @@
 
 #include "bench/bench_util.hpp"
 #include "common/table.hpp"
+#include "fault/spec.hpp"
 #include "obs/hooks.hpp"
 #include "obs/timeline.hpp"
 #include "traffic/engine.hpp"
+#include "traffic/metrics.hpp"
 #include "traffic/sharded_engine.hpp"
 
 namespace {
@@ -43,6 +47,7 @@ struct RunSpec {
   std::uint32_t batch = 0;  ///< 0 keeps the preset's per-tenant batches.
   int shards = 0;           ///< 0 = classic engine; >= 1 = sharded mesh.
   bool timeline = false;    ///< Attach an obs::Timeline (overhead guard).
+  bool sup = false;         ///< Run the closed-loop QoS supervisor.
 };
 
 // Default matrix: the polling-heavy shapes the kernel overhaul targets
@@ -80,19 +85,42 @@ const RunSpec kDefaultMatrix[] = {
     // its event count must equal the plain row's exactly; the in-binary
     // assert below fails the bench if ev/msg drifts > 5%.
     {"qos-incast", Backend::kVl, 0, 0, true},
+    // Graceful degradation under adversarial bulk: the plain row runs with
+    // the QoS supervisor forced off (static quotas), the "(sup)" row with
+    // the closed-loop AIMD controller re-carving quotas each epoch. The
+    // lat_p99 column is the latency class's p99; bench_gate --expect-gain
+    // pins the supervisor's latency win against the static sibling.
+    {"qos-adversarial-bulk", Backend::kVl},
+    {"qos-adversarial-bulk", Backend::kVl, 0, 0, false, true},
 };
 
 struct Row {
   std::string scenario, backend;
-  std::uint64_t events = 0, ticks = 0, delivered = 0;
+  std::uint64_t events = 0, ticks = 0, delivered = 0, lat_p99 = 0;
   double wall_ms = 0.0, events_per_sec = 0.0, mticks_per_sec = 0.0,
          events_per_msg = 0.0;
 };
 
+// Latency-class p99 (the figure the QoS supervisor defends) when the run
+// has latency-class traffic, otherwise the all-tenant aggregate p99.
+std::uint64_t latency_p99(const vl::traffic::ScenarioMetrics& m) {
+  for (const vl::traffic::ClassAgg& c : m.by_class())
+    if (c.cls == vl::QosClass::kLatency) return c.agg.latency.percentile(99);
+  vl::traffic::LogHistogram all;
+  for (const vl::traffic::TenantMetrics& t : m.tenants) all.merge(t.latency);
+  return all.percentile(99);
+}
+
 Row run_one(const std::string& scenario, Backend backend, std::uint64_t seed,
             int scale, std::uint32_t batch = 0, int shards = 0,
-            bool timeline = false) {
-  const vl::traffic::ScenarioSpec* spec = vl::traffic::find_scenario(scenario);
+            bool timeline = false, bool sup = false,
+            const std::string& faults = "") {
+  vl::traffic::ScenarioSpec spec = *vl::traffic::find_scenario(scenario);
+  // Benchmark rows control the supervisor explicitly: the plain
+  // qos-adversarial-bulk row measures static quotas even though the preset
+  // defaults the supervisor on.
+  spec.supervisor = sup;
+  if (!faults.empty()) spec.faults = vl::fault::FaultSpec::parse(faults);
   vl::obs::Timeline tl;
   vl::obs::RunHooks hooks;
   hooks.timeline = &tl;
@@ -103,11 +131,11 @@ Row run_one(const std::string& scenario, Backend backend, std::uint64_t seed,
     vl::traffic::ShardedOptions opts;
     opts.shards = shards;
     opts.obs = obs;
-    r = vl::traffic::run_sharded(*spec, backend, seed, opts, scale).engine;
+    r = vl::traffic::run_sharded(spec, backend, seed, opts, scale).engine;
   } else {
-    r = batch ? vl::traffic::run_spec(vl::traffic::with_batch(*spec, batch),
+    r = batch ? vl::traffic::run_spec(vl::traffic::with_batch(spec, batch),
                                       backend, seed, scale)
-              : vl::traffic::run_spec(*spec, backend, seed, scale, obs);
+              : vl::traffic::run_spec(spec, backend, seed, scale, obs);
   }
   const auto t1 = std::chrono::steady_clock::now();
 
@@ -120,11 +148,13 @@ Row run_one(const std::string& scenario, Backend backend, std::uint64_t seed,
   row.scenario = batch        ? scenario + "(b" + std::to_string(batch) + ")"
                  : shards > 1 ? scenario + "(s" + std::to_string(shards) + ")"
                  : timeline   ? scenario + "(tl)"
+                 : sup        ? scenario + "(sup)"
                               : scenario;
   row.backend = r.backend;
   row.events = r.events;
   row.ticks = r.metrics.ticks;
   row.delivered = r.metrics.total_delivered();
+  row.lat_p99 = latency_p99(r.metrics);
   row.wall_ms =
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
           t1 - t0)
@@ -157,12 +187,14 @@ void write_json(const char* path, const std::vector<Row>& rows,
         f,
         "    {\"scenario\": \"%s\", \"backend\": \"%s\", "
         "\"events\": %llu, \"sim_ticks\": %llu, \"delivered\": %llu, "
+        "\"lat_p99\": %llu, "
         "\"wall_ms\": %.3f, \"events_per_sec\": %.0f, "
         "\"sim_mticks_per_sec\": %.3f, \"events_per_msg\": %.2f}%s\n",
         r.scenario.c_str(), r.backend.c_str(),
         static_cast<unsigned long long>(r.events),
         static_cast<unsigned long long>(r.ticks),
-        static_cast<unsigned long long>(r.delivered), r.wall_ms,
+        static_cast<unsigned long long>(r.delivered),
+        static_cast<unsigned long long>(r.lat_p99), r.wall_ms,
         r.events_per_sec, r.mticks_per_sec, r.events_per_msg,
         i + 1 < rows.size() ? "," : "");
   }
@@ -184,6 +216,19 @@ int main(int argc, char** argv) {
   const int shards = static_cast<int>(
       std::strtol(arg_value(argc, argv, "--shards", "0"), nullptr, 10));
   const char* out = arg_value(argc, argv, "--out", "BENCH_sim.json");
+  const std::string faults = arg_value(argc, argv, "--faults", "");
+  bool no_supervisor = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--no-supervisor") == 0) no_supervisor = true;
+  if (!faults.empty()) {
+    try {
+      const auto fs = vl::fault::FaultSpec::parse(faults);
+      std::fprintf(stderr, "faults: %s\n", fs.summary().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", e.what());
+      return 2;
+    }
+  }
 
   std::vector<RunSpec> matrix;
   if (!scenario.empty() || !backend_s.empty()) {
@@ -202,7 +247,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown backend '%s'\n", backend_s.c_str());
       return 2;
     }
-    for (Backend b : bs) matrix.push_back({sc, b, batch, shards});
+    // CLI cells honor the preset's supervisor default unless --no-supervisor.
+    const bool sup = vl::traffic::find_scenario(sc)->supervisor && !no_supervisor;
+    for (Backend b : bs) matrix.push_back({sc, b, batch, shards, false, sup});
   } else {
     matrix.assign(std::begin(kDefaultMatrix), std::end(kDefaultMatrix));
   }
@@ -212,13 +259,14 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   for (const RunSpec& rs : matrix)
     rows.push_back(run_one(rs.scenario, rs.backend, seed, scale, rs.batch,
-                           rs.shards, rs.timeline));
+                           rs.shards, rs.timeline, rs.sup, faults));
 
   vl::TextTable tt({"scenario", "backend", "events", "sim_ticks", "delivered",
-                    "ev/msg", "wall_ms", "events/s", "Mticks/s"});
+                    "lat_p99", "ev/msg", "wall_ms", "events/s", "Mticks/s"});
   for (const Row& r : rows)
     tt.add_row({r.scenario, r.backend, std::to_string(r.events),
                 std::to_string(r.ticks), std::to_string(r.delivered),
+                std::to_string(r.lat_p99),
                 vl::TextTable::num(r.events_per_msg, 1),
                 vl::TextTable::num(r.wall_ms, 1),
                 vl::TextTable::num(r.events_per_sec, 0),

@@ -1,0 +1,179 @@
+#include "fault/plane.hpp"
+
+#include "runtime/machine.hpp"
+#include "sim/sharded.hpp"
+
+namespace vl::fault {
+
+FaultPlane::FaultPlane(const FaultSpec& spec, int shards)
+    : spec_(spec), shards_(shards < 1 ? 1 : shards) {
+  st_.resize(static_cast<std::size_t>(shards_));
+  for (const auto& e : spec_.events) {
+    if (e.kind == FaultKind::kChanLoss || e.kind == FaultKind::kChanDup)
+      chan_events_ = true;
+    if (e.kind == FaultKind::kFlashCrowd) flash_events_ = true;
+  }
+  const std::size_t n =
+      static_cast<std::size_t>(shards_) * static_cast<std::size_t>(shards_);
+  cur_extra_.assign(n, 0);
+  cur_down_.assign(n, 0);
+}
+
+void FaultPlane::arm_machine(runtime::Machine& m, int shard) {
+  ShardState& s = st_[static_cast<std::size_t>(shard)];
+  obs::Registry& reg = m.obs();
+  // Owned registry counters: they outlive the plane, so a post-run
+  // statset() snapshot never dangles. The plane mirrors them in plain
+  // fields for its own timeline series.
+  s.c_lost = &reg.counter("fault.chan_lost");
+  s.c_duped = &reg.counter("fault.chan_duped");
+  s.c_flash = &reg.counter("fault.flash_rescales");
+  obs::Counter& c_stalls = reg.counter("fault.device_stalls");
+
+  sim::EventQueue* eq = &m.eq();
+  vlrd::Cluster* cl = &m.cluster();
+  for (const auto& e : spec_.events) {
+    if (e.kind != FaultKind::kDeviceStall) continue;
+    if (!shard_match(e, shard)) continue;
+    ShardState* sp = &s;
+    obs::Counter* cs = &c_stalls;
+    // Entry and exit are ordinary events: they consume (tick, seq)
+    // numbers like any workload event, so two identical invocations
+    // replay the exact same stream. Overlapping stall windows coalesce
+    // conservatively — the earliest end resumes the injectors.
+    eq->schedule_at(e.start, [eq, cl, sp, cs] {
+      cl->set_injector_stalled(true);
+      ++sp->stalls;
+      cs->inc();
+      if (auto* tb = eq->trace())
+        tb->instant(eq->now(), obs::kDeviceTid, "fault", "device_stall_begin");
+    });
+    eq->schedule_at(e.start + e.duration, [eq, cl] {
+      cl->set_injector_stalled(false);
+      if (auto* tb = eq->trace())
+        tb->instant(eq->now(), obs::kDeviceTid, "fault", "device_stall_end");
+    });
+  }
+}
+
+void FaultPlane::register_series(obs::Timeline& tl) {
+  tl.add_series("fault.chan_lost",
+                [this] { return static_cast<double>(lost()); });
+  tl.add_series("fault.chan_duped",
+                [this] { return static_cast<double>(duped()); });
+  tl.add_series("fault.device_stalls",
+                [this] { return static_cast<double>(stall_windows()); });
+  tl.add_series("fault.flash_rescales",
+                [this] { return static_cast<double>(flash_rescales()); });
+  tl.add_series("fault.link_transitions", [this] {
+    return static_cast<double>(link_transitions_);
+  });
+}
+
+Tick FaultPlane::scale_gap(int shard, QosClass cls, Tick now, Tick gap) {
+  if (!flash_events_ || gap == 0) return gap;
+  double g = static_cast<double>(gap);
+  bool scaled = false;
+  for (const auto& e : spec_.events) {
+    if (e.kind != FaultKind::kFlashCrowd || !e.active_at(now)) continue;
+    if (!shard_match(e, shard)) continue;
+    if (e.cls >= 0 && e.cls != static_cast<int>(cls)) continue;
+    g *= e.factor;
+    scaled = true;
+  }
+  if (!scaled) return gap;
+  ShardState& s = st_[static_cast<std::size_t>(shard)];
+  ++s.flash_scaled;
+  if (s.c_flash) s.c_flash->inc();
+  return static_cast<Tick>(g);
+}
+
+int FaultPlane::chan_copies(int shard, Tick now) {
+  ShardState& s = st_[static_cast<std::size_t>(shard)];
+  const std::uint64_t seq = s.chan_seq++;
+  int copies = 1;
+  for (const auto& e : spec_.events) {
+    if (!e.active_at(now) || !shard_match(e, shard)) continue;
+    if (e.kind == FaultKind::kChanLoss && e.every && seq % e.every == 0)
+      copies = 0;
+    else if (e.kind == FaultKind::kChanDup && copies == 1 && e.every &&
+             seq % e.every == 1)
+      copies = 2;
+  }
+  if (copies == 0) {
+    ++s.lost;
+    if (s.c_lost) s.c_lost->inc();
+  } else if (copies == 2) {
+    ++s.duped;
+    if (s.c_duped) s.c_duped->inc();
+  }
+  return copies;
+}
+
+void FaultPlane::apply_links(sim::ShardedSim& ssim, Tick now,
+                             obs::TraceBuffer* tb) {
+  const int S = shards_;
+  if (S < 2) return;
+  // Desired table at `now`: spikes accumulate extra latency, any active
+  // partition downs the link. Wildcard src/dst (-1) expand to every shard.
+  std::vector<Tick> extra(cur_extra_.size(), 0);
+  std::vector<std::uint8_t> down(cur_down_.size(), 0);
+  for (const auto& e : spec_.events) {
+    if ((e.kind != FaultKind::kLinkSpike && e.kind != FaultKind::kPartition) ||
+        !e.active_at(now))
+      continue;
+    const int s0 = e.src < 0 ? 0 : clamp(e.src);
+    const int s1 = e.src < 0 ? S - 1 : clamp(e.src);
+    const int d0 = e.dst < 0 ? 0 : clamp(e.dst);
+    const int d1 = e.dst < 0 ? S - 1 : clamp(e.dst);
+    for (int s = s0; s <= s1; ++s)
+      for (int d = d0; d <= d1; ++d) {
+        if (s == d) continue;
+        const std::size_t i =
+            static_cast<std::size_t>(s) * static_cast<std::size_t>(S) +
+            static_cast<std::size_t>(d);
+        if (e.kind == FaultKind::kLinkSpike) extra[i] += e.extra;
+        else down[i] = 1;
+      }
+  }
+  for (int s = 0; s < S; ++s)
+    for (int d = 0; d < S; ++d) {
+      const std::size_t i =
+          static_cast<std::size_t>(s) * static_cast<std::size_t>(S) +
+          static_cast<std::size_t>(d);
+      if (extra[i] == cur_extra_[i] && down[i] == cur_down_[i]) continue;
+      ssim.set_link_fault(s, d, extra[i], down[i] != 0);
+      cur_extra_[i] = extra[i];
+      cur_down_[i] = down[i];
+      ++link_transitions_;
+      if (tb)
+        tb->instant(now, 0, "fault",
+                    down[i] ? "link_partition" : "link_latency",
+                    "src_dst",
+                    (static_cast<std::uint64_t>(s) << 32) |
+                        static_cast<std::uint32_t>(d));
+    }
+}
+
+std::uint64_t FaultPlane::lost() const {
+  std::uint64_t n = 0;
+  for (const auto& s : st_) n += s.lost;
+  return n;
+}
+std::uint64_t FaultPlane::duped() const {
+  std::uint64_t n = 0;
+  for (const auto& s : st_) n += s.duped;
+  return n;
+}
+std::uint64_t FaultPlane::stall_windows() const {
+  std::uint64_t n = 0;
+  for (const auto& s : st_) n += s.stalls;
+  return n;
+}
+std::uint64_t FaultPlane::flash_rescales() const {
+  std::uint64_t n = 0;
+  for (const auto& s : st_) n += s.flash_scaled;
+  return n;
+}
+
+}  // namespace vl::fault

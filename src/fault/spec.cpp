@@ -1,0 +1,219 @@
+#include "fault/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace vl::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkSpike: return "spike";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kDeviceStall: return "stall";
+    case FaultKind::kChanLoss: return "loss";
+    case FaultKind::kChanDup: return "dup";
+    case FaultKind::kFlashCrowd: return "flash";
+  }
+  return "?";
+}
+
+bool FaultSpec::has(FaultKind k) const {
+  for (const auto& e : events)
+    if (e.kind == k) return true;
+  return false;
+}
+
+Tick FaultSpec::end_tick() const {
+  Tick end = 0;
+  for (const auto& e : events) end = std::max(end, e.start + e.duration);
+  return end;
+}
+
+std::string FaultSpec::summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (i) os << ";";
+    os << to_string(e.kind) << "@" << e.start << "+" << e.duration;
+    std::vector<std::string> kv;
+    auto add = [&kv](const std::string& k, const std::string& v) {
+      kv.push_back(k + "=" + v);
+    };
+    if (e.kind == FaultKind::kLinkSpike) add("extra", std::to_string(e.extra));
+    if ((e.kind == FaultKind::kLinkSpike || e.kind == FaultKind::kPartition)) {
+      if (e.src >= 0) add("src", std::to_string(e.src));
+      if (e.dst >= 0) add("dst", std::to_string(e.dst));
+    }
+    if (e.kind == FaultKind::kChanLoss || e.kind == FaultKind::kChanDup)
+      add("every", std::to_string(e.every));
+    if (e.kind == FaultKind::kFlashCrowd) {
+      std::ostringstream f;
+      f << e.factor;
+      add("factor", f.str());
+      if (e.cls >= 0) add("class", std::to_string(e.cls));
+    }
+    if (e.shard >= 0 && e.kind != FaultKind::kLinkSpike &&
+        e.kind != FaultKind::kPartition)
+      add("shard", std::to_string(e.shard));
+    for (std::size_t k = 0; k < kv.size(); ++k)
+      os << (k ? "," : ":") << kv[k];
+  }
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& clause, const std::string& why) {
+  throw std::invalid_argument("bad fault clause '" + clause + "': " + why);
+}
+
+std::uint64_t parse_u64(const std::string& clause, const std::string& s) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+    fail(clause, "expected a non-negative integer, got '" + s + "'");
+  return std::stoull(s);
+}
+
+double parse_f64(const std::string& clause, const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    fail(clause, "expected a number, got '" + s + "'");
+  }
+}
+
+FaultEvent parse_clause(const std::string& clause) {
+  const auto at = clause.find('@');
+  if (at == std::string::npos) fail(clause, "missing '@start+duration'");
+  const std::string kind_s = clause.substr(0, at);
+  const auto colon = clause.find(':', at);
+  const std::string when =
+      clause.substr(at + 1, (colon == std::string::npos ? clause.size()
+                                                        : colon) - at - 1);
+  const auto plus = when.find('+');
+  if (plus == std::string::npos) fail(clause, "window must be START+DURATION");
+
+  FaultEvent e;
+  if (kind_s == "spike") e.kind = FaultKind::kLinkSpike;
+  else if (kind_s == "partition") e.kind = FaultKind::kPartition;
+  else if (kind_s == "stall") e.kind = FaultKind::kDeviceStall;
+  else if (kind_s == "loss") e.kind = FaultKind::kChanLoss;
+  else if (kind_s == "dup") e.kind = FaultKind::kChanDup;
+  else if (kind_s == "flash") e.kind = FaultKind::kFlashCrowd;
+  else fail(clause, "unknown fault kind '" + kind_s + "'");
+
+  e.start = parse_u64(clause, when.substr(0, plus));
+  e.duration = parse_u64(clause, when.substr(plus + 1));
+  if (e.duration < 1) fail(clause, "duration must be >= 1");
+
+  if (colon != std::string::npos) {
+    std::string params = clause.substr(colon + 1);
+    std::istringstream ps(params);
+    std::string kv;
+    while (std::getline(ps, kv, ',')) {
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) fail(clause, "parameter '" + kv +
+                                                    "' is not key=value");
+      const std::string k = kv.substr(0, eq), v = kv.substr(eq + 1);
+      if (k == "src") e.src = static_cast<int>(parse_u64(clause, v));
+      else if (k == "dst") e.dst = static_cast<int>(parse_u64(clause, v));
+      else if (k == "shard") e.shard = static_cast<int>(parse_u64(clause, v));
+      else if (k == "extra") e.extra = parse_u64(clause, v);
+      else if (k == "every")
+        e.every = static_cast<std::uint32_t>(parse_u64(clause, v));
+      else if (k == "class") e.cls = static_cast<int>(parse_u64(clause, v));
+      else if (k == "factor") e.factor = parse_f64(clause, v);
+      else fail(clause, "unknown parameter '" + k + "'");
+    }
+  }
+
+  switch (e.kind) {
+    case FaultKind::kLinkSpike:
+      if (e.extra < 1) fail(clause, "spike needs extra >= 1");
+      break;
+    case FaultKind::kChanLoss:
+    case FaultKind::kChanDup:
+      if (e.every < 1) fail(clause, "loss/dup need every >= 1");
+      break;
+    case FaultKind::kFlashCrowd:
+      if (e.factor <= 0.0) fail(clause, "flash needs factor > 0");
+      if (e.cls >= static_cast<int>(kQosClasses))
+        fail(clause, "class index out of range");
+      break;
+    default: break;
+  }
+  return e;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  std::istringstream ss(text);
+  std::string clause;
+  while (std::getline(ss, clause, ';')) {
+    // Trim surrounding whitespace so shell-quoted lists read naturally.
+    const auto b = clause.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    clause = clause.substr(b, clause.find_last_not_of(" \t") - b + 1);
+    if (clause.rfind("rand:", 0) == 0) {
+      std::istringstream rs(clause.substr(5));
+      std::string part;
+      std::vector<std::uint64_t> args;
+      while (std::getline(rs, part, ','))
+        args.push_back(parse_u64(clause, part));
+      if (args.empty()) fail(clause, "rand needs a seed");
+      const int count = args.size() > 1 ? static_cast<int>(args[1]) : 8;
+      const Tick horizon = args.size() > 2 ? args[2] : 200000;
+      const FaultSpec r = random(args[0], count, horizon);
+      spec.events.insert(spec.events.end(), r.events.begin(), r.events.end());
+      continue;
+    }
+    spec.events.push_back(parse_clause(clause));
+  }
+  return spec;
+}
+
+FaultSpec FaultSpec::random(std::uint64_t seed, int count, Tick horizon) {
+  if (horizon < 64) horizon = 64;
+  FaultSpec spec;
+  Xoshiro256 rng(seed ^ 0xfa017ull * 0x9e3779b97f4a7c15ull);
+  for (int i = 0; i < count; ++i) {
+    FaultEvent e;
+    e.kind = static_cast<FaultKind>(rng.below(6));
+    e.start = horizon / 8 + rng.below(horizon / 2);
+    e.duration = 1 + horizon / 16 + rng.below(horizon / 8);
+    switch (e.kind) {
+      case FaultKind::kLinkSpike:
+        e.src = static_cast<int>(rng.below(8));
+        e.dst = static_cast<int>(rng.below(8));
+        e.extra = 64 + rng.below(1024);
+        break;
+      case FaultKind::kPartition:
+        e.src = static_cast<int>(rng.below(8));
+        e.dst = static_cast<int>(rng.below(8));
+        break;
+      case FaultKind::kDeviceStall:
+        e.shard = static_cast<int>(rng.below(8));
+        break;
+      case FaultKind::kChanLoss:
+      case FaultKind::kChanDup:
+        e.every = 2 + static_cast<std::uint32_t>(rng.below(6));
+        e.shard = static_cast<int>(rng.below(8));
+        break;
+      case FaultKind::kFlashCrowd:
+        e.factor = static_cast<double>(1 + rng.below(6)) / 8.0;
+        e.cls = static_cast<int>(rng.below(kQosClasses));
+        break;
+    }
+    spec.events.push_back(e);
+  }
+  return spec;
+}
+
+}  // namespace vl::fault

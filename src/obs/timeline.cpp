@@ -30,8 +30,21 @@ void Timeline::sample(Tick tick) {
   for (auto& fn : series_) e.values.push_back(fn ? fn() : 0.0);
   ring_.push_back(std::move(e));
   if (ring_.size() > cap_) {
-    ring_.pop_front();
-    ++dropped_;
+    if (auto_coarsen_) {
+      // Halve the retained history instead of evicting the oldest epoch:
+      // keep every other stored epoch, parity anchored at the back so the
+      // newest sample (what last() reads) always survives. Repeated
+      // halvings yield full-run coverage at cadence x 2^coarsenings.
+      std::deque<Epoch> kept;
+      const std::size_t n = ring_.size();
+      for (std::size_t i = 0; i < n; ++i)
+        if ((n - 1 - i) % 2 == 0) kept.push_back(std::move(ring_[i]));
+      ring_ = std::move(kept);
+      ++coarsenings_;
+    } else {
+      ring_.pop_front();
+      ++dropped_;
+    }
   }
 }
 

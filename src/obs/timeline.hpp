@@ -54,6 +54,15 @@ class Timeline {
     std::vector<double> values;  // parallel to names()
   };
 
+  /// On overflow, halve the retained history (drop every other stored
+  /// epoch) instead of evicting the oldest: the ring then covers the whole
+  /// run at a coarser effective cadence, which is what a plot or a
+  /// post-hoc SLO analysis wants. dropped() stays 0 in this mode;
+  /// coarsenings() counts the halvings (effective cadence is
+  /// sample-every x 2^coarsenings).
+  void set_auto_coarsen(bool on) { auto_coarsen_ = on; }
+  std::uint64_t coarsenings() const { return coarsenings_; }
+
   std::size_t size() const { return ring_.size(); }
   const Epoch& at(std::size_t i) const { return ring_[i]; }
   std::uint64_t epochs() const { return next_index_; }   // total sampled
@@ -79,6 +88,8 @@ class Timeline {
   std::deque<Epoch> ring_;
   std::uint64_t next_index_ = 0;
   std::uint64_t dropped_ = 0;
+  bool auto_coarsen_ = false;
+  std::uint64_t coarsenings_ = 0;
 };
 
 }  // namespace vl::obs

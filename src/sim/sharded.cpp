@@ -96,6 +96,14 @@ int ShardedSim::add_shard(EventQueue& eq) {
 }
 
 bool ShardedSim::can_post(int src, int dst) {
+  // Partitioned link: refuse every post until the fault plane lifts the
+  // flag at a later barrier. The sender rides its ordinary window backoff,
+  // so a bounded partition delays traffic without losing any of it.
+  if (any_link_fault_ &&
+      link_down_[static_cast<std::size_t>(src) * shards_.size() + dst]) {
+    ++shards_[static_cast<std::size_t>(src)].partition_stalls;
+    return false;
+  }
   if (link_window_ == 0) return true;
   const bool ok =
       in_flight_[static_cast<std::size_t>(src) * shards_.size() + dst] <
@@ -106,8 +114,14 @@ bool ShardedSim::can_post(int src, int dst) {
 
 void ShardedSim::post(int src, int dst, EventFn deliver) {
   Shard& s = shards_[static_cast<std::size_t>(src)];
-  s.outbox.push_back(OutMsg{s.eq->now() + lookahead_, s.next_seq++, dst,
-                            std::move(deliver)});
+  // Latency spike: extra >= 0 keeps arrival >= now + lookahead, so the
+  // exchange's safe-horizon invariant holds unchanged.
+  const Tick extra =
+      any_link_fault_
+          ? link_extra_[static_cast<std::size_t>(src) * shards_.size() + dst]
+          : 0;
+  s.outbox.push_back(OutMsg{s.eq->now() + lookahead_ + extra, s.next_seq++,
+                            dst, std::move(deliver)});
   ++in_flight_[static_cast<std::size_t>(src) * shards_.size() + dst];
 }
 
@@ -199,7 +213,10 @@ void ShardedSim::run(BarrierHook hook) {
 
 ShardedStats ShardedSim::stats() const {
   ShardedStats s = stats_;
-  for (const Shard& sh : shards_) s.window_stalls += sh.window_stalls;
+  for (const Shard& sh : shards_) {
+    s.window_stalls += sh.window_stalls;
+    s.partition_stalls += sh.partition_stalls;
+  }
   return s;
 }
 

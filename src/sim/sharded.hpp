@@ -53,6 +53,7 @@ struct ShardedStats {
   std::uint64_t epochs = 0;         ///< Lookahead windows executed.
   std::uint64_t messages = 0;       ///< Cross-shard posts exchanged.
   std::uint64_t window_stalls = 0;  ///< can_post() refusals (window full).
+  std::uint64_t partition_stalls = 0;  ///< can_post() refusals (link down).
 };
 
 class ShardedSim {
@@ -75,6 +76,30 @@ class ShardedSim {
 
   /// Bound on posts per (src, dst) link per epoch; 0 = unbounded.
   void set_link_window(std::uint32_t w) { link_window_ = w; }
+
+  /// Fault plane: per-link state, mutable ONLY at the barrier (from the
+  /// BarrierHook, single-threaded, all shards time-aligned) so an epoch
+  /// sees one immutable link table — that is what keeps fault-injected
+  /// runs byte-identical between sequential and threaded stepping.
+  ///
+  /// `extra` adds hop latency on top of the lookahead (a latency spike:
+  /// arrival = now + lookahead + extra, which still satisfies the safe
+  /// horizon since extra >= 0). `down` makes can_post() refuse every post
+  /// on the link (a bounded partition: senders ride their normal window
+  /// backoff until the fault plane lifts the flag at a later barrier).
+  void set_link_fault(int src, int dst, Tick extra, bool down) {
+    const std::size_t i =
+        static_cast<std::size_t>(src) * shards_.size() + static_cast<std::size_t>(dst);
+    if (link_extra_.size() != shards_.size() * shards_.size()) {
+      link_extra_.assign(shards_.size() * shards_.size(), 0);
+      link_down_.assign(shards_.size() * shards_.size(), 0);
+    }
+    link_extra_[i] = extra;
+    link_down_[i] = down ? 1 : 0;
+    any_link_fault_ = false;
+    for (std::size_t k = 0; k < link_extra_.size(); ++k)
+      if (link_extra_[k] != 0 || link_down_[k] != 0) any_link_fault_ = true;
+  }
 
   /// Room on the src->dst link? Senders must check before post() and back
   /// off locally when refused (the refusal is counted in stats).
@@ -108,6 +133,10 @@ class ShardedSim {
   std::uint64_t shard_window_stalls(int shard) const {
     return shards_[static_cast<std::size_t>(shard)].window_stalls;
   }
+  /// One shard's partition refusals (fault plane, per-shard series).
+  std::uint64_t shard_partition_stalls(int shard) const {
+    return shards_[static_cast<std::size_t>(shard)].partition_stalls;
+  }
 
   /// Trace sink for barrier epochs (pid = shards(), the synthetic barrier
   /// process): one B/E span per lookahead window, [t_min, horizon]. Written
@@ -126,6 +155,7 @@ class ShardedSim {
     std::vector<OutMsg> outbox;      ///< Single-writer: only shard code posts.
     std::uint64_t next_seq = 0;
     std::uint64_t window_stalls = 0;
+    std::uint64_t partition_stalls = 0;  ///< Refusals on a down link.
   };
   struct Pool;  // persistent worker threads for threads_ > 1
 
@@ -137,6 +167,11 @@ class ShardedSim {
   std::uint32_t link_window_ = 0;
   std::vector<Shard> shards_;
   std::vector<std::uint32_t> in_flight_;  ///< S*S per-epoch link counters.
+  // Per-link fault table (S*S), written only at the barrier, read by shard
+  // code during the epoch — immutable within any epoch by contract.
+  std::vector<Tick> link_extra_;
+  std::vector<std::uint8_t> link_down_;
+  bool any_link_fault_ = false;  ///< Fast path: skip lookups when clean.
   ShardedStats stats_;
   std::unique_ptr<Pool> pool_;
   obs::TraceBuffer* trace_ = nullptr;

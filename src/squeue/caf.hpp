@@ -165,6 +165,20 @@ class CafDevice {
   std::uint32_t class_credit(QosClass cls) const {
     return class_credits_[static_cast<std::size_t>(cls)];
   }
+  /// Re-weight one class's credit cap online (0 = uncapped). Safe only at
+  /// epoch boundaries — between event-queue steps — which is where the QoS
+  /// supervisor runs. Loosening the cap wakes every producer parked on the
+  /// class's cap futexes so they re-probe under the new budget; tightening
+  /// wakes nobody (queued words drain under the old occupancy and new
+  /// enqueues see the smaller cap on their next probe).
+  void set_class_credit(QosClass cls, std::uint32_t cap) {
+    const auto c = static_cast<std::size_t>(cls);
+    const std::uint32_t old = class_credits_[c];
+    class_credits_[c] = cap;
+    const bool loosened = (cap == 0 && old != 0) || (old != 0 && cap > old);
+    if (loosened)
+      for (auto& q : queues_) q->class_space[c].wake_all();
+  }
   /// Device-wide credit occupancy of class `cls` (queued words across all
   /// queues) — the timeline's caf.occupancy.<class> series.
   std::uint64_t class_occupancy(QosClass cls) const {

@@ -1,6 +1,7 @@
 #include "traffic/engine.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -8,6 +9,8 @@
 
 #include "common/csv.hpp"
 #include "common/rng.hpp"
+#include "fault/plane.hpp"
+#include "runtime/qos_supervisor.hpp"
 #include "sim/task.hpp"
 
 namespace vl::traffic {
@@ -64,6 +67,12 @@ struct Ctx {
   sim::AsyncOp<int> producers_done;
   int consumers_remaining = 0;  // final-stage workers
   bool all_done = false;
+
+  /// Fault plane (null on clean runs). `chan_faults` pre-gates the
+  /// per-message loss/dup hook: spec has loss/dup events AND the backend
+  /// is a software one (hardware backends model reliable interconnects).
+  fault::FaultPlane* fp = nullptr;
+  bool chan_faults = false;
 
   std::uint8_t payload_words(const TenantSpec& t) const {
     // CAF channels carry fixed single-word frames (multi-word register
@@ -122,7 +131,8 @@ Co<void> producer(Ctx& cx, SimThread t, int tenant_id, int pid) {
     // the trade batched injection makes.
     std::uint64_t assembled = 0;
     while (assembled < batch && i < target) {
-      const Tick gap = arrival->next_gap(eq.now());
+      Tick gap = arrival->next_gap(eq.now());
+      if (cx.fp) gap = cx.fp->scale_gap(0, ts.qos, eq.now(), gap);
       if (gap) co_await sim::Delay(eq, gap);
       if (cx.spec.produce_compute) co_await t.compute(cx.spec.produce_compute);
 
@@ -138,13 +148,26 @@ Co<void> producer(Ctx& cx, SimThread t, int tenant_id, int pid) {
         ++i;
         continue;
       }
+      // Channel-level fault fate, decided before the message joins its
+      // sub-batch: a dropped/duplicated message never desyncs the `fed`
+      // pill counts, because only what actually lands in the batch is
+      // counted at flush time.
+      int copies = 1;
+      if (cx.chan_faults) {
+        copies = cx.fp->chan_copies(0, eq.now());
+        if (copies == 0) {
+          ++tm.dropped;
+          ++i;
+          continue;
+        }
+      }
       Msg msg;
       msg.n = words;
       msg.qos = ts.qos;
       msg.w[0] = stamp(tenant_id, pid, eq.now());
       for (std::uint8_t w = 1; w < words; ++w)
         msg.w[w] = (static_cast<std::uint64_t>(tenant_id) << 32) | i;
-      sub[c].push_back(msg);
+      for (int k = 0; k < copies; ++k) sub[c].push_back(msg);
       ++i;
       ++assembled;
     }
@@ -330,6 +353,16 @@ void register_series(obs::Timeline& tl, Ctx& cx, runtime::Machine& m,
         if (t.qos == cls) h.merge(t.latency);
       return static_cast<double>(h.percentile(99));
     });
+    tl.add_series(base + "slo_within", [&cx, cls] {
+      // Cumulative in-SLO deliveries — the raw counter behind slo_att_pct.
+      // The QoS supervisor differences consecutive epochs of this and of
+      // `delivered` to get a *windowed* attainment, which reacts to the
+      // current epoch instead of averaging over the whole run.
+      std::uint64_t within = 0;
+      for (const auto& t : cx.tenants)
+        if (t.qos == cls && t.slo_p99) within += t.slo_within();
+      return static_cast<double>(within);
+    });
     tl.add_series(base + "slo_att_pct", [&cx, cls] {
       // ClassAgg::slo_attained_pct over the class's SLO-carrying tenants.
       std::uint64_t slo_delivered = 0, slo_within = 0;
@@ -351,7 +384,8 @@ void register_series(obs::Timeline& tl, Ctx& cx, runtime::Machine& m,
 /// (all events <= the boundary have fired, the next lies beyond it), and
 /// now_ is never fast-forwarded past the last event — run_until() would
 /// inflate the run's measured ticks when the queue drains mid-window.
-void run_sampled(runtime::Machine& m, obs::Timeline& tl, Tick period) {
+void run_sampled(runtime::Machine& m, obs::Timeline& tl, Tick period,
+                 const std::function<void()>& on_epoch = {}) {
   if (period == 0) period = 1;
   sim::EventQueue& eq = m.eq();
   Tick next = m.now() + period;
@@ -360,6 +394,9 @@ void run_sampled(runtime::Machine& m, obs::Timeline& tl, Tick period) {
     if (!nt) break;
     while (*nt > next) {
       tl.sample(next);
+      // Epoch-boundary control (QoS supervisor): runs between events, so
+      // knob writes are safe and consume no (tick, seq) numbers.
+      if (on_epoch) on_epoch();
       next += period;
     }
     eq.step();
@@ -376,6 +413,18 @@ EngineResult Engine::run(const ScenarioSpec& raw, std::uint64_t seed,
   const ScenarioSpec spec = scaled(raw, scale);
 
   Ctx cx{m_, spec, f_.backend(), seed, {}, {}, {}, {}, 0, {}, 0, false};
+
+  // Fault plane: armed before any actor is spawned, so its stall events
+  // hold fixed positions in the deterministic (tick, seq) stream.
+  std::unique_ptr<fault::FaultPlane> plane;
+  if (!spec.faults.empty()) {
+    plane = std::make_unique<fault::FaultPlane>(spec.faults, 1);
+    plane->arm_machine(m_, 0);
+    cx.fp = plane.get();
+    cx.chan_faults = plane->mutates_channels() &&
+                     (f_.backend() == squeue::Backend::kBlfq ||
+                      f_.backend() == squeue::Backend::kZmq);
+  }
 
   // --- wire the topology ----------------------------------------------------
   std::uint8_t frame = 1;
@@ -446,8 +495,30 @@ EngineResult Engine::run(const ScenarioSpec& raw, std::uint64_t seed,
   sim::spawn(depth_sampler(cx));
 
   // --- observability hookup (zero-perturbation: see run_sampled) ------------
-  obs::Timeline* const tl = obs ? obs->timeline : nullptr;
+  // The supervisor consumes timeline cuts, so a supervised run without
+  // caller-provided hooks still samples — into a private local timeline.
+  const bool want_sup = spec.supervisor && spec.qos &&
+                        (f_.backend() == squeue::Backend::kVl ||
+                         f_.backend() == squeue::Backend::kCaf);
+  obs::Timeline local_tl;
+  obs::Timeline* tl = obs ? obs->timeline : nullptr;
+  if (want_sup && !tl) tl = &local_tl;
   if (tl) register_series(*tl, cx, m_, f_);
+  if (tl && cx.fp) cx.fp->register_series(*tl);
+
+  std::unique_ptr<runtime::QosSupervisor> sup;
+  if (want_sup) {
+    bool present[kQosClasses] = {};
+    for (const auto& t : spec.tenants)
+      present[static_cast<std::size_t>(t.qos)] = true;
+    sup = std::make_unique<runtime::QosSupervisor>(
+        runtime::QosSupervisor::Config{}, present);
+    sup->attach(m_.cfg(), channel_demand_for(spec, f_.backend(), m_.cfg()),
+                f_.backend() == squeue::Backend::kVl ? &m_.cluster() : nullptr,
+                f_.backend() == squeue::Backend::kCaf ? &f_.caf_device()
+                                                      : nullptr);
+    sup->register_series(*tl);
+  }
   if (obs && obs->tracer) {
     m_.eq().set_trace(&obs->tracer->buffer(0));
     obs->tracer->set_process_name(0, "machine");
@@ -455,10 +526,17 @@ EngineResult Engine::run(const ScenarioSpec& raw, std::uint64_t seed,
 
   const Tick t0 = m_.now();
   const std::uint64_t ev0 = m_.eq().executed();
-  if (tl)
-    run_sampled(m_, *tl, obs->sample_every);
-  else
+  if (tl) {
+    // Control cadence when no external sampling is requested: 2500 ticks
+    // keeps the supervisor's reaction time (a few epochs) well inside one
+    // bulk burst dwell.
+    const Tick period = obs ? obs->sample_every : Tick{2500};
+    std::function<void()> on_epoch;
+    if (sup) on_epoch = [&] { sup->on_epoch(*tl); };
+    run_sampled(m_, *tl, period, on_epoch);
+  } else {
     m_.run();
+  }
   if (tl) {
     // Final cumulative sample: the last epoch's class series equal the
     // end-of-run ScenarioMetrics by construction (same aggregation, same
@@ -523,6 +601,33 @@ sim::SystemConfig machine_config_for(const ScenarioSpec& spec,
         (static_cast<std::uint32_t>(payload_sqis) + 3) / 4,
         1u << vlrd::kVlrdIdBits);
 
+  // Summarize the channel graph into a ChannelDemand and let the one
+  // sizing policy (runtime::size_quotas — shared with workloads::run and
+  // the online QoS supervisor) carve the budgets. With the base integral
+  // weights this reproduces the historic hand-carved tables bit-for-bit.
+  const runtime::ChannelDemand d = channel_demand_for(spec, backend, cfg);
+  const runtime::QuotaPlan plan = runtime::size_quotas(cfg, d);
+  if (backend == squeue::Backend::kVl && d.relay_channels > 0)
+    cfg.vlrd.per_sqi_quota = plan.per_sqi_quota;
+  if (d.qos) {
+    for (std::size_t c = 0; c < kQosClasses; ++c) {
+      if (backend == squeue::Backend::kVl)
+        cfg.vlrd.class_quota[c] = plan.vl_class_quota[c];
+      else
+        cfg.caf.class_credits[c] = plan.caf_class_credits[c];
+    }
+  }
+  return cfg;
+}
+
+runtime::ChannelDemand channel_demand_for(const ScenarioSpec& spec,
+                                          squeue::Backend backend,
+                                          const sim::SystemConfig& cfg) {
+  runtime::ChannelDemand d;
+
+  // Relay cycles (pipeline stages, closed-loop acks) share one prodBuf
+  // while consuming and producing at once — the § V starvation hazard. The
+  // per-SQI quota keeps total demand below capacity so chains drain.
   const bool has_relay_cycle =
       spec.topology == Topology::kPipeline || spec.closed_loop;
   if (backend == squeue::Backend::kVl && has_relay_cycle) {
@@ -535,8 +640,7 @@ sim::SystemConfig machine_config_for(const ScenarioSpec& spec,
             : 1u;
     if (spec.closed_loop)
       channels += static_cast<std::uint32_t>(std::max(spec.producers, 0));
-    cfg.vlrd.per_sqi_quota =
-        std::max(1u, (cfg.vlrd.prod_entries - 1) / channels);
+    d.relay_channels = channels;
   }
 
   // QoS enforcement: partition the hardware enqueue budget (CAF per-queue
@@ -547,49 +651,32 @@ sim::SystemConfig machine_config_for(const ScenarioSpec& spec,
   // traffic. Classes no tenant uses get a token quota of 1 so stray
   // untagged messages (termination pills) still flow.
   //
-  // CAF caps are per device queue, so the weighted split applies as-is.
-  // VLRD quotas are enforced per SQI but drawn from the one shared
-  // prodBuf, so the split is further divided by the number of payload
-  // channels (SQIs) the topology opens — otherwise a class could hold
-  // quota x SQIs entries and crowd the shared buffer anyway. (Closed-loop
-  // ack channels are not counted: their occupancy is window-bounded and
-  // tiny next to payload flows.)
+  // CAF caps are per device queue, so the weighted split applies as-is
+  // (payload_sqis stays 1). VLRD quotas are enforced per SQI but drawn
+  // from the one shared prodBuf, so the split is further divided by the
+  // number of payload channels (SQIs) the topology opens *per device* —
+  // otherwise a class could hold quota x SQIs entries and crowd the shared
+  // buffer anyway. (Closed-loop ack channels are not counted: their
+  // occupancy is window-bounded and tiny next to payload flows.)
   if (spec.qos &&
       (backend == squeue::Backend::kVl || backend == squeue::Backend::kCaf)) {
+    d.qos = true;
     bool present[kQosClasses] = {};
     for (const auto& t : spec.tenants)
       present[static_cast<std::size_t>(t.qos)] = true;
-    std::uint32_t sum = 0;
-    for (std::size_t c = 0; c < kQosClasses; ++c)
-      if (present[c]) sum += qos_weight(static_cast<QosClass>(c));
-    std::uint32_t sqis = 1;
+    runtime::base_weights(d, present);
     if (backend == squeue::Backend::kVl) {
       if (spec.topology == Topology::kPipeline)
-        sqis = static_cast<std::uint32_t>(std::max(spec.stages, 1));
+        d.payload_sqis = static_cast<std::uint32_t>(std::max(spec.stages, 1));
       else if (spec.topology == Topology::kFanOut ||
                spec.topology == Topology::kMesh)
-        // Quotas guard each device's own prodBuf, so the divisor is the
-        // SQIs *per device* (channels round-robin across the cluster).
-        sqis = (static_cast<std::uint32_t>(std::max(spec.consumers, 1)) +
-                cfg.vlrd.num_devices - 1) /
-               cfg.vlrd.num_devices;
-    }
-    const std::uint32_t budget = backend == squeue::Backend::kVl
-                                     ? cfg.vlrd.prod_entries - 1
-                                     : cfg.caf.credits_per_queue;
-    for (std::size_t c = 0; c < kQosClasses; ++c) {
-      const std::uint32_t share =
-          present[c] && sum
-              ? std::max(1u, budget * qos_weight(static_cast<QosClass>(c)) /
-                                 (sum * sqis))
-              : 1u;
-      if (backend == squeue::Backend::kVl)
-        cfg.vlrd.class_quota[c] = share;
-      else
-        cfg.caf.class_credits[c] = share;
+        d.payload_sqis =
+            (static_cast<std::uint32_t>(std::max(spec.consumers, 1)) +
+             cfg.vlrd.num_devices - 1) /
+            cfg.vlrd.num_devices;
     }
   }
-  return cfg;
+  return d;
 }
 
 EngineResult run_spec(const ScenarioSpec& spec, squeue::Backend backend,

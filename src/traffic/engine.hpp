@@ -21,6 +21,7 @@
 
 #include "obs/hooks.hpp"
 #include "runtime/machine.hpp"
+#include "runtime/qos_supervisor.hpp"
 #include "squeue/factory.hpp"
 #include "traffic/metrics.hpp"
 #include "traffic/scenario.hpp"
@@ -77,6 +78,15 @@ class Engine {
 /// total per-SQI demand below capacity so chains always drain.
 sim::SystemConfig machine_config_for(const ScenarioSpec& spec,
                                      squeue::Backend backend);
+
+/// Summarize `spec`'s channel graph into the quota-sizing inputs
+/// (runtime::size_quotas). `cfg` must already carry the provisioned device
+/// count (machine_config_for computes it before calling this); the QoS
+/// supervisor reuses the same demand to re-carve quotas online, so static
+/// and dynamic sizing can never drift apart.
+runtime::ChannelDemand channel_demand_for(const ScenarioSpec& spec,
+                                          squeue::Backend backend,
+                                          const sim::SystemConfig& cfg);
 
 /// Build a fresh machine + factory for `backend` (using machine_config_for,
 /// so TenantSpec QoS classes map onto the hardware knobs when spec.qos is

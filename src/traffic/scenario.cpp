@@ -279,6 +279,53 @@ std::vector<ScenarioSpec> build_registry() {
   }
 
   {
+    // Adversarial flavour of qos-incast: the bulk tenant turns hostile —
+    // near-saturation bursts in large batched frames, tuned so the static
+    // weight carve alone cannot hold the latency tenant's SLO. The preset
+    // ships with the closed-loop supervisor on; the PR-8 bench gate pins
+    // the supervisor's gain by re-running it with --no-supervisor.
+    ScenarioSpec s;
+    s.name = "qos-adversarial-bulk";
+    s.summary = "8:1 fan-in, hostile batched bulk flood vs latency SLO, "
+                "closed-loop supervisor";
+    s.topology = Topology::kFanIn;
+    s.producers = 8;
+    s.consumers = 1;
+    s.capacity_hint = 4096;
+    s.consume_compute = 90;
+    s.qos = true;
+    s.supervisor = true;
+    TenantSpec rt;
+    rt.name = "rt";
+    rt.qos = QosClass::kLatency;
+    rt.share = 0.25;
+    rt.arrival = ArrivalSpec::poisson(400);
+    rt.msg_words = 2;
+    rt.messages_per_producer = 500;
+    rt.slo_p99 = 4000;
+    TenantSpec web;
+    web.name = "web";
+    web.qos = QosClass::kStandard;
+    web.share = 0.25;
+    web.arrival = ArrivalSpec::poisson(250);
+    web.msg_words = 2;
+    web.messages_per_producer = 600;
+    web.slo_p99 = 20000;
+    TenantSpec bulk;
+    bulk.name = "bulk";
+    bulk.qos = QosClass::kBulk;
+    bulk.share = 0.5;
+    bulk.arrival = ArrivalSpec::bursty(/*burst_gap=*/5, /*idle_gap=*/400,
+                                       /*burst_dwell=*/6000,
+                                       /*idle_dwell=*/800);
+    bulk.msg_words = 7;
+    bulk.batch = 16;
+    bulk.messages_per_producer = 250;
+    s.tenants = {rt, web, bulk};
+    reg.push_back(std::move(s));
+  }
+
+  {
     // Class mix under a day/night ramp over an any-to-any mesh: the
     // latency-class API tenant rides the diurnal cycle, a bulk backfill
     // tenant grinds continuously, and QoS keeps the backfill from crowding

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/spec.hpp"
 #include "traffic/arrival.hpp"
 
 namespace vl::traffic {
@@ -98,6 +99,14 @@ struct ScenarioSpec {
   /// VLRD (see traffic::machine_config_for). Software backends (BLFQ/ZMQ)
   /// have no enforcement knob and ignore it.
   bool qos = false;
+  /// Run the closed-loop QoS supervisor (runtime/qos_supervisor.hpp): an
+  /// epoch-boundary AIMD controller that re-weights the per-class quotas
+  /// from the timeline's latency-class SLO cut. Only meaningful with
+  /// `qos` on a hardware backend; CLIs override it with --no-supervisor.
+  bool supervisor = false;
+  /// Deterministic fault schedule (fault/spec.hpp); empty = no faults.
+  /// CLIs override it with --faults.
+  fault::FaultSpec faults;
   /// Sharded-run parameters; population == 0 means the preset was not
   /// designed for sharding (run_sharded rejects it).
   ShardingSpec sharding;

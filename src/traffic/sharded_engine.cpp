@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/plane.hpp"
+#include "runtime/qos_supervisor.hpp"
 #include "sim/sharded.hpp"
 #include "sim/task.hpp"
 #include "traffic/shard_router.hpp"
@@ -91,6 +93,11 @@ struct Mesh {
   ShardRouter& router;
   std::vector<std::unique_ptr<ShardCtx>>& shards;
 
+  /// Fault plane (null on clean runs); `chan_faults` pre-gates the
+  /// per-message loss/dup hook to software backends.
+  fault::FaultPlane* fp = nullptr;
+  bool chan_faults = false;
+
   std::uint8_t payload_words(const TenantSpec& t) const {
     return backend == squeue::Backend::kCaf ? std::uint8_t{1} : t.msg_words;
   }
@@ -129,12 +136,24 @@ Co<void> producer(Mesh& mesh, ShardCtx& cx, SimThread t, int cls, int gpid,
     // arrival process and routed individually — local ones into
     // per-channel sub-batches, remote ones straight onto their link.
     for (std::uint64_t b = 0; b < batch && i < target; ++b, ++i) {
-      const Tick gap = arrival->next_gap(eq.now());
+      Tick gap = arrival->next_gap(eq.now());
+      if (mesh.fp) gap = mesh.fp->scale_gap(home, ts.qos, eq.now(), gap);
       if (gap) co_await sim::Delay(eq, gap);
       if (mesh.spec.produce_compute)
         co_await t.compute(mesh.spec.produce_compute);
 
       ++tm.generated;
+      // Channel-level fault fate, decided before the message joins a
+      // sub-batch or a link — what was dropped is never counted as sent,
+      // so the pill drain counts stay exact.
+      int copies = 1;
+      if (mesh.chan_faults) {
+        copies = mesh.fp->chan_copies(home, eq.now());
+        if (copies == 0) {
+          ++tm.dropped;
+          continue;
+        }
+      }
       const std::uint64_t dest = dest_rng.below(mesh.population);
       const int dst = mesh.router.shard_for(dest);
       const int nch_dst =
@@ -150,24 +169,27 @@ Co<void> producer(Mesh& mesh, ShardCtx& cx, SimThread t, int cls, int gpid,
         msg.w[w] = (static_cast<std::uint64_t>(cls) << 32) | i;
 
       if (dst == home) {
-        sub[static_cast<std::size_t>(ch)].push_back(msg);
+        for (int k = 0; k < copies; ++k)
+          sub[static_cast<std::size_t>(ch)].push_back(msg);
         continue;
       }
       // Remote: respect the link's in-flight window, then hand the
       // message to the destination's ingress at now + link latency.
-      while (!mesh.ssim.can_post(home, dst)) {
-        co_await sim::Delay(eq, kWindowBackoff);
-        tm.blocked_ticks += kWindowBackoff;
+      for (int k = 0; k < copies; ++k) {
+        while (!mesh.ssim.can_post(home, dst)) {
+          co_await sim::Delay(eq, kWindowBackoff);
+          tm.blocked_ticks += kWindowBackoff;
+        }
+        ShardCtx* d = mesh.shards[static_cast<std::size_t>(dst)].get();
+        mesh.ssim.post(home, dst, [d, msg, ch] {
+          d->digest = fnv1a(d->digest, d->m->now());
+          d->digest = fnv1a(d->digest, msg.w[0]);
+          ++d->cross_in;
+          d->ingress.push_back(InMsg{msg, ch});
+          d->ingress_wq->wake_one();
+        });
+        ++tm.sent;
       }
-      ShardCtx* d = mesh.shards[static_cast<std::size_t>(dst)].get();
-      mesh.ssim.post(home, dst, [d, msg, ch] {
-        d->digest = fnv1a(d->digest, d->m->now());
-        d->digest = fnv1a(d->digest, msg.w[0]);
-        ++d->cross_in;
-        d->ingress.push_back(InMsg{msg, ch});
-        d->ingress_wq->wake_one();
-      });
-      ++tm.sent;
     }
     // Flush the lap's local sub-batches, ascending channel order.
     for (std::size_t c = 0; c < sub.size(); ++c) {
@@ -302,12 +324,18 @@ void register_sharded_series(obs::Timeline& tl, Mesh& mesh) {
                     });
     }
   }
-  for (int sh = 0; sh < static_cast<int>(shards.size()); ++sh)
+  for (int sh = 0; sh < static_cast<int>(shards.size()); ++sh) {
     tl.add_series("shard" + std::to_string(sh) + ".window_stalls",
                   [&mesh, sh] {
                     return static_cast<double>(
                         mesh.ssim.shard_window_stalls(sh));
                   });
+    tl.add_series("shard" + std::to_string(sh) + ".partition_stalls",
+                  [&mesh, sh] {
+                    return static_cast<double>(
+                        mesh.ssim.shard_partition_stalls(sh));
+                  });
+  }
 
   bool present[kQosClasses] = {};
   for (const auto& t : mesh.spec.tenants)
@@ -343,6 +371,15 @@ void register_sharded_series(obs::Timeline& tl, Mesh& mesh) {
         for (const auto& t : cx->classes)
           if (t.qos == cls) h.merge(t.latency);
       return static_cast<double>(h.percentile(99));
+    });
+    tl.add_series(base + "slo_within", [&shards, cls] {
+      // Raw in-SLO delivery counter; the QoS supervisor windows it against
+      // `delivered` for a per-epoch attainment signal.
+      std::uint64_t within = 0;
+      for (const auto& cx : shards)
+        for (const auto& t : cx->classes)
+          if (t.qos == cls && t.slo_p99) within += t.slo_within();
+      return static_cast<double>(within);
     });
     tl.add_series(base + "slo_att_pct", [&shards, cls] {
       std::uint64_t slo_delivered = 0, slo_within = 0;
@@ -404,6 +441,24 @@ ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
     ++nch[static_cast<std::size_t>(c % S)];
 
   std::vector<std::unique_ptr<ShardCtx>> shards;
+
+  // Fault plane + QoS supervisor, created before the shards so each
+  // machine is armed / attached as it is built, in shard-id order.
+  std::unique_ptr<fault::FaultPlane> plane;
+  if (!spec.faults.empty())
+    plane = std::make_unique<fault::FaultPlane>(spec.faults, S);
+  const bool want_sup = spec.supervisor && spec.qos &&
+                        (backend == squeue::Backend::kVl ||
+                         backend == squeue::Backend::kCaf);
+  std::unique_ptr<runtime::QosSupervisor> sup;
+  if (want_sup) {
+    bool present[kQosClasses] = {};
+    for (const auto& t : spec.tenants)
+      present[static_cast<std::size_t>(t.qos)] = true;
+    sup = std::make_unique<runtime::QosSupervisor>(
+        runtime::QosSupervisor::Config{}, present);
+  }
+
   std::uint8_t frame = 1;
   for (const auto& t : spec.tenants)
     frame = std::max(frame, backend == squeue::Backend::kCaf
@@ -421,6 +476,12 @@ ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
     cx->m = std::make_unique<runtime::Machine>(
         machine_config_for(node, backend));
     cx->f = std::make_unique<squeue::ChannelFactory>(*cx->m, backend);
+    if (plane) plane->arm_machine(*cx->m, sh);
+    if (sup)
+      sup->attach(cx->m->cfg(), channel_demand_for(node, backend, cx->m->cfg()),
+                  backend == squeue::Backend::kVl ? &cx->m->cluster() : nullptr,
+                  backend == squeue::Backend::kCaf ? &cx->f->caf_device()
+                                                   : nullptr);
     for (int c = 0; c < nch[static_cast<std::size_t>(sh)]; ++c) {
       const std::string label =
           "sh" + std::to_string(sh) + "c" + std::to_string(c);
@@ -445,10 +506,23 @@ ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
   }
 
   Mesh mesh{spec, backend, seed, population, ssim, router, shards};
+  mesh.fp = plane.get();
+  mesh.chan_faults = plane && plane->mutates_channels() &&
+                     (backend == squeue::Backend::kBlfq ||
+                      backend == squeue::Backend::kZmq);
 
   // --- observability hookup -------------------------------------------------
-  obs::Timeline* const tl = opts.obs ? opts.obs->timeline : nullptr;
-  if (tl) register_sharded_series(*tl, mesh);
+  // A supervised run samples even without caller hooks — into a private
+  // local timeline the supervisor reads at each barrier.
+  obs::Timeline local_tl;
+  obs::Timeline* tl = opts.obs ? opts.obs->timeline : nullptr;
+  if (sup && !tl) tl = &local_tl;
+  if (tl) {
+    register_sharded_series(*tl, mesh);
+    if (plane) plane->register_series(*tl);
+    if (sup) sup->register_series(*tl);
+  }
+  obs::TraceBuffer* barrier_tb = nullptr;
   if (opts.obs && opts.obs->tracer) {
     obs::Tracer& tr = *opts.obs->tracer;
     // All buffers are created here, before any (possibly threaded)
@@ -462,6 +536,7 @@ ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
     }
     ssim.set_trace(&tr.buffer(static_cast<std::uint32_t>(S)));
     tr.set_process_name(static_cast<std::uint32_t>(S), "barrier");
+    barrier_tb = &tr.buffer(static_cast<std::uint32_t>(S));
   }
 
   // Global message budget over global producer ids (largest remainder),
@@ -512,12 +587,22 @@ ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
   bool stop_sent = false;
   std::uint64_t rebalanced = 0;
   std::uint64_t barriers = 0;
+  std::vector<std::uint64_t> prev_lat_blocked(static_cast<std::size_t>(S), 0);
   auto hook = [&]() -> bool {
+    // Link-fault table first (single-threaded here, shards tick-aligned):
+    // each epoch then steps under one immutable table, which keeps fault
+    // runs byte-identical between sequential and threaded stepping. Runs
+    // before the stop check so partitions lift during the drain phase.
+    if (plane)
+      plane->apply_links(ssim, shards.front()->m->now(), barrier_tb);
     // Timeline epoch: after the exchange every shard stands at the same
     // tick, so one sample captures a consistent mesh-wide cut. Sampling
     // reads counters only — it never schedules — so the run's (tick, seq)
     // stream is untouched.
     if (tl) tl->sample(shards.front()->m->now());
+    // Supervisor control epoch: reads the cut just taken, re-carves the
+    // per-class quotas via the epoch-boundary-safe knobs.
+    if (sup) sup->on_epoch(*tl);
     if (stop_sent) return true;
     bool producers_done = true;
     for (const auto& cx : shards)
@@ -539,9 +624,21 @@ ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
     if (spec.sharding.rebalance && ++barriers % kRebalancePeriod == 0) {
       std::vector<std::uint64_t> load;
       load.reserve(shards.size());
-      for (const auto& cx : shards) {
+      for (std::size_t si = 0; si < shards.size(); ++si) {
+        const auto& cx = shards[si];
         std::uint64_t l = cx->ingress.size();
         for (const auto& ch : cx->channels) l += ch->depth();
+        if (sup) {
+          // SLO-aware pressure: a shard whose latency class spent this
+          // window blocked is hotter than its queue depths alone say, so
+          // fold the blocked-ticks growth into its load estimate (scaled
+          // down to queue-depth units).
+          std::uint64_t bl = 0;
+          for (const auto& t : cx->classes)
+            if (t.qos == QosClass::kLatency) bl += t.blocked_ticks;
+          l += (bl - prev_lat_blocked[si]) / 64;
+          prev_lat_blocked[si] = bl;
+        }
         load.push_back(l);
       }
       rebalanced += router.rebalance(load, population);

@@ -55,6 +55,21 @@ class Cluster {
   /// Sum of per-device counters (what system-level experiments report).
   VlrdStats total_stats() const;
 
+  // Epoch-boundary knob forwarding (QoS supervisor / fault plane): apply
+  // to every device so the cluster keeps one logical policy. The cluster's
+  // own cfg_ copy is updated too, so cfg() reflects the live policy.
+  void set_class_quota(QosClass cls, std::uint32_t quota) {
+    cfg_.class_quota[static_cast<std::size_t>(cls)] = quota;
+    for (auto& d : devices_) d->set_class_quota(cls, quota);
+  }
+  void set_per_sqi_quota(std::uint32_t quota) {
+    cfg_.per_sqi_quota = quota;
+    for (auto& d : devices_) d->set_per_sqi_quota(quota);
+  }
+  void set_injector_stalled(bool stalled) {
+    for (auto& d : devices_) d->set_injector_stalled(stalled);
+  }
+
  private:
   sim::VlrdConfig cfg_;
   AddrTable table_;

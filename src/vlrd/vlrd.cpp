@@ -500,6 +500,10 @@ void Vlrd::stage3(Latch& l, std::string* tr) {
 // --------------------------------------------------------------------------
 
 void Vlrd::kick_injector() {
+  // Fault plane: a stalled engine starts no new injection; the one already
+  // in flight (injector_busy_) completes and its injector_done() re-calls
+  // us, landing here again until set_injector_stalled(false) re-kicks.
+  if (injector_stalled_) return;
   if (injector_busy_ || pohr_ == kNil) return;
   injector_busy_ = true;
   const std::uint16_t idx = pop_out();

@@ -122,6 +122,52 @@ class Vlrd {
     trace_ = std::move(fn);
   }
 
+  // --- epoch-boundary knobs (QoS supervisor / fault plane) ---------------
+  // All three are safe only between event-queue steps — the supervisor's
+  // sampling boundary and the fault plane's scheduled (tick, seq) events —
+  // never from inside a pipeline/injector callback.
+
+  /// Re-weight a class's per-SQI prodBuf quota online (0 = unlimited).
+  /// Loosening fires the push-retry callback with nullopt ("any SQI may
+  /// retry") so every quota-parked producer re-probes under the new quota.
+  void set_class_quota(QosClass cls, std::uint32_t quota) {
+    const auto c = static_cast<std::size_t>(cls);
+    const std::uint32_t old = cfg_.class_quota[c];
+    cfg_.class_quota[c] = quota;
+    const bool loosened = (quota == 0 && old != 0) || (old != 0 && quota > old);
+    if (loosened && on_push_retry_) on_push_retry_(std::nullopt);
+  }
+  /// Re-size the per-SQI whole-buffer quota online (0 = shared).
+  void set_per_sqi_quota(std::uint32_t quota) {
+    const std::uint32_t old = cfg_.per_sqi_quota;
+    cfg_.per_sqi_quota = quota;
+    const bool loosened = (quota == 0 && old != 0) || (old != 0 && quota > old);
+    if (loosened && on_push_retry_) on_push_retry_(std::nullopt);
+  }
+  std::uint32_t class_quota(QosClass cls) const {
+    return cfg_.class_quota[static_cast<std::size_t>(cls)];
+  }
+  std::uint32_t per_sqi_quota() const { return cfg_.per_sqi_quota; }
+
+  /// Fault plane: stall/resume the injection engine. While stalled the
+  /// device keeps accepting pushes and mapping them until buffers fill —
+  /// then ordinary kFull/kQuota NACK back-pressure parks producers — but
+  /// no line leaves the OUT list, so consumers starve. An injection already
+  /// in flight completes (the engine pauses, it does not drop). Resume
+  /// re-kicks the engine with all table state intact: zero message loss by
+  /// construction.
+  void set_injector_stalled(bool stalled) {
+    injector_stalled_ = stalled;
+    if (!stalled) {
+      kick_injector();
+      // Buffers may have been full for the whole stall window with every
+      // producer parked; injections will now free slots and fire per-SQI
+      // retries, but kick any coupled-io waiters immediately too.
+      if (on_push_retry_) on_push_retry_(std::nullopt);
+    }
+  }
+  bool injector_stalled() const { return injector_stalled_; }
+
   /// Harness-side notification, fired whenever a condition that NACKed an
   /// earlier push may have cleared. The argument names the SQI whose
   /// injection freed a prodBuf slot (and one unit of that SQI's quota), so
@@ -231,6 +277,7 @@ class Vlrd {
   Latch s1_out_{}, s2_out_{};  // latches between stages
   bool pipeline_scheduled_ = false;
   bool injector_busy_ = false;
+  bool injector_stalled_ = false;  ///< Fault plane: engine paused, state kept.
   std::uint64_t cycle_ = 0;
 
   std::function<void(const PipeTraceRow&)> trace_;

@@ -77,4 +77,6 @@ WorkloadResult run_fir(runtime::Machine& m, squeue::ChannelFactory& f,
   return r;
 }
 
+std::uint32_t fir_channel_count() { return kStages - 1; }
+
 }  // namespace vl::workloads

@@ -138,4 +138,9 @@ WorkloadResult run_pipeline(runtime::Machine& m, squeue::ChannelFactory& f,
   return r;
 }
 
+std::uint32_t pipeline_channel_count() {
+  // pipe_c1 + pipe_c2 + one completion queue per S3 worker + pipe_credits.
+  return 2 + kStage3 + 1;
+}
+
 }  // namespace vl::workloads

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "runtime/qos_supervisor.hpp"
+
 namespace vl::workloads {
 
 const char* to_string(Kind k) {
@@ -32,18 +34,15 @@ WorkloadResult run(Kind kind, const RunConfig& rc) {
     // partitioning. Bound per-SQI occupancy so total demand stays below
     // capacity (num_channels * quota < prod_entries); quota NACKs then
     // always resolve through the final consumer and the chain cannot
-    // deadlock.
-    //
-    // Channel counts mirror the kernels: FIR opens kStages-1 = 31 chained
-    // channels (fir.cpp), pipeline opens 7 (pipe_c1, pipe_c2, four
-    // per-S3-worker completion queues, credits — pipeline.cpp),
-    // scatter-gather opens 7 (sg_scatter + six per-worker sg_gather
-    // queues). Keep these in sync — an undercount reintroduces the
-    // prodBuf-exhaustion deadlock. (ROADMAP: derive from the channel
-    // graph in the supervisor instead.)
-    const std::uint32_t nch = kind == Kind::kFir ? 31u : 7u;
-    cfg.vlrd.per_sqi_quota =
-        std::max(1u, (cfg.vlrd.prod_entries - 1) / nch);
+    // deadlock. The channel counts come from the kernels themselves
+    // (fir_channel_count() etc.), so a kernel growing a stage re-sizes its
+    // own quota.
+    runtime::ChannelDemand d;
+    d.relay_channels = kind == Kind::kFir ? fir_channel_count()
+                       : kind == Kind::kPipeline
+                           ? pipeline_channel_count()
+                           : scatter_gather_channel_count();
+    cfg.vlrd.per_sqi_quota = runtime::size_quotas(cfg, d).per_sqi_quota;
   }
   runtime::Machine m(cfg);
   squeue::ChannelFactory f(m, rc.backend);

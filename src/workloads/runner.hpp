@@ -44,6 +44,15 @@ struct RunConfig {
 /// Build a machine for `backend`, run the kernel, return measurements.
 WorkloadResult run(Kind kind, const RunConfig& rc);
 
+// Relay-cycle channel counts, exported by the kernels that consume one SQI
+// while producing another (chained stages, fork/join relays). run() feeds
+// them through runtime::size_quotas so the per-SQI prodBuf carve is derived
+// from the kernel's actual channel graph — there is no hand-maintained
+// count to drift when a kernel grows a stage.
+std::uint32_t fir_channel_count();             ///< kStages-1 chained channels.
+std::uint32_t pipeline_channel_count();        ///< c1+c2+per-S3-queues+credits.
+std::uint32_t scatter_gather_channel_count();  ///< scatter + per-worker gathers.
+
 // Individual kernels, composable on an existing machine (fig. 14 needs
 // STREAM co-scheduled with ping-pong on one system).
 WorkloadResult run_pingpong(runtime::Machine& m, squeue::ChannelFactory& f,

@@ -96,4 +96,6 @@ WorkloadResult run_scatter_gather(runtime::Machine& m,
   return r;
 }
 
+std::uint32_t scatter_gather_channel_count() { return 1 + kWorkers; }
+
 }  // namespace vl::workloads

@@ -9,14 +9,17 @@ and scale (unlike wall-clock, which CI runners make useless), so the gate
 has no flake margin to eat: a regression is a real behavioural change.
 
     bench_gate.py BASELINE CURRENT [--tolerance 0.15]
-                  [--expect-gain "CELL=FRACTION" ...]
+                  [--expect-gain "CELL[@FIELD]=FRACTION" ...]
 
 --expect-gain pins a variant's advantage: the named cell — e.g.
-"incast-burst(b8)/VL64" (batched injection) or "shard-diurnal(s8)/VL64"
-(8-shard mesh) — must show ev/msg at least FRACTION below its baseline
-sibling (the same cell with the "(bN)"/"(sN)" suffix stripped) in the
-CURRENT run. This is how CI enforces "batching/sharding must keep paying",
-not just "must not regress".
+"incast-burst(b8)/VL64" (batched injection), "shard-diurnal(s8)/VL64"
+(8-shard mesh), or "qos-adversarial-bulk(sup)/VL64@lat_p99" (closed-loop
+QoS supervisor) — must show the chosen metric at least FRACTION below its
+baseline sibling (the same cell with the "(bN)"/"(sN)"/"(sup)" suffix
+stripped) in the CURRENT run. "@FIELD" picks the compared metric (default
+events_per_msg; "@lat_p99" compares latency-class p99). This is how CI
+enforces "batching/sharding/supervision must keep paying", not just "must
+not regress".
 
 Exit status: 0 pass, 1 regression / unmet gain (or a baseline cell missing
 from the current run), 2 bad invocation/input.
@@ -50,7 +53,8 @@ def load_results(path):
         key = (r["scenario"], r["backend"])
         if key in out:
             bail(f"duplicate cell {key} in {path}")
-        out[key] = float(r["events_per_msg"])
+        out[key] = {k: float(v) for k, v in r.items()
+                    if isinstance(v, (int, float))}
     return out
 
 
@@ -75,20 +79,22 @@ def main():
     print(f"{'cell':<{width}} {'base':>9} {'now':>9} {'delta':>8}")
     for key in sorted(base):
         cell = f"{key[0]} / {key[1]}"
+        bval = base[key]["events_per_msg"]
         if key not in cur:
             failures.append(f"{cell}: missing from current run")
-            print(f"{cell:<{width}} {base[key]:>9.2f} {'-':>9} {'GONE':>8}")
+            print(f"{cell:<{width}} {bval:>9.2f} {'-':>9} {'GONE':>8}")
             continue
-        delta = (cur[key] - base[key]) / base[key] if base[key] else 0.0
+        cval = cur[key]["events_per_msg"]
+        delta = (cval - bval) / bval if bval else 0.0
         flag = ""
         if delta > args.tolerance:
             failures.append(
-                f"{cell}: ev/msg {base[key]:.2f} -> {cur[key]:.2f} "
+                f"{cell}: ev/msg {bval:.2f} -> {cval:.2f} "
                 f"(+{delta:.1%} > {args.tolerance:.0%})")
             flag = "  << REGRESSION"
         elif delta < -args.tolerance:
             flag = "  (improved; consider refreshing the baseline)"
-        print(f"{cell:<{width}} {base[key]:>9.2f} {cur[key]:>9.2f} "
+        print(f"{cell:<{width}} {bval:>9.2f} {cval:>9.2f} "
               f"{delta:>+7.1%}{flag}")
     for key in sorted(set(cur) - set(base)):
         print(f"{key[0]} / {key[1]}: new cell (no baseline), skipped")
@@ -97,23 +103,30 @@ def main():
         cell, _, frac_s = spec.partition("=")
         scenario, _, backend = cell.partition("/")
         if not frac_s or not backend:
-            bail(f"bad --expect-gain '{spec}' (want CELL=FRACTION)")
+            bail(f"bad --expect-gain '{spec}' (want CELL[@FIELD]=FRACTION)")
+        backend, _, field = backend.partition("@")
+        field = field or "events_per_msg"
         frac = float(frac_s)
-        sibling = re.sub(r"\((?:b|s)\d+\)$", "", scenario)
+        sibling = re.sub(r"\((?:b\d+|s\d+|sup)\)$", "", scenario)
         if sibling == scenario:
-            bail(f"--expect-gain cell '{scenario}' has no (bN)/(sN) suffix")
-        batched, single = (scenario, backend), (sibling, backend)
-        if batched not in cur or single not in cur:
+            bail(f"--expect-gain cell '{scenario}' has no "
+                 f"(bN)/(sN)/(sup) suffix")
+        variant, single = (scenario, backend), (sibling, backend)
+        if variant not in cur or single not in cur:
             failures.append(f"--expect-gain {spec}: cell missing from current")
             continue
-        gain = 1.0 - cur[batched] / cur[single] if cur[single] else 0.0
+        if field not in cur[variant] or field not in cur[single]:
+            failures.append(f"--expect-gain {spec}: field '{field}' missing")
+            continue
+        vval, sval = cur[variant][field], cur[single][field]
+        gain = 1.0 - vval / sval if sval else 0.0
         ok = gain >= frac
-        print(f"gain {scenario} vs {sibling} / {backend}: "
-              f"{cur[single]:.2f} -> {cur[batched]:.2f} ({gain:+.1%}, "
+        print(f"gain {scenario} vs {sibling} / {backend} on {field}: "
+              f"{sval:.2f} -> {vval:.2f} ({gain:+.1%}, "
               f"need >= {frac:.0%}){'' if ok else '  << UNMET'}")
         if not ok:
             failures.append(
-                f"{cell}: batched ev/msg gain {gain:.1%} < required "
+                f"{cell}: {field} gain {gain:.1%} < required "
                 f"{frac:.0%} vs {sibling}/{backend}")
 
     if failures:
