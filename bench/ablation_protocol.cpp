@@ -17,7 +17,6 @@ namespace {
 
 using namespace vl;
 using squeue::Backend;
-using workloads::Kind;
 
 struct Row {
   double ns;
@@ -25,19 +24,18 @@ struct Row {
   std::uint64_t mem_txns;
 };
 
-Row run_one(Kind k, Backend b, sim::Protocol proto, int scale) {
+Row run_one(const workloads::WorkloadInfo& w, Backend b, sim::Protocol proto,
+            int scale) {
   runtime::Machine m([&] {
     sim::SystemConfig cfg = squeue::config_for(b);
     cfg.cache.protocol = proto;
     return cfg;
   }());
   squeue::ChannelFactory f(m, b);
-  workloads::WorkloadResult r;
-  switch (k) {
-    case Kind::kPingPong: r = workloads::run_pingpong(m, f, scale); break;
-    case Kind::kIncast: r = workloads::run_incast(m, f, scale); break;
-    default: r = workloads::run_pingpong(m, f, scale); break;
-  }
+  workloads::RunConfig rc = w.defaults;
+  rc.backend = b;
+  rc.scale = scale;
+  const workloads::WorkloadResult r = w.kernel(m, f, rc);
   return {r.ns, r.mem.writebacks, r.mem.mem_txns()};
 }
 
@@ -48,13 +46,15 @@ int main(int argc, char** argv) {
   vl::bench::print_header("Ablation (protocol)",
                           "MESI vs MOESI under queue traffic");
 
-  for (Kind k : {Kind::kPingPong, Kind::kIncast}) {
-    std::printf("\n-- %s --\n", workloads::to_string(k));
+  for (const char* name : {"ping-pong", "incast"}) {
+    const workloads::WorkloadInfo* w = workloads::find_workload(name);
+    if (!w) continue;
+    std::printf("\n-- %s --\n", name);
     TextTable t({"backend", "MESI ns", "MOESI ns", "speedup",
                  "MESI wbacks", "MOESI wbacks"});
     for (Backend b : {Backend::kBlfq, Backend::kZmq, Backend::kVl}) {
-      const Row mesi = run_one(k, b, sim::Protocol::kMesi, scale);
-      const Row moesi = run_one(k, b, sim::Protocol::kMoesi, scale);
+      const Row mesi = run_one(*w, b, sim::Protocol::kMesi, scale);
+      const Row moesi = run_one(*w, b, sim::Protocol::kMoesi, scale);
       t.add_row({squeue::to_string(b), TextTable::num(mesi.ns, 0),
                  TextTable::num(moesi.ns, 0),
                  TextTable::num(mesi.ns / moesi.ns, 3) + "x",

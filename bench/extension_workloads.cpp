@@ -1,9 +1,9 @@
-// Extension workloads (allreduce, scatter-gather) across all queue
-// backends — the Fig. 11 format applied to two collective patterns the
-// Ember suite motivates but the paper did not evaluate. Both are
-// latency-bound at fine grain (allreduce's critical path is 2·log2 N hops;
-// scatter-gather forks/joins every round), so the expected shape matches
-// Fig. 11's halo/bitonic columns: VL ahead, ZMQ trailing BLFQ.
+// Extension workloads (allreduce, scatter-gather, stencil, param-server)
+// across all queue backends — the Fig. 11 format applied to collective
+// patterns the Ember suite motivates but the paper did not evaluate. All
+// are latency-bound at fine grain (allreduce's critical path is 2·log2 N
+// hops; the others fork/join every superstep), so the expected shape
+// matches Fig. 11's halo/bitonic columns: VL ahead, ZMQ trailing BLFQ.
 
 #include <cstdio>
 
@@ -15,20 +15,20 @@ int main(int argc, char** argv) {
   using squeue::Backend;
   const int scale = vl::bench::arg_scale(argc, argv);
   vl::bench::print_header("Extension workloads",
-                          "allreduce & scatter-gather across backends");
+                          "bsp-native collectives across backends");
 
-  for (workloads::Kind k :
-       {workloads::Kind::kAllreduce, workloads::Kind::kScatterGather}) {
-    std::printf("\n-- %s --\n", workloads::to_string(k));
+  for (const char* name :
+       {"allreduce", "scatter-gather", "stencil", "param-server"}) {
+    std::printf("\n-- %s --\n", name);
     TextTable t({"backend", "exec ns", "vs BLFQ", "ns/msg", "snoops",
                  "mem txns"});
     double blfq_ns = 0;
     for (Backend b : {Backend::kBlfq, Backend::kZmq, Backend::kVl,
                       Backend::kVlIdeal, Backend::kCaf}) {
-      workloads::RunConfig rc;
+      workloads::RunConfig rc = workloads::default_config(name);
       rc.backend = b;
       rc.scale = scale;
-      const auto r = workloads::run(k, rc);
+      const auto r = workloads::run(name, rc);
       if (b == Backend::kBlfq) blfq_ns = r.ns;
       t.add_row({squeue::to_string(b), TextTable::num(r.ns, 0),
                  TextTable::num(blfq_ns / r.ns, 2) + "x",

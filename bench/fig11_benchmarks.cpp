@@ -4,10 +4,12 @@
 //   (b) snoop traffic normalized to BLFQ,
 //   (c) memory (DRAM) transactions normalized to BLFQ,
 // plus the paper's headline aggregates: geomean VL speedup (paper: 2.09x)
-// and average memory-traffic reduction (paper: 61%).
+// and average memory-traffic reduction (paper: 61%). Workloads are looked
+// up by name in the registry (the paper's own Table II set).
 
 #include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -18,13 +20,12 @@ namespace {
 
 using namespace vl;
 using squeue::Backend;
-using workloads::Kind;
 using workloads::RunConfig;
 using workloads::WorkloadResult;
 
-const std::vector<Kind> kKinds = {Kind::kPingPong, Kind::kHalo, Kind::kSweep,
-                                  Kind::kIncast, Kind::kFir, Kind::kBitonic,
-                                  Kind::kPipeline};
+const std::vector<std::string> kNames = {"ping-pong", "halo",    "sweep",
+                                         "incast",    "FIR",     "bitonic",
+                                         "pipeline"};
 const std::vector<Backend> kBackends = {Backend::kBlfq, Backend::kZmq,
                                         Backend::kVl, Backend::kVlIdeal};
 
@@ -36,23 +37,22 @@ int main(int argc, char** argv) {
                           "7 benchmarks x 4 queue schemes on the Table III "
                           "machine (all values normalized to BLFQ)");
 
-  std::map<Kind, std::map<Backend, WorkloadResult>> results;
-  for (Kind k : kKinds) {
+  std::map<std::string, std::map<Backend, WorkloadResult>> results;
+  for (const std::string& name : kNames) {
     for (Backend b : kBackends) {
-      RunConfig rc;
+      RunConfig rc = workloads::default_config(name);
       rc.backend = b;
       rc.scale = scale;
       rc.bitonic_workers = 15;
-      results[k][b] = run(k, rc);
-      std::fprintf(stderr, "  done %-9s %-9s %12.0f ns\n",
-                   workloads::to_string(k), squeue::to_string(b),
-                   results[k][b].ns);
+      results[name][b] = run(name, rc);
+      std::fprintf(stderr, "  done %-9s %-9s %12.0f ns\n", name.c_str(),
+                   squeue::to_string(b), results[name][b].ns);
     }
   }
 
-  auto norm = [&](Kind k, Backend b, auto getter) {
-    const double base = getter(results[k][Backend::kBlfq]);
-    const double v = getter(results[k][b]);
+  auto norm = [&](const std::string& name, Backend b, auto getter) {
+    const double base = getter(results[name][Backend::kBlfq]);
+    const double v = getter(results[name][b]);
     return base > 0 ? v / base : 0.0;
   };
 
@@ -62,31 +62,31 @@ int main(int argc, char** argv) {
   for (int fig = 0; fig < 3; ++fig) {
     std::printf("\n-- Fig. 11%c: %s --\n", 'a' + fig, titles[fig]);
     TextTable t({"benchmark", "BLFQ", "ZMQ", "VL(ideal)", "VL64"});
-    for (Kind k : kKinds) {
+    for (const std::string& name : kNames) {
       auto getter = [fig](const WorkloadResult& r) -> double {
         if (fig == 0) return r.ns;
         if (fig == 1) return static_cast<double>(r.mem.snoops);
         return static_cast<double>(r.mem.mem_txns());
       };
-      t.add_row({workloads::to_string(k),
-                 TextTable::num(norm(k, Backend::kBlfq, getter), 3),
-                 TextTable::num(norm(k, Backend::kZmq, getter), 3),
-                 TextTable::num(norm(k, Backend::kVlIdeal, getter), 3),
-                 TextTable::num(norm(k, Backend::kVl, getter), 3)});
+      t.add_row({name, TextTable::num(norm(name, Backend::kBlfq, getter), 3),
+                 TextTable::num(norm(name, Backend::kZmq, getter), 3),
+                 TextTable::num(norm(name, Backend::kVlIdeal, getter), 3),
+                 TextTable::num(norm(name, Backend::kVl, getter), 3)});
     }
     std::printf("%s", t.render().c_str());
   }
 
   // Headline aggregates.
   std::vector<double> speedups, mem_ratios;
-  for (Kind k : kKinds) {
-    speedups.push_back(results[k][Backend::kBlfq].ns /
-                       results[k][Backend::kVl].ns);
+  for (const std::string& name : kNames) {
+    speedups.push_back(results[name][Backend::kBlfq].ns /
+                       results[name][Backend::kVl].ns);
     const double base =
-        static_cast<double>(results[k][Backend::kBlfq].mem.mem_txns());
+        static_cast<double>(results[name][Backend::kBlfq].mem.mem_txns());
     if (base > 0)
       mem_ratios.push_back(
-          static_cast<double>(results[k][Backend::kVl].mem.mem_txns()) / base);
+          static_cast<double>(results[name][Backend::kVl].mem.mem_txns()) /
+          base);
   }
   double mem_red = 0;
   for (double r : mem_ratios) mem_red += (1.0 - r);

@@ -26,11 +26,12 @@ int main(int argc, char** argv) {
   std::map<Backend, std::map<int, double>> ns;
   for (Backend b : backends) {
     for (int w : workers) {
-      workloads::RunConfig rc;
+      workloads::RunConfig rc = workloads::default_config("bitonic");
       rc.backend = b;
       rc.scale = scale;
       rc.bitonic_workers = w;
-      ns[b][w] = run(workloads::Kind::kBitonic, rc).ns;
+      rc.bitonic_compare_cost = workloads::kFig12CompareCost;
+      ns[b][w] = run("bitonic", rc).ns;
       std::fprintf(stderr, "  done %-9s workers=%-2d %12.0f ns\n",
                    squeue::to_string(b), w, ns[b][w]);
     }

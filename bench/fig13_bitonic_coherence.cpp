@@ -24,11 +24,11 @@ int main(int argc, char** argv) {
                "snoops/msg"});
   for (Backend b : backends) {
     for (int w : workers) {
-      workloads::RunConfig rc;
+      workloads::RunConfig rc = workloads::default_config("bitonic");
       rc.backend = b;
       rc.scale = scale;
       rc.bitonic_workers = w;
-      const auto r = run(workloads::Kind::kBitonic, rc);
+      const auto r = run("bitonic", rc);
       t.add_row({std::to_string(w + 1), squeue::to_string(b),
                  std::to_string(r.mem.snoops), std::to_string(r.mem.upgrades),
                  TextTable::num(static_cast<double>(r.mem.snoops) /

@@ -1,7 +1,9 @@
-// Full experiment matrix -> CSV. Runs every workload (Table II plus the
-// extension collectives) over every queue backend on the Table III machine
-// and writes one CSV row per run with timing, coherence, DRAM and device
-// counters — the raw data behind Figs. 11-13 in machine-readable form.
+// Full experiment matrix -> CSV. Runs every *registered* workload (Table II
+// plus the extension collectives and the bsp-native kernels) over every
+// queue backend on the Table III machine and writes one CSV row per run
+// with timing, coherence, DRAM and device counters — the raw data behind
+// Figs. 11-13 in machine-readable form. The row set comes straight from
+// the workload registry: a new kernel TU shows up here with no edits.
 //
 //   $ ./bench/run_matrix [--scale N] [--out results.csv]
 //
@@ -20,7 +22,6 @@ namespace {
 
 using namespace vl;
 using squeue::Backend;
-using workloads::Kind;
 
 const char* arg_out(int argc, char** argv, const char* def) {
   for (int i = 1; i + 1 < argc; ++i)
@@ -41,17 +42,15 @@ int main(int argc, char** argv) {
                  "injections", "vlrd_pushes", "vlrd_push_nacks",
                  "vlrd_matches", "vlrd_inject_retries"});
 
-  for (Kind k : {Kind::kPingPong, Kind::kHalo, Kind::kSweep, Kind::kIncast,
-                 Kind::kFir, Kind::kBitonic, Kind::kPipeline,
-                 Kind::kAllreduce, Kind::kScatterGather}) {
+  for (const std::string& name : workloads::workload_names()) {
     for (Backend b : {Backend::kBlfq, Backend::kZmq, Backend::kVl,
                       Backend::kVlIdeal, Backend::kCaf}) {
-      workloads::RunConfig rc;
+      workloads::RunConfig rc = workloads::default_config(name);
       rc.backend = b;
       rc.scale = scale;
-      const auto r = workloads::run(k, rc);
+      const auto r = workloads::run(name, rc);
       csv.add()
-          .col(std::string(workloads::to_string(k)))
+          .col(r.workload)
           .col(std::string(squeue::to_string(b)))
           .col(static_cast<std::uint64_t>(scale))
           .col(r.ticks)
@@ -70,8 +69,8 @@ int main(int argc, char** argv) {
           .col(r.vlrd.push_nacks)
           .col(r.vlrd.matches)
           .col(r.vlrd.inject_retry);
-      std::printf("  %-14s %-9s %14.0f ns  %8llu msgs\n",
-                  workloads::to_string(k), squeue::to_string(b), r.ns,
+      std::printf("  %-14s %-9s %14.0f ns  %8llu msgs\n", name.c_str(),
+                  squeue::to_string(b), r.ns,
                   static_cast<unsigned long long>(r.messages));
     }
   }

@@ -34,6 +34,7 @@
 #include "traffic/engine.hpp"
 #include "traffic/metrics.hpp"
 #include "traffic/sharded_engine.hpp"
+#include "workloads/runner.hpp"
 
 namespace {
 
@@ -92,13 +93,29 @@ const RunSpec kDefaultMatrix[] = {
     // pins the supervisor's latency win against the static sibling.
     {"qos-adversarial-bulk", Backend::kVl},
     {"qos-adversarial-bulk", Backend::kVl, 0, 0, false, true},
+    // Collective workloads on the bsp::World layer ("wl-" prefix drives the
+    // workload registry instead of a traffic scenario, at internal scale
+    // 4x). The JSON baselines were measured on the pre-bsp hand-rolled
+    // kernels, and CI gates these cells at 10% (--cell-tolerance): the BSP
+    // rewrite must not cost more than 10% simulation work per message.
+    {"wl-allreduce", Backend::kVl},
+    {"wl-halo", Backend::kVl},
+    {"wl-scatter-gather", Backend::kVl},
 };
+
+/// "wl-<name>" rows bypass the traffic engine and run a registered
+/// workload kernel; the row reports the event/tick/message figures in the
+/// same columns (delivered = payload messages).
+bool is_workload_row(const std::string& scenario) {
+  return scenario.rfind("wl-", 0) == 0;
+}
 
 struct Row {
   std::string scenario, backend;
   std::uint64_t events = 0, ticks = 0, delivered = 0, lat_p99 = 0;
   double wall_ms = 0.0, events_per_sec = 0.0, mticks_per_sec = 0.0,
          events_per_msg = 0.0;
+  std::string digest;  ///< wl- rows: deterministic run digest for CI smoke.
 };
 
 // Latency-class p99 (the figure the QoS supervisor defends) when the run
@@ -111,10 +128,49 @@ std::uint64_t latency_p99(const vl::traffic::ScenarioMetrics& m) {
   return all.percentile(99);
 }
 
+Row finish_row(Row row, std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  row.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  const double secs = row.wall_ms * 1e-3;
+  row.events_per_sec = secs > 0 ? static_cast<double>(row.events) / secs : 0;
+  row.mticks_per_sec =
+      secs > 0 ? static_cast<double>(row.ticks) / secs / 1e6 : 0;
+  row.events_per_msg =
+      row.delivered
+          ? static_cast<double>(row.events) / static_cast<double>(row.delivered)
+          : 0;
+  return row;
+}
+
+Row run_workload_row(const std::string& scenario, Backend backend,
+                     int scale) {
+  const std::string name = scenario.substr(3);
+  vl::workloads::RunConfig rc = vl::workloads::default_config(name);
+  rc.backend = backend;
+  rc.scale = 4 * scale;  // baselines were measured at workload scale 4
+  const auto t0 = std::chrono::steady_clock::now();
+  const vl::workloads::WorkloadResult r = vl::workloads::run(name, rc);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Row row;
+  row.scenario = scenario;
+  row.backend = r.backend;
+  row.events = r.events;
+  row.ticks = r.ticks;
+  row.delivered = r.messages;
+  row.lat_p99 = 0;
+  row.digest = r.digest();
+  return finish_row(row, t0, t1);
+}
+
 Row run_one(const std::string& scenario, Backend backend, std::uint64_t seed,
             int scale, std::uint32_t batch = 0, int shards = 0,
             bool timeline = false, bool sup = false,
             const std::string& faults = "") {
+  if (is_workload_row(scenario)) return run_workload_row(scenario, backend, scale);
   vl::traffic::ScenarioSpec spec = *vl::traffic::find_scenario(scenario);
   // Benchmark rows control the supervisor explicitly: the plain
   // qos-adversarial-bulk row measures static quotas even though the preset
@@ -155,19 +211,7 @@ Row run_one(const std::string& scenario, Backend backend, std::uint64_t seed,
   row.ticks = r.metrics.ticks;
   row.delivered = r.metrics.total_delivered();
   row.lat_p99 = latency_p99(r.metrics);
-  row.wall_ms =
-      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
-          t1 - t0)
-          .count();
-  const double secs = row.wall_ms * 1e-3;
-  row.events_per_sec = secs > 0 ? static_cast<double>(row.events) / secs : 0;
-  row.mticks_per_sec =
-      secs > 0 ? static_cast<double>(row.ticks) / secs / 1e6 : 0;
-  row.events_per_msg =
-      row.delivered
-          ? static_cast<double>(row.events) / static_cast<double>(row.delivered)
-          : 0;
-  return row;
+  return finish_row(row, t0, t1);
 }
 
 void write_json(const char* path, const std::vector<Row>& rows,
@@ -216,6 +260,7 @@ int main(int argc, char** argv) {
   const int shards = static_cast<int>(
       std::strtol(arg_value(argc, argv, "--shards", "0"), nullptr, 10));
   const char* out = arg_value(argc, argv, "--out", "BENCH_sim.json");
+  const std::string digest_path = arg_value(argc, argv, "--digest", "");
   const std::string faults = arg_value(argc, argv, "--faults", "");
   bool no_supervisor = false;
   for (int i = 1; i < argc; ++i)
@@ -233,7 +278,12 @@ int main(int argc, char** argv) {
   std::vector<RunSpec> matrix;
   if (!scenario.empty() || !backend_s.empty()) {
     const std::string sc = scenario.empty() ? "incast-burst" : scenario;
-    if (!vl::traffic::find_scenario(sc)) {
+    if (is_workload_row(sc)) {
+      if (!vl::workloads::find_workload(sc.substr(3))) {
+        std::fprintf(stderr, "unknown workload '%s'\n", sc.c_str() + 3);
+        return 2;
+      }
+    } else if (!vl::traffic::find_scenario(sc)) {
       std::fprintf(stderr, "unknown scenario '%s'\n", sc.c_str());
       return 2;
     }
@@ -248,7 +298,9 @@ int main(int argc, char** argv) {
       return 2;
     }
     // CLI cells honor the preset's supervisor default unless --no-supervisor.
-    const bool sup = vl::traffic::find_scenario(sc)->supervisor && !no_supervisor;
+    const bool sup = !is_workload_row(sc) &&
+                     vl::traffic::find_scenario(sc)->supervisor &&
+                     !no_supervisor;
     for (Backend b : bs) matrix.push_back({sc, b, batch, shards, false, sup});
   } else {
     matrix.assign(std::begin(kDefaultMatrix), std::end(kDefaultMatrix));
@@ -274,6 +326,21 @@ int main(int argc, char** argv) {
   std::printf("%s\n", tt.render().c_str());
 
   write_json(out, rows, seed, scale);
+
+  // Deterministic digest lines for the wl- rows (CI runs this twice and
+  // cmps the files: identical simulations must produce identical digests).
+  if (!digest_path.empty()) {
+    std::FILE* df = std::fopen(digest_path.c_str(), "w");
+    if (!df) {
+      std::fprintf(stderr, "sim_throughput: cannot write %s\n",
+                   digest_path.c_str());
+      return 2;
+    }
+    for (const Row& r : rows)
+      if (!r.digest.empty()) std::fprintf(df, "%s\n", r.digest.c_str());
+    std::fclose(df);
+    std::fprintf(stderr, "wrote %s\n", digest_path.c_str());
+  }
 
   // Observability overhead guard: every "(tl)" row must stay within 5% of
   // its plain sibling's ev/msg. Timeline sampling runs outside the event

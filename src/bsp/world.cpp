@@ -1,0 +1,487 @@
+#include "bsp/world.hpp"
+
+#include <algorithm>
+
+namespace vl::bsp {
+namespace {
+
+// Backoff when a flush burst is refused and no opportunistic drain made
+// progress — same order as the backends' discovery cadence.
+constexpr Tick kFlushBackoff = 16;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Topology
+
+Topology Topology::grid(int rows, int cols) {
+  Topology t(rows * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int u = r * cols + c;
+      if (r + 1 < rows) t.biconnect(u, (r + 1) * cols + c);
+      if (c + 1 < cols) t.biconnect(u, r * cols + c + 1);
+    }
+  }
+  return t;
+}
+
+Topology Topology::tree(int nprocs) {
+  Topology t(nprocs);
+  for (int i = 1; i < nprocs; ++i) t.biconnect((i - 1) / 2, i);
+  return t;
+}
+
+Topology Topology::star(int nprocs) {
+  Topology t(nprocs);
+  for (int i = 1; i < nprocs; ++i) t.biconnect(0, i);
+  return t;
+}
+
+void Topology::connect(int src, int dst) {
+  assert(src >= 0 && src < n_ && dst >= 0 && dst < n_ && src != dst);
+  const auto e = std::make_pair(src, dst);
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), e);
+  if (it == edges_.end() || *it != e) edges_.insert(it, e);
+}
+
+// ---------------------------------------------------------------------------
+// World construction
+
+World::World(runtime::Machine& m, squeue::ChannelFactory& f, Topology topo,
+             std::string name, std::size_t capacity_hint,
+             std::uint8_t msg_words)
+    : m_(m),
+      topo_(std::move(topo)),
+      msg_words_(msg_words),
+      barrier_(m.eq(), static_cast<std::uint32_t>(topo_.nprocs())) {
+  assert(msg_words_ >= 2 && msg_words_ <= 7);
+  const int n = topo_.nprocs();
+  chans_.reserve(topo_.edges().size());
+  for (const auto& [u, v] : topo_.edges()) {
+    chans_.push_back(f.make(
+        name + "_" + std::to_string(u) + "_" + std::to_string(v),
+        capacity_hint, msg_words_));
+  }
+  pp_.reserve(static_cast<std::size_t>(n));
+  procs_.reserve(static_cast<std::size_t>(n));
+  for (int pid = 0; pid < n; ++pid) {
+    auto pp = std::make_unique<PerProc>();
+    pp->pid = pid;
+    pp->t = m.thread_on(static_cast<CoreId>(
+        static_cast<std::uint32_t>(pid) % m.num_cores()));
+    pp_.push_back(std::move(pp));
+    procs_.push_back(Proc(this, pid, pp_.back()->t));
+  }
+  // Edge lists are sorted (src, dst), so per-proc out/in lists built in
+  // edge order come out ascending by peer pid — the deterministic selector
+  // and inbox order.
+  for (std::size_t e = 0; e < topo_.edges().size(); ++e) {
+    const auto& [u, v] = topo_.edges()[e];
+    PerProc& pu = *pp_[static_cast<std::size_t>(u)];
+    pu.out.push_back(v);
+    pu.out_edge.push_back(e);
+    PerProc& pv = *pp_[static_cast<std::size_t>(v)];
+    pv.in.push_back(u);
+    pv.in_edge.push_back(e);
+  }
+  for (auto& pp : pp_) {
+    pp->staged.resize(pp->out.size());
+    for (std::size_t i = 0; i < pp->in.size(); ++i)
+      pp->sel.add(*chans_[pp->in_edge[i]]);
+  }
+  for (auto& buf : sent_cnt_) buf.assign(topo_.edges().size(), 0);
+  for (auto& buf : reply_cnt_) buf.assign(topo_.edges().size(), 0);
+  for (auto& buf : gets_staged_) buf.assign(static_cast<std::size_t>(n), 0);
+}
+
+World::~World() = default;
+
+Var World::var(std::uint64_t init) {
+  const auto slot = static_cast<std::uint16_t>(vars_.size());
+  vars_.emplace_back(static_cast<std::size_t>(topo_.nprocs()), init);
+  return Var{slot};
+}
+
+Coarray World::coarray(std::size_t len, std::uint64_t init) {
+  assert(len > 0);
+  const auto slot = static_cast<std::uint16_t>(arrays_.size());
+  arrays_.emplace_back(static_cast<std::size_t>(topo_.nprocs()) * len, init);
+  array_len_.push_back(len);
+  return Coarray{slot};
+}
+
+Queue World::queue() {
+  const Queue q{static_cast<std::uint16_t>(nqueues_++)};
+  for (auto& pp : pp_) pp->inbox.resize(nqueues_);
+  return q;
+}
+
+runtime::ChannelDemand World::demand() const {
+  runtime::ChannelDemand d;
+  d.relay_channels = channel_count();
+  return d;
+}
+
+std::vector<int>& World::neighbors_out(int pid) {
+  return pp_.at(static_cast<std::size_t>(pid))->out;
+}
+
+std::vector<int>& World::neighbors_in(int pid) {
+  return pp_.at(static_cast<std::size_t>(pid))->in;
+}
+
+std::uint64_t World::supersteps() const { return pp_.front()->step; }
+
+std::uint64_t& World::value(Var v, int pid) {
+  return vars_.at(v.slot).at(static_cast<std::size_t>(pid));
+}
+
+std::uint64_t& World::value(Coarray a, int pid, std::size_t i) {
+  assert(i < array_len_.at(a.slot));
+  return arrays_.at(a.slot).at(
+      static_cast<std::size_t>(pid) * array_len_[a.slot] + i);
+}
+
+// ---------------------------------------------------------------------------
+// Wire format: w[0] is a header word —
+//   bits [0,3)  OpKind        bits [8,16)  step (mod 256)
+//   bit  3      phase (0 = requests/puts/queue, 1 = get replies)
+//   bits [16,32) slot/queue id  bits [32,36) queue payload words
+// Payload words follow in w[1..]. The source pid is never on the wire: the
+// receiver derives it from which channel (selector index) delivered.
+
+std::uint64_t World::pack_hdr(OpKind k, int phase, std::uint64_t step,
+                              std::uint32_t id, std::uint8_t nwords) {
+  return static_cast<std::uint64_t>(k) |
+         (static_cast<std::uint64_t>(phase & 1) << 3) | ((step & 0xff) << 8) |
+         (static_cast<std::uint64_t>(id & 0xffff) << 16) |
+         (static_cast<std::uint64_t>(nwords & 0xf) << 32);
+}
+
+bool World::tag_matches(const squeue::Msg& msg, std::uint64_t step,
+                        int phase) {
+  const std::uint64_t hdr = msg.w[0];
+  return ((hdr >> 8) & 0xff) == (step & 0xff) &&
+         static_cast<int>((hdr >> 3) & 1) == phase;
+}
+
+// ---------------------------------------------------------------------------
+// Staging (free host bookkeeping; Proc forwards here)
+
+void World::stage(int pid, int dst, const squeue::Msg& msg) {
+  PerProc& me = *pp_[static_cast<std::size_t>(pid)];
+  // Wire frames are fixed-size (CAF transfers exactly `words_` register
+  // trips per frame; the trailing pad words are zero) — the payload width
+  // a receiver should read travels in the header, not in Msg::n.
+  squeue::Msg m = msg;
+  m.n = msg_words_;
+  if (dst == pid) {
+    me.staged_self.push_back(m);
+    return;
+  }
+  me.staged[out_index(me, dst)].push_back(m);
+}
+
+std::size_t World::out_index(const PerProc& me, int dst) const {
+  const auto it = std::lower_bound(me.out.begin(), me.out.end(), dst);
+  assert(it != me.out.end() && *it == dst &&
+         "bsp: put/get/send target is not a topology neighbor");
+  return static_cast<std::size_t>(it - me.out.begin());
+}
+
+GetHandle World::stage_get(int pid, int src, OpKind kind, std::uint16_t slot,
+                           std::uint64_t index) {
+  PerProc& me = *pp_[static_cast<std::size_t>(pid)];
+  const GetHandle h{me.staged_gets++};
+  squeue::Msg msg;
+  msg.w[0] = pack_hdr(kind, 0, me.step, slot);
+  msg.w[1] = h.index;
+  msg.w[2] = index;
+  msg.n = 3;
+  stage(pid, src, msg);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Delivery
+
+void World::dispatch(PerProc& me, int src, const squeue::Msg& msg) {
+  const std::uint64_t hdr = msg.w[0];
+  const auto kind = static_cast<OpKind>(hdr & 7);
+  const auto id = static_cast<std::uint16_t>((hdr >> 16) & 0xffff);
+  switch (kind) {
+    case OpKind::kPutVar:
+      me.puts.push_back({src, kind, id, 0, msg.w[1]});
+      break;
+    case OpKind::kPutElem:
+      me.puts.push_back({src, kind, id, msg.w[1], msg.w[2]});
+      break;
+    case OpKind::kGetVar:
+      me.replies.push_back(
+          {src, kind, id, static_cast<std::uint32_t>(msg.w[1]), 0});
+      break;
+    case OpKind::kGetElem:
+      me.replies.push_back(
+          {src, kind, id, static_cast<std::uint32_t>(msg.w[1]), msg.w[2]});
+      break;
+    case OpKind::kReply:
+      me.get_vals.at(msg.w[1]) = msg.w[2];
+      break;
+    case OpKind::kQueue: {
+      QMsg qm;
+      qm.src = src;
+      qm.n = static_cast<std::uint8_t>((hdr >> 32) & 0xf);
+      for (std::uint8_t i = 0; i < qm.n; ++i) qm.w[i] = msg.w[1 + i];
+      me.inbox.at(id).push_back(qm);
+      break;
+    }
+  }
+}
+
+void World::stage_replies(PerProc& me) {
+  // Canonical reply order (requester, handle) — replies are keyed by
+  // handle so this is purely for a backend-independent staging order.
+  std::stable_sort(me.replies.begin(), me.replies.end(),
+                   [](const ReplyDue& a, const ReplyDue& b) {
+                     return a.requester != b.requester
+                                ? a.requester < b.requester
+                                : a.handle < b.handle;
+                   });
+  for (const ReplyDue& rd : me.replies) {
+    const std::uint64_t value =
+        rd.kind == OpKind::kGetVar
+            ? vars_.at(rd.slot)[static_cast<std::size_t>(me.pid)]
+            : arrays_.at(rd.slot)[static_cast<std::size_t>(me.pid) *
+                                      array_len_[rd.slot] +
+                                  rd.index];
+    if (rd.requester == me.pid) {
+      me.get_vals.at(rd.handle) = value;
+      continue;
+    }
+    squeue::Msg msg;
+    msg.w[0] = pack_hdr(OpKind::kReply, 1, me.step, rd.slot);
+    msg.w[1] = rd.handle;
+    msg.w[2] = value;
+    msg.n = msg_words_;  // fixed-size wire frame, zero-padded
+    me.staged[out_index(me, rd.requester)].push_back(msg);
+  }
+  me.replies.clear();
+}
+
+void World::apply_puts(PerProc& me) {
+  // Source order; within one source, arrival order == send order (FIFO
+  // channels) — so the application order is backend-independent.
+  std::stable_sort(
+      me.puts.begin(), me.puts.end(),
+      [](const PendingPut& a, const PendingPut& b) { return a.src < b.src; });
+  for (const PendingPut& p : me.puts) {
+    if (p.kind == OpKind::kPutVar) {
+      vars_.at(p.slot)[static_cast<std::size_t>(me.pid)] = p.value;
+    } else {
+      arrays_.at(p.slot)[static_cast<std::size_t>(me.pid) *
+                             array_len_[p.slot] +
+                         p.index] = p.value;
+    }
+  }
+  me.puts.clear();
+}
+
+// ---------------------------------------------------------------------------
+// The superstep protocol. Per sync() call, every processor:
+//
+//   1. publishes its per-edge staged counts (parity slot step%2) and its
+//      staged-get count, dispatches self-ops, flushes each per-neighbor
+//      batch as try_send_many bursts;
+//   2. arrives at the sim::Barrier (suspends; zero events while waiting);
+//   3. drains phase A: consumes exactly the published counts off its
+//      in-channels via Selector wait-any, buffering any early messages
+//      from a neighbor already in its *next* superstep;
+//   4. if anyone staged a get this superstep (the parity-slot sums are a
+//      consistent snapshot — every writer wrote before the barrier), all
+//      processors run a phase B: stage replies reading pre-put slot
+//      values, publish reply counts, flush, barrier again, drain replies;
+//   5. applies buffered puts in source order and sorts inboxes.
+//
+// A neighbor's flush for superstep s+1 can land while a slow processor is
+// still draining superstep s (flushes precede barriers) — that is what the
+// early buffer and the (step, phase) header tag absorb. Nothing from
+// superstep s+2 can arrive before the slow processor finishes s: its
+// sender would first have to pass a barrier that needs *this* processor's
+// arrival.
+
+sim::Co<void> World::sync(int pid) {
+  PerProc& me = *pp_[static_cast<std::size_t>(pid)];
+  const std::size_t par = static_cast<std::size_t>(me.step & 1);
+
+  // The previous superstep's deliveries die at this boundary.
+  for (auto& box : me.inbox) box.clear();
+  me.get_vals.assign(me.staged_gets, 0);
+  gets_staged_[par][static_cast<std::size_t>(pid)] = me.staged_gets;
+  me.staged_gets = 0;
+
+  for (std::size_t i = 0; i < me.out.size(); ++i)
+    sent_cnt_[par][me.out_edge[i]] =
+        static_cast<std::uint32_t>(me.staged[i].size());
+  for (const squeue::Msg& msg : me.staged_self) dispatch(me, pid, msg);
+  me.staged_self.clear();
+  co_await flush(me);
+
+  co_await barrier_.arrive();
+  co_await drain(me, /*phase=*/0);
+
+  std::uint64_t total_gets = 0;
+  for (int p = 0; p < topo_.nprocs(); ++p)
+    total_gets += gets_staged_[par][static_cast<std::size_t>(p)];
+  if (total_gets > 0) {
+    stage_replies(me);
+    for (std::size_t i = 0; i < me.out.size(); ++i)
+      reply_cnt_[par][me.out_edge[i]] =
+          static_cast<std::uint32_t>(me.staged[i].size());
+    co_await flush(me);
+    co_await barrier_.arrive();
+    co_await drain(me, /*phase=*/1);
+  }
+
+  apply_puts(me);
+  for (auto& box : me.inbox)
+    std::stable_sort(box.begin(), box.end(),
+                     [](const QMsg& a, const QMsg& b) { return a.src < b.src; });
+  ++me.step;
+}
+
+sim::Co<void> World::flush(PerProc& me) {
+  for (std::size_t i = 0; i < me.out.size(); ++i) {
+    std::vector<squeue::Msg>& batch = me.staged[i];
+    if (batch.empty()) continue;
+    squeue::Channel& ch = *chans_[me.out_edge[i]];
+    std::size_t done = 0;
+    while (done < batch.size()) {
+      const squeue::SendManyResult r = co_await ch.try_send_many(
+          me.t, std::span<const squeue::Msg>(batch).subspan(done));
+      done += r.sent;
+      if (done >= batch.size()) break;
+      if (r.status == squeue::SendStatus::kOk) continue;  // lap boundary
+      // Device buffers full (VL's shared prodBuf, CAF credits): drain our
+      // own in-channels opportunistically so cross-processor flushes
+      // cannot deadlock on shared device capacity, else back off one
+      // discovery interval.
+      if (!(co_await drain_once(me))) co_await me.t.compute(kFlushBackoff);
+    }
+    messages_ += batch.size();
+    batch.clear();
+  }
+}
+
+sim::Co<bool> World::drain_once(PerProc& me) {
+  bool any = false;
+  for (std::size_t i = 0; i < me.in.size(); ++i) {
+    const squeue::RecvResult r = co_await chans_[me.in_edge[i]]->try_recv(me.t);
+    if (r.ok()) {
+      me.early.push_back({me.in[i], r.msg});
+      any = true;
+    }
+  }
+  co_return any;
+}
+
+sim::Co<void> World::drain(PerProc& me, int phase) {
+  const std::size_t par = static_cast<std::size_t>(me.step & 1);
+  const std::vector<std::uint32_t>& cnt =
+      (phase == 0 ? sent_cnt_ : reply_cnt_)[par];
+  std::uint64_t remaining = 0;
+  for (std::size_t i = 0; i < me.in.size(); ++i) remaining += cnt[me.in_edge[i]];
+
+  // Early arrivals buffered during a flush stall or a previous drain
+  // count first; a fully early-satisfied (or empty) drain never touches
+  // the selector at all.
+  for (auto it = me.early.begin(); it != me.early.end() && remaining > 0;) {
+    if (tag_matches(it->msg, me.step, phase)) {
+      dispatch(me, it->src, it->msg);
+      --remaining;
+      it = me.early.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  while (remaining > 0) {
+    const squeue::Selector::Item item = co_await me.sel.recv_any(me.t);
+    const int src = me.in[item.index];
+    if (tag_matches(item.msg, me.step, phase)) {
+      dispatch(me, src, item.msg);
+      --remaining;
+    } else {
+      me.early.push_back({src, item.msg});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proc forwarding
+
+int Proc::nprocs() const { return w_->nprocs(); }
+
+std::uint64_t& Proc::local(Var v) { return w_->value(v, pid_); }
+
+std::uint64_t& Proc::local(Coarray a, std::size_t i) {
+  return w_->value(a, pid_, i);
+}
+
+void Proc::put(int dst, Var v, std::uint64_t value) {
+  squeue::Msg m;
+  m.w[0] = World::pack_hdr(World::OpKind::kPutVar, 0,
+                           w_->pp_[static_cast<std::size_t>(pid_)]->step,
+                           v.slot);
+  m.w[1] = value;
+  m.n = 2;
+  w_->stage(pid_, dst, m);
+}
+
+void Proc::put(int dst, Coarray a, std::size_t i, std::uint64_t value) {
+  squeue::Msg m;
+  m.w[0] = World::pack_hdr(World::OpKind::kPutElem, 0,
+                           w_->pp_[static_cast<std::size_t>(pid_)]->step,
+                           a.slot);
+  m.w[1] = i;
+  m.w[2] = value;
+  m.n = 3;
+  w_->stage(pid_, dst, m);
+}
+
+GetHandle Proc::get(int src, Var v) {
+  return w_->stage_get(pid_, src, World::OpKind::kGetVar, v.slot, 0);
+}
+
+GetHandle Proc::get(int src, Coarray a, std::size_t i) {
+  return w_->stage_get(pid_, src, World::OpKind::kGetElem, a.slot, i);
+}
+
+std::uint64_t Proc::got(GetHandle h) const {
+  return w_->pp_[static_cast<std::size_t>(pid_)]->get_vals.at(h.index);
+}
+
+void Proc::send(int dst, Queue q, std::span<const std::uint64_t> words) {
+  assert(words.size() <= 6 &&
+         words.size() + 1 <= static_cast<std::size_t>(w_->msg_words_));
+  squeue::Msg m;
+  m.w[0] = World::pack_hdr(World::OpKind::kQueue, 0,
+                           w_->pp_[static_cast<std::size_t>(pid_)]->step,
+                           q.id, static_cast<std::uint8_t>(words.size()));
+  for (std::size_t i = 0; i < words.size(); ++i) m.w[1 + i] = words[i];
+  m.n = static_cast<std::uint8_t>(1 + words.size());
+  w_->stage(pid_, dst, m);
+}
+
+const std::vector<QMsg>& Proc::inbox(Queue q) const {
+  return w_->pp_[static_cast<std::size_t>(pid_)]->inbox.at(q.id);
+}
+
+sim::Co<void> Proc::sync() { return w_->sync(pid_); }
+
+sim::Co<void> Proc::compute(std::uint64_t n_elems, Tick cost_per_elem) {
+  const std::uint64_t total = n_elems * cost_per_elem;
+  w_->compute_charged_ += total;
+  if (total > 0) co_await t_.compute(total);
+}
+
+}  // namespace vl::bsp

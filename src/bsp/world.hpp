@@ -1,0 +1,293 @@
+#pragma once
+// bsp::World — a Bulk-style bulk-synchronous (BSP) collective layer over
+// Channel v2 and squeue::Selector (ROADMAP item 5; Bulk's var/put/get/sync
+// is the model, SNIPPETS.md #2).
+//
+// A World is spawned over an existing runtime::Machine: one SimThread per
+// processor (pid -> core pid % num_cores, so master-on-0 layouts survive).
+// Between two sync() calls a processor *stages* communication — put() into
+// a registered Var/Coarray slot on a peer, get() a peer's slot value,
+// send() into a peer's message Queue — and none of it touches a channel
+// until sync() flushes each per-neighbor batch as one Channel-v2
+// try_send_many burst. The superstep barrier itself is sim::Barrier
+// (suspended coroutines; zero events while waiting) and the delivery
+// drains are Selector wait-any loops — park/wake on ZMQ, one bounded probe
+// pass per backend discovery cadence elsewhere — never a busy-poll.
+//
+// Cost model: staging is free (host bookkeeping); simulated time is charged
+// by (a) the channel operations of the flush/drain, (b) loads/stores the
+// kernel issues itself, and (c) the explicit superstep compute hook
+// `proc.compute(n_elems, cost_per_elem)` — the knob that makes Fig. 12's
+// *absolute* speedup claim testable (bitonic charges compare cost per
+// element through it).
+//
+// Determinism: inboxes are sorted by source pid (per-source order is send
+// order, channels are FIFO), puts apply in source order, gets are
+// slot-addressed — so kernel *results* are identical across all five
+// backends, and whole runs are byte-identical for a fixed (backend, seed).
+// See src/bsp/README.md for the superstep protocol and its correctness
+// argument.
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "runtime/qos_supervisor.hpp"
+#include "squeue/factory.hpp"
+#include "squeue/selector.hpp"
+
+namespace vl::bsp {
+
+class World;
+class Proc;
+
+/// Directed communication graph over P processors. put/get/send to pid v
+/// from pid u requires the edge u->v (get also needs v->u for the reply);
+/// one channel per directed edge. channel_count() is what feeds the QoS
+/// quota carve (runtime::size_quotas) — the graph itself is the source of
+/// truth, never a hand-maintained constant.
+class Topology {
+ public:
+  explicit Topology(int nprocs) : n_(nprocs) { assert(nprocs > 0); }
+
+  /// rows x cols grid, 4-neighbor, both directions per adjacent pair.
+  static Topology grid(int rows, int cols);
+  /// Binary-heap tree over pids 0..n-1 (parent (i-1)/2), both directions.
+  static Topology tree(int nprocs);
+  /// Hub-and-spoke: pid 0 <-> every other pid.
+  static Topology star(int nprocs);
+
+  void connect(int src, int dst);
+  void biconnect(int a, int b) {
+    connect(a, b);
+    connect(b, a);
+  }
+
+  int nprocs() const { return n_; }
+  std::uint32_t channel_count() const {
+    return static_cast<std::uint32_t>(edges_.size());
+  }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+ private:
+  int n_ = 0;
+  std::vector<std::pair<int, int>> edges_;  // sorted, unique
+};
+
+/// Registered slot handles. Created on the World before spawning kernels;
+/// cheap value types a kernel captures by copy.
+struct Var {
+  std::uint16_t slot = 0;
+};
+struct Coarray {
+  std::uint16_t slot = 0;
+};
+struct Queue {
+  std::uint16_t id = 0;
+};
+/// Ticket for a staged get(); redeem with Proc::got() after the sync.
+struct GetHandle {
+  std::uint32_t index = 0;
+};
+
+/// One queue message as delivered into a superstep inbox.
+struct QMsg {
+  int src = 0;
+  std::uint8_t n = 0;
+  std::array<std::uint64_t, 6> w{};
+};
+
+/// A processor's view of the World: the handle kernels program against.
+class Proc {
+ public:
+  int id() const { return pid_; }
+  int nprocs() const;
+  sim::SimThread thread() const { return t_; }
+  World& world() { return *w_; }
+
+  /// This processor's image of a registered slot (host reference — reads
+  /// and writes are free, like Bulk's `var.value()`).
+  std::uint64_t& local(Var v);
+  std::uint64_t& local(Coarray a, std::size_t i);
+
+  // --- staged communication (free; lands at the next sync) ---------------
+  void put(int dst, Var v, std::uint64_t value);
+  void put(int dst, Coarray a, std::size_t i, std::uint64_t value);
+  GetHandle get(int src, Var v);
+  GetHandle get(int src, Coarray a, std::size_t i);
+  /// Value fetched by `h` — as of the peer's superstep *start* (BSP get
+  /// semantics: reads see the state before this superstep's puts).
+  std::uint64_t got(GetHandle h) const;
+  void send(int dst, Queue q, std::span<const std::uint64_t> words);
+  void send(int dst, Queue q, std::initializer_list<std::uint64_t> words) {
+    send(dst, q, std::span<const std::uint64_t>(words.begin(), words.size()));
+  }
+
+  /// Messages delivered into `q` last sync, sorted by source pid (within
+  /// one source: send order). Valid until this processor's next sync().
+  const std::vector<QMsg>& inbox(Queue q) const;
+
+  /// Superstep boundary. Every processor of the World must call sync()
+  /// the same number of times (collective, like Bulk).
+  sim::Co<void> sync();
+
+  /// The superstep compute-cost hook: charge `n_elems * cost_per_elem`
+  /// simulated ticks of local work to this processor.
+  sim::Co<void> compute(std::uint64_t n_elems, Tick cost_per_elem);
+
+ private:
+  friend class World;
+  Proc(World* w, int pid, sim::SimThread t) : w_(w), pid_(pid), t_(t) {}
+
+  World* w_;
+  int pid_;
+  sim::SimThread t_;
+};
+
+class World {
+ public:
+  /// Builds one channel per directed topology edge ("<name>_u_v") and one
+  /// SimThread per processor. `msg_words` fixes the wire frame (header
+  /// word + payload; 3 covers var puts/gets/replies and 2-word queue
+  /// sends — raise it for wider queue messages).
+  World(runtime::Machine& m, squeue::ChannelFactory& f, Topology topo,
+        std::string name = "bsp", std::size_t capacity_hint = 256,
+        std::uint8_t msg_words = 3);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  ~World();
+
+  int nprocs() const { return topo_.nprocs(); }
+  Proc& proc(int pid) { return procs_.at(static_cast<std::size_t>(pid)); }
+
+  // --- slot registration (before spawning kernels) ------------------------
+  Var var(std::uint64_t init = 0);
+  Coarray coarray(std::size_t len, std::uint64_t init = 0);
+  Queue queue();
+
+  // --- the graph as the quota-carve source of truth -----------------------
+  std::uint32_t channel_count() const { return topo_.channel_count(); }
+  const Topology& topology() const { return topo_; }
+  /// Channel demand for runtime::size_quotas — this is what workloads feed
+  /// into the VLRD per-SQI quota carve.
+  runtime::ChannelDemand demand() const;
+
+  std::vector<int>& neighbors_out(int pid);
+  std::vector<int>& neighbors_in(int pid);
+
+  // --- counters -----------------------------------------------------------
+  /// Payload messages actually sent over channels (puts + gets + replies +
+  /// queue sends; self-ops short-circuit and are not counted).
+  std::uint64_t messages() const { return messages_; }
+  /// Completed supersteps (sync generations of pid 0).
+  std::uint64_t supersteps() const;
+  /// Total ticks charged through the compute hook (all processors).
+  std::uint64_t compute_charged() const { return compute_charged_; }
+
+  /// Host-side access to a processor's slot image (setup / validation).
+  std::uint64_t& value(Var v, int pid);
+  std::uint64_t& value(Coarray a, int pid, std::size_t i);
+
+ private:
+  friend class Proc;
+
+  enum class OpKind : std::uint8_t {
+    kPutVar = 0,
+    kPutElem = 1,
+    kGetVar = 2,
+    kGetElem = 3,
+    kReply = 4,
+    kQueue = 5,
+  };
+
+  struct PendingPut {
+    int src = 0;
+    OpKind kind = OpKind::kPutVar;
+    std::uint16_t slot = 0;
+    std::uint64_t index = 0;
+    std::uint64_t value = 0;
+  };
+  struct ReplyDue {
+    int requester = 0;
+    OpKind kind = OpKind::kGetVar;
+    std::uint16_t slot = 0;
+    std::uint32_t handle = 0;
+    std::uint64_t index = 0;
+  };
+  struct Early {
+    int src = 0;
+    squeue::Msg msg{};
+  };
+
+  struct PerProc {
+    int pid = 0;
+    sim::SimThread t{};
+    std::vector<int> out;               // dst pids, ascending
+    std::vector<std::size_t> out_edge;  // topology edge index per out dst
+    std::vector<int> in;                // src pids, ascending
+    std::vector<std::size_t> in_edge;
+    squeue::Selector sel;  // over in channels, same order as `in`
+    std::vector<std::vector<squeue::Msg>> staged;  // per out index
+    std::vector<squeue::Msg> staged_self;
+    std::uint32_t staged_gets = 0;
+    std::vector<std::uint64_t> get_vals;
+    std::vector<PendingPut> puts;
+    std::vector<ReplyDue> replies;
+    std::vector<std::vector<QMsg>> inbox;  // per queue id
+    std::vector<Early> early;
+    std::uint64_t step = 0;
+  };
+
+  static std::uint64_t pack_hdr(OpKind k, int phase, std::uint64_t step,
+                                std::uint32_t id, std::uint8_t nwords = 0);
+  static bool tag_matches(const squeue::Msg& msg, std::uint64_t step,
+                          int phase);
+
+  void stage(int pid, int dst, const squeue::Msg& msg);
+  GetHandle stage_get(int pid, int src, OpKind kind, std::uint16_t slot,
+                      std::uint64_t index);
+  std::size_t out_index(const PerProc& me, int dst) const;
+  void dispatch(PerProc& me, int src, const squeue::Msg& msg);
+  void stage_replies(PerProc& me);
+  void apply_puts(PerProc& me);
+
+  sim::Co<void> sync(int pid);
+  sim::Co<void> flush(PerProc& me);
+  sim::Co<bool> drain_once(PerProc& me);
+  sim::Co<void> drain(PerProc& me, int phase);
+
+  runtime::Machine& m_;
+  Topology topo_;
+  std::uint8_t msg_words_;
+  std::vector<std::unique_ptr<squeue::Channel>> chans_;  // per edge
+  std::vector<std::unique_ptr<PerProc>> pp_;
+  std::vector<Proc> procs_;
+
+  std::vector<std::vector<std::uint64_t>> vars_;    // [slot][pid]
+  std::vector<std::vector<std::uint64_t>> arrays_;  // [slot][pid*len + i]
+  std::vector<std::size_t> array_len_;
+  std::uint32_t nqueues_ = 0;
+
+  sim::Barrier barrier_;
+  // Superstep count tables, double-buffered by step parity: a writer's
+  // next write to the same parity slot is two barriers away, which
+  // transitively orders it after every reader of the current value (the
+  // reader must arrive at the intervening barrier first). Single-buffered
+  // tables race: a fast processor can reach superstep s+1's publish while
+  // a slow one is still reading superstep s's counts.
+  std::array<std::vector<std::uint32_t>, 2> sent_cnt_;    // per edge
+  std::array<std::vector<std::uint32_t>, 2> reply_cnt_;   // per edge
+  std::array<std::vector<std::uint32_t>, 2> gets_staged_;  // per pid
+
+  std::uint64_t messages_ = 0;
+  std::uint64_t compute_charged_ = 0;
+};
+
+}  // namespace vl::bsp

@@ -1,15 +1,21 @@
 // bitonic: Batcher's bitonic sorting network over a fixed-size array, with
-// a master thread dispatching per-phase chunks to a variable pool of
-// worker threads (1:N dispatch channel + M:1 completion channel). This is
-// the paper's scalability study (Figs. 12/13): fixed work, 1/3/7/15
-// workers + 1 master.
+// a master processor dispatching per-phase chunks to a variable pool of
+// workers over a bsp::World star graph — two supersteps per (k, j) phase:
+// tasks out, completions back. This is the paper's scalability study
+// (Figs. 12/13): fixed work, 1/3/7/15 workers + 1 master.
 //
 // Every compare-exchange touches the shared array through the coherence
 // model, and every phase costs 2 messages per worker, so as workers grow
-// the queue mechanism's synchronization cost is what decides scaling.
+// the queue mechanism's synchronization cost is what decides scaling. The
+// per-element comparison cost goes through the superstep compute hook
+// (`rc.bitonic_compare_cost`): the seed's token value of 2 keeps the
+// legacy relative-scaling behaviour, and kFig12CompareCost calibrates the
+// *absolute* speedup curve against Fig. 12.
 
+#include <algorithm>
 #include <vector>
 
+#include "bsp/world.hpp"
 #include "common/rng.hpp"
 #include "workloads/runner.hpp"
 
@@ -17,109 +23,125 @@ namespace vl::workloads {
 
 namespace {
 
-using squeue::Channel;
-using squeue::Msg;
 using sim::Co;
-using sim::SimThread;
 
-constexpr std::uint64_t kStop = ~std::uint64_t{0};
+std::uint64_t phase_count(std::uint64_t n) {
+  std::uint64_t phases = 0;
+  for (std::uint64_t k = 2; k <= n; k <<= 1)
+    for (std::uint64_t j = k >> 1; j > 0; j >>= 1) ++phases;
+  return phases;
+}
 
-/// One worker: pull {k, j, lo, hi} tasks, compare-exchange indices in
-/// [lo, hi), report completion. Exits on the kStop sentinel.
-Co<void> worker(Channel& dispatch, Channel& done, SimThread t, Addr array) {
-  for (;;) {
-    const Msg task = co_await dispatch.recv(t);
-    if (task.w[0] == kStop) co_return;
-    const std::uint64_t k = task.w[0], j = task.w[1];
-    const std::uint64_t lo = task.w[2], hi = task.w[3];
-    for (std::uint64_t i = lo; i < hi; ++i) {
-      const std::uint64_t partner = i ^ j;
-      if (partner <= i) continue;  // each pair handled once, by its low end
-      const bool ascending = (i & k) == 0;
-      const std::uint64_t a = co_await t.load(array + i * 8, 8);
-      const std::uint64_t b = co_await t.load(array + partner * 8, 8);
-      co_await t.compute(2);
-      if ((a > b) == ascending) {
-        co_await t.store(array + i * 8, b, 8);
-        co_await t.store(array + partner * 8, a, 8);
+/// One worker: each phase, take this superstep's {k, j, lo, hi} task,
+/// compare-exchange indices in [lo, hi), report a completion carrying the
+/// swap count. The comparison cost is charged once per compared pair
+/// through the compute hook.
+Co<void> worker(bsp::Proc& p, bsp::Queue tasks, bsp::Queue done,
+                Addr array, std::uint64_t nphases, Tick compare_cost) {
+  for (std::uint64_t ph = 0; ph < nphases; ++ph) {
+    co_await p.sync();  // this phase's tasks land
+    for (const bsp::QMsg& qm : p.inbox(tasks)) {
+      const std::uint64_t k = qm.w[0], j = qm.w[1];
+      const std::uint64_t lo = qm.w[2], hi = qm.w[3];
+      std::uint64_t pairs = 0, swaps = 0;
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        const std::uint64_t partner = i ^ j;
+        if (partner <= i) continue;  // each pair handled once, by its low end
+        const bool ascending = (i & k) == 0;
+        const std::uint64_t a = co_await p.thread().load(array + i * 8, 8);
+        const std::uint64_t b =
+            co_await p.thread().load(array + partner * 8, 8);
+        ++pairs;
+        if ((a > b) == ascending) {
+          co_await p.thread().store(array + i * 8, b, 8);
+          co_await p.thread().store(array + partner * 8, a, 8);
+          ++swaps;
+        }
       }
+      co_await p.compute(pairs, compare_cost);
+      p.send(0, done, {swaps});
     }
-    co_await done.send1(t, 1);
+    co_await p.sync();  // completions travel back
   }
 }
 
 /// Master: walk the bitonic network, fan each phase out as `workers`
-/// index-range chunks, barrier on completions, then poison the pool.
-Co<void> master(Channel& dispatch, Channel& done, SimThread t,
-                std::uint64_t n, int workers) {
+/// index-range chunks; the superstep barrier is the phase barrier, and the
+/// workers' completion messages land in the done inbox it drains.
+Co<void> master(bsp::Proc& p, bsp::Queue tasks, bsp::Queue done,
+                std::uint64_t n, int workers, std::uint64_t* total_swaps) {
   for (std::uint64_t k = 2; k <= n; k <<= 1) {
     for (std::uint64_t j = k >> 1; j > 0; j >>= 1) {
-      const std::uint64_t chunk = (n + workers - 1) / workers;
-      int sent = 0;
+      const std::uint64_t chunk =
+          (n + static_cast<std::uint64_t>(workers) - 1) /
+          static_cast<std::uint64_t>(workers);
       for (int w = 0; w < workers; ++w) {
-        const std::uint64_t lo = w * chunk;
+        const std::uint64_t lo = static_cast<std::uint64_t>(w) * chunk;
         if (lo >= n) break;
-        const std::uint64_t hi = std::min(n, lo + chunk);
-        Msg task;
-        task.n = 4;
-        task.w = {k, j, lo, hi, 0, 0, 0};
-        co_await dispatch.send(t, task);
-        ++sent;
+        p.send(1 + w, tasks, {k, j, lo, std::min(n, lo + chunk)});
       }
-      for (int w = 0; w < sent; ++w) (void)co_await done.recv1(t);
-      co_await t.compute(120);  // master's per-phase bookkeeping
+      co_await p.sync();  // dispatch
+      co_await p.sync();  // completions
+      for (const bsp::QMsg& qm : p.inbox(done)) *total_swaps += qm.w[0];
+      co_await p.compute(1, 120);  // master's per-phase bookkeeping
     }
-  }
-  for (int w = 0; w < workers; ++w) {
-    Msg stop;
-    stop.n = 4;
-    stop.w = {kStop, 0, 0, 0, 0, 0, 0};
-    co_await dispatch.send(t, stop);
   }
 }
 
 }  // namespace
 
 WorkloadResult run_bitonic(runtime::Machine& m, squeue::ChannelFactory& f,
-                           int scale, int workers) {
+                           int scale, int workers, Tick compare_cost) {
   const std::uint64_t n = 256u * static_cast<std::uint64_t>(scale);
-  auto dispatch = f.make("bitonic_dispatch", /*capacity_hint=*/64,
-                         /*msg_words=*/4);
-  auto done = f.make("bitonic_done", /*capacity_hint=*/64);
+  // Queue payload is the 4-word task descriptor -> 5 wire words.
+  bsp::World w(m, f, bsp::Topology::star(1 + workers), "bitonic", 64,
+               /*msg_words=*/5);
+  const bsp::Queue tasks = w.queue();
+  const bsp::Queue done = w.queue();
 
   const Addr array = m.alloc(n * 8);
   Xoshiro256 rng(7);
   for (std::uint64_t i = 0; i < n; ++i)
     m.mem().backing().write(array + i * 8, rng.next() >> 1, 8);
 
+  const std::uint64_t nphases = phase_count(n);
+  std::uint64_t total_swaps = 0;
   const auto mem0 = m.mem().stats();
   const Tick t0 = m.now();
-  sim::spawn(master(*dispatch, *done, m.thread_on(0), n, workers));
-  for (int w = 0; w < workers; ++w)
-    sim::spawn(worker(*dispatch, *done, m.thread_on(static_cast<CoreId>(1 + w)),
-                      array));
+  sim::spawn(master(w.proc(0), tasks, done, n, workers, &total_swaps));
+  for (int pid = 1; pid <= workers; ++pid)
+    sim::spawn(worker(w.proc(pid), tasks, done, array, nphases,
+                      compare_cost));
   m.run();
 
   // Validate: the array must be sorted (the workload is real, not a mock).
-  std::uint64_t phases = 0, prev = 0;
+  std::uint64_t prev = 0;
   bool sorted = true;
   for (std::uint64_t i = 0; i < n; ++i) {
     const std::uint64_t v = m.mem().backing().read(array + i * 8, 8);
     if (v < prev) sorted = false;
     prev = v;
   }
-  for (std::uint64_t k = 2; k <= n; k <<= 1)
-    for (std::uint64_t j = k >> 1; j > 0; j >>= 1) ++phases;
 
   WorkloadResult r;
-  r.workload = sorted ? "bitonic" : "bitonic(UNSORTED!)";
+  r.workload = sorted && total_swaps > 0 ? "bitonic" : "bitonic(UNSORTED!)";
   r.backend = squeue::to_string(f.backend());
   r.ticks = m.now() - t0;
   r.ns = m.ns(r.ticks);
-  r.messages = phases * static_cast<std::uint64_t>(2 * workers);
+  r.messages = w.messages();  // 2 per active worker per phase
   r.mem = m.mem().stats().diff(mem0);
   r.vlrd = m.vlrd_stats();
   return r;
 }
+
+namespace {
+const WorkloadRegistrar kReg{
+    {"bitonic", 5,
+     [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
+       return run_bitonic(m, f, rc.scale, rc.bitonic_workers,
+                          rc.bitonic_compare_cost);
+     },
+     nullptr, RunConfig{}}};
+}  // namespace
 
 }  // namespace vl::workloads

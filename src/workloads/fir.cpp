@@ -77,6 +77,16 @@ WorkloadResult run_fir(runtime::Machine& m, squeue::ChannelFactory& f,
   return r;
 }
 
-std::uint32_t fir_channel_count() { return kStages - 1; }
+namespace {
+const WorkloadRegistrar kReg{
+    {"FIR", 4,
+     [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
+       return run_fir(m, f, rc.scale);
+     },
+     // kStages-1 chained channels, each consuming one SQI while producing
+     // another — the relay cycle the VLRD quota carve must cover.
+     [](const RunConfig&) { return static_cast<std::uint32_t>(kStages - 1); },
+     RunConfig{}}};
+}  // namespace
 
 }  // namespace vl::workloads

@@ -1,80 +1,52 @@
 // halo (Ember): each thread in a 4x4 grid exchanges boundary data with its
-// neighbours every iteration — 48 directed 1:1 channels. Latency-bound
-// small messages; the application additionally maintains its own
-// double-buffered halo regions (the paper notes those app-managed buffers
-// are why VL does not reduce memory traffic here).
+// neighbours every iteration — 48 directed edges, one superstep per
+// iteration on bsp::World. Latency-bound small messages; the application
+// additionally maintains its own double-buffered halo regions (the paper
+// notes those app-managed buffers are why VL does not reduce memory
+// traffic here), so the kernel keeps the seed's store pattern: two lines
+// refreshed per neighbour plus one merge store per received message.
 
-#include <map>
 #include <vector>
 
+#include "bsp/world.hpp"
 #include "workloads/runner.hpp"
 
 namespace vl::workloads {
 
 namespace {
 
-using squeue::Channel;
 using sim::Co;
-using sim::SimThread;
 
 constexpr int kDim = 4;
 
-int cell(int r, int c) { return r * kDim + c; }
-
-struct Grid {
-  // channels[{u,v}]: directed channel u -> v.
-  std::map<std::pair<int, int>, std::unique_ptr<Channel>> ch;
-  std::vector<std::vector<int>> neighbors{kDim * kDim};
-};
-
-Grid build_grid(squeue::ChannelFactory& f, const char* prefix) {
-  Grid g;
-  const int dr[4] = {-1, 1, 0, 0};
-  const int dc[4] = {0, 0, -1, 1};
-  for (int r = 0; r < kDim; ++r) {
-    for (int c = 0; c < kDim; ++c) {
-      for (int d = 0; d < 4; ++d) {
-        const int nr = r + dr[d], nc = c + dc[d];
-        if (nr < 0 || nr >= kDim || nc < 0 || nc >= kDim) continue;
-        const int u = cell(r, c), v = cell(nr, nc);
-        g.neighbors[u].push_back(v);
-        g.ch[{u, v}] = f.make(std::string(prefix) + std::to_string(u) + "_" +
-                                  std::to_string(v),
-                              /*capacity_hint=*/64);
-      }
-    }
-  }
-  return g;
-}
-
-Co<void> halo_thread(Grid& g, runtime::Machine& m, SimThread t, int id,
-                     int iters, Addr dbuf) {
+Co<void> halo_thread(bsp::Proc& p, bsp::Queue q, int iters, Addr dbuf) {
+  const std::vector<int>& nbrs = p.world().neighbors_out(p.id());
   for (int it = 0; it < iters; ++it) {
     // Refresh the app-managed double buffer for this iteration (two lines
     // per neighbour, alternating halves).
-    const Addr base = dbuf + static_cast<Addr>(it % 2) *
-                                 (g.neighbors[id].size() * 2 * kLineSize);
-    for (std::size_t n = 0; n < g.neighbors[id].size(); ++n) {
-      co_await t.store(base + n * 2 * kLineSize, static_cast<std::uint64_t>(it), 8);
-      co_await t.store(base + n * 2 * kLineSize + kLineSize,
-                       static_cast<std::uint64_t>(id), 8);
+    const Addr base =
+        dbuf + static_cast<Addr>(it % 2) * (nbrs.size() * 2 * kLineSize);
+    for (std::size_t n = 0; n < nbrs.size(); ++n) {
+      co_await p.thread().store(base + n * 2 * kLineSize,
+                                static_cast<std::uint64_t>(it), 8);
+      co_await p.thread().store(base + n * 2 * kLineSize + kLineSize,
+                                static_cast<std::uint64_t>(p.id()), 8);
     }
-    // Exchange: send to all neighbours, then collect from all.
-    for (int v : g.neighbors[id])
-      co_await g.ch[{id, v}]->send1(t, static_cast<std::uint64_t>(it));
-    for (int v : g.neighbors[id]) {
-      const std::uint64_t got = co_await g.ch[{v, id}]->recv1(t);
-      co_await t.store(base + kLineSize / 2, got, 8);  // merge into halo
-    }
+    // Exchange: one staged send per neighbour, delivered at the superstep
+    // boundary; merge each received boundary into the halo region.
+    for (int v : nbrs) p.send(v, q, {static_cast<std::uint64_t>(it)});
+    co_await p.sync();
+    for (const bsp::QMsg& qm : p.inbox(q))
+      co_await p.thread().store(base + kLineSize / 2, qm.w[0], 8);
   }
-  (void)m;
 }
 
 }  // namespace
 
 WorkloadResult run_halo(runtime::Machine& m, squeue::ChannelFactory& f,
                         int scale) {
-  Grid g = build_grid(f, "halo_");
+  bsp::World w(m, f, bsp::Topology::grid(kDim, kDim), "halo", 64);
+  const bsp::Queue q = w.queue();
   const int iters = 10 * scale;
 
   // App-managed double buffers: 2 halves x (<=4 neighbours x 2 lines).
@@ -85,8 +57,7 @@ WorkloadResult run_halo(runtime::Machine& m, squeue::ChannelFactory& f,
   const auto mem0 = m.mem().stats();
   const Tick t0 = m.now();
   for (int id = 0; id < kDim * kDim; ++id)
-    sim::spawn(halo_thread(g, m, m.thread_on(static_cast<CoreId>(id)), id,
-                           iters, dbufs[id]));
+    sim::spawn(halo_thread(w.proc(id), q, iters, dbufs[id]));
   m.run();
 
   WorkloadResult r;
@@ -94,10 +65,19 @@ WorkloadResult run_halo(runtime::Machine& m, squeue::ChannelFactory& f,
   r.backend = squeue::to_string(f.backend());
   r.ticks = m.now() - t0;
   r.ns = m.ns(r.ticks);
-  r.messages = static_cast<std::uint64_t>(48 * iters);
+  r.messages = w.messages();  // 48 per iteration
   r.mem = m.mem().stats().diff(mem0);
   r.vlrd = m.vlrd_stats();
   return r;
 }
+
+namespace {
+const WorkloadRegistrar kReg{
+    {"halo", 1,
+     [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
+       return run_halo(m, f, rc.scale);
+     },
+     nullptr, RunConfig{}}};
+}  // namespace
 
 }  // namespace vl::workloads

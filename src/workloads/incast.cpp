@@ -61,4 +61,13 @@ WorkloadResult run_incast(runtime::Machine& m, squeue::ChannelFactory& f,
   return r;
 }
 
+namespace {
+const WorkloadRegistrar kReg{
+    {"incast", 3,
+     [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
+       return run_incast(m, f, rc.scale);
+     },
+     nullptr, RunConfig{}}};
+}  // namespace
+
 }  // namespace vl::workloads

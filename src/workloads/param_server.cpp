@@ -1,0 +1,97 @@
+// param-server (new, bsp-native): one parameter-server round per two
+// supersteps over a star graph. Workers push gradients (queue sends) to
+// the server; the server folds them into the model and broadcasts the new
+// weight back with var puts — gradient push / weight pull, the classic
+// data-parallel training loop. Convergecast-in, broadcast-out every round
+// makes this the queue-mechanism stress the paper's incast and allreduce
+// each show half of.
+//
+// Deterministic integer gradients give a closed-form final weight, checked
+// both by every worker each round (the broadcast it just received) and by
+// the harness at the end — identical on all five backends.
+
+#include "bsp/world.hpp"
+#include "workloads/runner.hpp"
+
+namespace vl::workloads {
+
+namespace {
+
+using sim::Co;
+
+constexpr int kPsWorkers = 8;
+constexpr Tick kGradCompute = 25;  // per-round gradient computation
+constexpr Tick kApplyCost = 4;     // server cost per applied gradient
+
+// Worker w contributes w*31 + r in round r; the post-round weight is
+// sum_{q<=r} sum_{w} (w*31 + q) = 1116*(r+1) + 4*r*(r+1) for 8 workers.
+std::uint64_t expect_after(int r) {
+  const auto rr = static_cast<std::uint64_t>(r);
+  return 1116 * (rr + 1) + 4 * rr * (rr + 1);
+}
+
+Co<void> server(bsp::Proc& p, bsp::Queue grads, bsp::Var weight, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await p.sync();  // gradients land
+    std::uint64_t sum = 0;
+    for (const bsp::QMsg& qm : p.inbox(grads)) sum += qm.w[0];
+    co_await p.compute(p.inbox(grads).size(), kApplyCost);
+    p.local(weight) += sum;
+    for (int w = 1; w <= kPsWorkers; ++w) p.put(w, weight, p.local(weight));
+    co_await p.sync();  // weight broadcast
+  }
+}
+
+Co<void> worker(bsp::Proc& p, bsp::Queue grads, bsp::Var weight, int rounds,
+                bool* ok) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await p.compute(1, kGradCompute);
+    p.send(0, grads,
+           {static_cast<std::uint64_t>(p.id()) * 31 +
+            static_cast<std::uint64_t>(r)});
+    co_await p.sync();
+    co_await p.sync();
+    if (p.local(weight) != expect_after(r)) *ok = false;
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_param_server(runtime::Machine& m,
+                                squeue::ChannelFactory& f, int scale) {
+  bsp::World w(m, f, bsp::Topology::star(1 + kPsWorkers), "ps", 64);
+  const bsp::Queue grads = w.queue();
+  const bsp::Var weight = w.var();
+  const int rounds = 30 * scale;
+  bool ok = true;
+
+  const auto mem0 = m.mem().stats();
+  const Tick t0 = m.now();
+  sim::spawn(server(w.proc(0), grads, weight, rounds));
+  for (int pid = 1; pid <= kPsWorkers; ++pid)
+    sim::spawn(worker(w.proc(pid), grads, weight, rounds, &ok));
+  m.run();
+
+  WorkloadResult r;
+  r.workload = "param-server";
+  r.backend = squeue::to_string(f.backend());
+  r.ticks = m.now() - t0;
+  r.ns = m.ns(r.ticks);
+  r.messages = w.messages();  // 8 gradients + 8 weight puts per round
+  r.mem = m.mem().stats().diff(mem0);
+  r.vlrd = m.vlrd_stats();
+  if (!ok || w.value(weight, 0) != expect_after(rounds - 1))
+    r.workload += "!";
+  return r;
+}
+
+namespace {
+const WorkloadRegistrar kReg{
+    {"param-server", 10,
+     [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
+       return run_param_server(m, f, rc.scale);
+     },
+     nullptr, RunConfig{}}};
+}  // namespace
+
+}  // namespace vl::workloads

@@ -62,4 +62,13 @@ WorkloadResult run_pingpong(runtime::Machine& m, squeue::ChannelFactory& f,
   return r;
 }
 
+namespace {
+const WorkloadRegistrar kReg{
+    {"ping-pong", 0,
+     [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
+       return run_pingpong(m, f, rc.scale);
+     },
+     nullptr, RunConfig{}}};
+}  // namespace
+
 }  // namespace vl::workloads

@@ -138,9 +138,16 @@ WorkloadResult run_pipeline(runtime::Machine& m, squeue::ChannelFactory& f,
   return r;
 }
 
-std::uint32_t pipeline_channel_count() {
-  // pipe_c1 + pipe_c2 + one completion queue per S3 worker + pipe_credits.
-  return 2 + kStage3 + 1;
-}
+namespace {
+const WorkloadRegistrar kReg{
+    {"pipeline", 6,
+     [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
+       return run_pipeline(m, f, rc.scale);
+     },
+     // pipe_c1 + pipe_c2 + one completion queue per S3 worker +
+     // pipe_credits: the fork/join relay cycle the quota carve covers.
+     [](const RunConfig&) { return static_cast<std::uint32_t>(2 + kStage3 + 1); },
+     RunConfig{}}};
+}  // namespace
 
 }  // namespace vl::workloads

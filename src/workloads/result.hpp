@@ -3,6 +3,7 @@
 // device counters the paper's figures plot.
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 
 #include "mem/stats.hpp"
@@ -16,11 +17,25 @@ struct WorkloadResult {
   Tick ticks = 0;
   double ns = 0;
   std::uint64_t messages = 0;
+  std::uint64_t events = 0;  ///< Simulator events executed by the run.
   mem::MemStats mem;         ///< Diffed over the region of interest.
   vlrd::VlrdStats vlrd;
 
   double ns_per_msg() const {
     return messages ? ns / static_cast<double>(messages) : 0.0;
+  }
+  double events_per_msg() const {
+    return messages ? static_cast<double>(events) / static_cast<double>(messages)
+                    : 0.0;
+  }
+
+  /// One-line deterministic fingerprint (determinism smokes compare these
+  /// across runs; wall-clock fields are deliberately absent).
+  std::string digest() const {
+    std::ostringstream os;
+    os << workload << '/' << backend << " ticks=" << ticks
+       << " events=" << events << " messages=" << messages;
+    return os.str();
   }
 };
 

@@ -1,32 +1,98 @@
 #include "workloads/runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "runtime/qos_supervisor.hpp"
 
 namespace vl::workloads {
 
-const char* to_string(Kind k) {
-  switch (k) {
-    case Kind::kPingPong: return "ping-pong";
-    case Kind::kHalo: return "halo";
-    case Kind::kSweep: return "sweep";
-    case Kind::kIncast: return "incast";
-    case Kind::kFir: return "FIR";
-    case Kind::kBitonic: return "bitonic";
-    case Kind::kPipeline: return "pipeline";
-    case Kind::kAllreduce: return "allreduce";
-    case Kind::kScatterGather: return "scatter-gather";
-  }
-  return "?";
+namespace {
+
+// Construct-on-first-use so registrar statics in other TUs can run in any
+// order relative to this TU's own globals.
+std::vector<WorkloadInfo>& registry() {
+  static std::vector<WorkloadInfo> r;
+  return r;
 }
 
-WorkloadResult run(Kind kind, const RunConfig& rc) {
+// vl_core is a static archive: an object file only joins the link when one
+// of its symbols is referenced. Taking every kernel's address here — from
+// the TU that defines run() — ties each kernel TU, and therefore its
+// namespace-scope WorkloadRegistrar, to any binary that dispatches by
+// name. [[gnu::used]] keeps the table (and its relocations) alive.
+[[gnu::used]] const void* const kKernelTuAnchors[] = {
+    reinterpret_cast<const void*>(&run_pingpong),
+    reinterpret_cast<const void*>(&run_halo),
+    reinterpret_cast<const void*>(&run_sweep),
+    reinterpret_cast<const void*>(&run_incast),
+    reinterpret_cast<const void*>(&run_fir),
+    reinterpret_cast<const void*>(&run_bitonic),
+    reinterpret_cast<const void*>(&run_pipeline),
+    reinterpret_cast<const void*>(&run_allreduce),
+    reinterpret_cast<const void*>(&run_scatter_gather),
+    reinterpret_cast<const void*>(&run_stencil),
+    reinterpret_cast<const void*>(&run_param_server),
+};
+
+}  // namespace
+
+WorkloadRegistrar::WorkloadRegistrar(const WorkloadInfo& info) {
+  registry().push_back(info);
+}
+
+const std::vector<const WorkloadInfo*>& all_workloads() {
+  static const std::vector<const WorkloadInfo*> sorted = [] {
+    std::vector<const WorkloadInfo*> v;
+    v.reserve(registry().size());
+    for (const WorkloadInfo& w : registry()) v.push_back(&w);
+    std::sort(v.begin(), v.end(),
+              [](const WorkloadInfo* a, const WorkloadInfo* b) {
+                return a->order != b->order
+                           ? a->order < b->order
+                           : std::string_view(a->name) < b->name;
+              });
+    return v;
+  }();
+  return sorted;
+}
+
+const WorkloadInfo* find_workload(std::string_view name) {
+  for (const WorkloadInfo* w : all_workloads())
+    if (name == w->name) return w;
+  return nullptr;
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  for (const WorkloadInfo* w : all_workloads()) names.emplace_back(w->name);
+  return names;
+}
+
+namespace {
+
+const WorkloadInfo& find_or_die(std::string_view name) {
+  const WorkloadInfo* w = find_workload(name);
+  if (!w) {
+    std::fprintf(stderr, "workloads::run: unknown workload '%.*s'\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return *w;
+}
+
+}  // namespace
+
+RunConfig default_config(std::string_view name) {
+  return find_or_die(name).defaults;
+}
+
+WorkloadResult run(std::string_view name, const RunConfig& rc) {
+  const WorkloadInfo& w = find_or_die(name);
   sim::SystemConfig cfg = squeue::config_for(rc.backend);
-  if (rc.backend == squeue::Backend::kVl &&
-      (kind == Kind::kFir || kind == Kind::kPipeline ||
-       kind == Kind::kScatterGather)) {
+  if (rc.backend == squeue::Backend::kVl && w.channel_count) {
     // Kernels that consume one SQI while producing another (chained stages,
     // fork/join relays), all through the one shared prodBuf. Left
     // unbounded, upstream stages fill every slot and the relays' pushes
@@ -34,31 +100,23 @@ WorkloadResult run(Kind kind, const RunConfig& rc) {
     // partitioning. Bound per-SQI occupancy so total demand stays below
     // capacity (num_channels * quota < prod_entries); quota NACKs then
     // always resolve through the final consumer and the chain cannot
-    // deadlock. The channel counts come from the kernels themselves
-    // (fir_channel_count() etc.), so a kernel growing a stage re-sizes its
-    // own quota.
+    // deadlock. The channel counts come from the kernels' own graphs (a
+    // bsp::World reports its topology's edge count), so a kernel growing a
+    // stage — or an edge — re-sizes its own quota.
     runtime::ChannelDemand d;
-    d.relay_channels = kind == Kind::kFir ? fir_channel_count()
-                       : kind == Kind::kPipeline
-                           ? pipeline_channel_count()
-                           : scatter_gather_channel_count();
+    d.relay_channels = w.channel_count(rc);
     cfg.vlrd.per_sqi_quota = runtime::size_quotas(cfg, d).per_sqi_quota;
   }
   runtime::Machine m(cfg);
   squeue::ChannelFactory f(m, rc.backend);
-  switch (kind) {
-    case Kind::kPingPong: return run_pingpong(m, f, rc.scale);
-    case Kind::kHalo: return run_halo(m, f, rc.scale);
-    case Kind::kSweep: return run_sweep(m, f, rc.scale);
-    case Kind::kIncast: return run_incast(m, f, rc.scale);
-    case Kind::kFir: return run_fir(m, f, rc.scale);
-    case Kind::kBitonic:
-      return run_bitonic(m, f, rc.scale, rc.bitonic_workers);
-    case Kind::kPipeline: return run_pipeline(m, f, rc.scale);
-    case Kind::kAllreduce: return run_allreduce(m, f, rc.scale);
-    case Kind::kScatterGather: return run_scatter_gather(m, f, rc.scale);
-  }
-  return {};
+  const std::uint64_t ev0 = m.eq().executed();
+  WorkloadResult r = w.kernel(m, f, rc);
+  r.events = m.eq().executed() - ev0;
+  return r;
+}
+
+WorkloadResult run(std::string_view name) {
+  return run(name, find_or_die(name).defaults);
 }
 
 namespace {

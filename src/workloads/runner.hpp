@@ -1,19 +1,30 @@
 #pragma once
-// Benchmark workloads (paper Table II) over the backend-agnostic Channel
-// API, plus the STREAM interference composite (Fig. 14).
+// Benchmark workloads (paper Table II plus extensions) over the
+// backend-agnostic Channel API, dispatched through a self-registering
+// registry: each kernel TU registers name -> {kernel fn, channel-count fn,
+// default config} and `run("halo", rc)` works by name — no central enum to
+// extend, no name->kind maps duplicated across benches. See
+// src/workloads/README.md.
 //
 //   ping-pong  data back and forth between two threads          (1:1) x2
-//   halo       exchange with grid neighbours                    (1:1) x48
+//   halo       exchange with grid neighbours (bsp::World)       48-edge grid
 //   sweep      wavefront corner-to-corner (and back)            (1:1) x48
 //   incast     15 producers -> 1 master                         (15:1) x1
 //   FIR        32-stage filter pipeline, 2 threads/core         (1:1) x31
-//   bitonic    master/worker bitonic sort                       (1:N)+(M:1)
+//   bitonic    master/worker bitonic sort (bsp::World)          16-edge star
 //   pipeline   4-stage packet pipeline, 2 KiB payloads          (1:4)+(4:4)+(4:1)+(1:1)
+//   allreduce  tree reduce + broadcast (bsp::World)             14-edge tree
+//   scatter-gather fork/join rounds (bsp::World)                12-edge star
+//   stencil    Jacobi sweep w/ ghost-cell puts (bsp::World)     grid + probe
+//   param-server gradient push / weight broadcast (bsp::World)  16-edge star
 //
 // Every run builds a fresh Table III machine, executes the kernel, and
 // reports simulated time plus coherence/DRAM/device counters.
 
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "runtime/machine.hpp"
 #include "squeue/factory.hpp"
@@ -21,40 +32,60 @@
 
 namespace vl::workloads {
 
-enum class Kind {
-  kPingPong,
-  kHalo,
-  kSweep,
-  kIncast,
-  kFir,
-  kBitonic,
-  kPipeline,
-  kAllreduce,       // extension: tree reduce + broadcast
-  kScatterGather,   // extension: fork/join rounds
-};
-
-const char* to_string(Kind k);
-
 struct RunConfig {
   squeue::Backend backend = squeue::Backend::kBlfq;
   int scale = 1;            ///< Message-count multiplier (tests use small).
   int bitonic_workers = 15; ///< Worker threads for bitonic (Fig. 12 sweep).
+  /// Superstep compute cost per compared element in bitonic (through the
+  /// bsp compute hook). 2 matches the seed kernel's per-pair compute; the
+  /// Fig. 12 calibration runs at kFig12CompareCost.
+  Tick bitonic_compare_cost = 2;
 };
 
-/// Build a machine for `backend`, run the kernel, return measurements.
-WorkloadResult run(Kind kind, const RunConfig& rc);
+/// Per-element compare cost that calibrates bitonic against Fig. 12's
+/// *absolute* speedup curve (communication amortized over a realistic
+/// comparison, not the seed's token cost). Shared by the fig12 bench and
+/// the absolute-speedup test.
+inline constexpr Tick kFig12CompareCost = 24;
 
-// Relay-cycle channel counts, exported by the kernels that consume one SQI
-// while producing another (chained stages, fork/join relays). run() feeds
-// them through runtime::size_quotas so the per-SQI prodBuf carve is derived
-// from the kernel's actual channel graph — there is no hand-maintained
-// count to drift when a kernel grows a stage.
-std::uint32_t fir_channel_count();             ///< kStages-1 chained channels.
-std::uint32_t pipeline_channel_count();        ///< c1+c2+per-S3-queues+credits.
-std::uint32_t scatter_gather_channel_count();  ///< scatter + per-worker gathers.
+/// A registered workload: the kernel, how many channels its graph uses
+/// (for the VLRD per-SQI quota carve; null when the kernel has no relay
+/// cycle), and the config `run(name)` uses when the caller passes none.
+struct WorkloadInfo {
+  const char* name;
+  int order;  ///< Display order: Table II first, extensions after.
+  WorkloadResult (*kernel)(runtime::Machine&, squeue::ChannelFactory&,
+                           const RunConfig&);
+  std::uint32_t (*channel_count)(const RunConfig&);
+  RunConfig defaults;
+};
+
+/// Constructing one of these (namespace-scope static in the kernel's TU)
+/// adds the workload to the registry before main().
+class WorkloadRegistrar {
+ public:
+  explicit WorkloadRegistrar(const WorkloadInfo& info);
+};
+
+/// All registered workloads, sorted by (order, name).
+const std::vector<const WorkloadInfo*>& all_workloads();
+/// Lookup by name; nullptr when unknown.
+const WorkloadInfo* find_workload(std::string_view name);
+/// Registered names, in all_workloads() order.
+std::vector<std::string> workload_names();
+/// The registry entry's default RunConfig (aborts on unknown name).
+RunConfig default_config(std::string_view name);
+
+/// Build a machine for `rc.backend` (applying the kernel's own quota carve
+/// on VL when it declares a relay-cycle channel count), run the kernel,
+/// return measurements. Aborts on an unknown name.
+WorkloadResult run(std::string_view name, const RunConfig& rc);
+WorkloadResult run(std::string_view name);  ///< With the registry defaults.
 
 // Individual kernels, composable on an existing machine (fig. 14 needs
-// STREAM co-scheduled with ping-pong on one system).
+// STREAM co-scheduled with ping-pong on one system; ablations re-wire
+// machines). These are also the registry's link anchors: referencing them
+// pulls each kernel TU — and its registrar — out of the static archive.
 WorkloadResult run_pingpong(runtime::Machine& m, squeue::ChannelFactory& f,
                             int scale, int msg_words = 7);
 WorkloadResult run_halo(runtime::Machine& m, squeue::ChannelFactory& f,
@@ -66,13 +97,17 @@ WorkloadResult run_incast(runtime::Machine& m, squeue::ChannelFactory& f,
 WorkloadResult run_fir(runtime::Machine& m, squeue::ChannelFactory& f,
                        int scale);
 WorkloadResult run_bitonic(runtime::Machine& m, squeue::ChannelFactory& f,
-                           int scale, int workers);
+                           int scale, int workers, Tick compare_cost = 2);
 WorkloadResult run_pipeline(runtime::Machine& m, squeue::ChannelFactory& f,
                             int scale);
 WorkloadResult run_allreduce(runtime::Machine& m, squeue::ChannelFactory& f,
                              int scale);
 WorkloadResult run_scatter_gather(runtime::Machine& m,
                                   squeue::ChannelFactory& f, int scale);
+WorkloadResult run_stencil(runtime::Machine& m, squeue::ChannelFactory& f,
+                           int scale);
+WorkloadResult run_param_server(runtime::Machine& m,
+                                squeue::ChannelFactory& f, int scale);
 
 /// STREAM triad kernel (no queues): `threads` cores stream three arrays of
 /// `lines_per_array` cache lines, `iters` times.

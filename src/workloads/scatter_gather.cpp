@@ -1,57 +1,56 @@
 // scatter-gather (Ember-style extension): a master scatters task
-// descriptors to a worker pool over one 1:N channel and gathers results
-// over per-worker N:1 return queues — the fork/join idiom behind
-// bulk-synchronous phases. Unlike bitonic (which also uses 1:N + M:1), the
-// workers here are stateless and the master re-balances every round, so
-// *queue* throughput — not worker compute — bounds the fork/join rate at
-// small grain sizes.
+// descriptors to a worker pool and gathers transformed results — the
+// fork/join idiom behind bulk-synchronous phases, now literally written as
+// two bsp::World supersteps per round (scatter lands; results land).
+// Unlike bitonic (which also fans out), the workers here are stateless and
+// the master re-balances every round, so *queue* throughput — not worker
+// compute — bounds the fork/join rate at small grain sizes.
 //
-// Channel API v2 shape: the master injects each round's tasks as one
-// batched send_many (the backend amortizes its per-message device cost
-// across the burst) and gathers with a Selector parked across all worker
-// return queues — wait-any replaces the hand-rolled "drain one shared
-// channel" loop, and the per-worker queues expose which worker finished,
-// the way a real fork/join pool services completion queues.
+// The World flushes each processor's staged sends as one Channel-v2
+// send_many burst per neighbor and drains with a Selector parked across
+// the return edges — exactly the batched-injection + wait-any shape the
+// hand-rolled version built by hand. On VL the star graph's 12 directed
+// edges (reported by the World itself) feed runtime::size_quotas so the
+// shared prodBuf is carved to keep the fork/join relay deadlock-free.
 
-#include <vector>
-
-#include "squeue/selector.hpp"
+#include "bsp/world.hpp"
 #include "workloads/runner.hpp"
 
 namespace vl::workloads {
 
 namespace {
 
-using squeue::Channel;
-using squeue::Msg;
-using squeue::Selector;
 using sim::Co;
-using sim::SimThread;
 
 constexpr int kWorkers = 6;
 constexpr Tick kGrainCompute = 120;  // per-task work (fine-grained)
 constexpr Tick kMasterCompute = 15;  // per-result integration
 
-Co<void> worker(Channel& scatter, Channel& gather, SimThread t, int tasks) {
-  for (int i = 0; i < tasks; ++i) {
-    const std::uint64_t task = co_await scatter.recv1(t);
-    co_await t.compute(kGrainCompute);
-    co_await gather.send1(t, task * 2 + 1);  // a recognizable transform
+bsp::Topology sg_topology() { return bsp::Topology::star(1 + kWorkers); }
+
+Co<void> worker(bsp::Proc& p, bsp::Queue tasks, bsp::Queue results,
+                int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await p.sync();  // this round's tasks land
+    for (const bsp::QMsg& qm : p.inbox(tasks)) {
+      co_await p.compute(1, kGrainCompute);
+      p.send(0, results, {qm.w[0] * 2 + 1});  // a recognizable transform
+    }
+    co_await p.sync();  // results travel back
   }
 }
 
-Co<void> master(Channel& scatter, Selector& gather, SimThread t, int rounds,
-                int tasks_per_round, std::uint64_t* checksum) {
-  std::vector<Msg> batch(static_cast<std::size_t>(tasks_per_round));
+Co<void> master(bsp::Proc& p, bsp::Queue tasks, bsp::Queue results,
+                int rounds, int tasks_per_round, std::uint64_t* checksum) {
   for (int r = 0; r < rounds; ++r) {
     for (int i = 0; i < tasks_per_round; ++i)
-      batch[static_cast<std::size_t>(i)] =
-          Msg::one(static_cast<std::uint64_t>(r) * tasks_per_round + i);
-    co_await scatter.send_many(t, batch);  // one batched injection per round
-    for (int i = 0; i < tasks_per_round; ++i) {
-      const Selector::Item item = co_await gather.recv_any(t);
-      *checksum += item.msg.w[0];
-      co_await t.compute(kMasterCompute);
+      p.send(1 + i % kWorkers, tasks,
+             {static_cast<std::uint64_t>(r) * tasks_per_round + i});
+    co_await p.sync();  // scatter
+    co_await p.sync();  // gather
+    for (const bsp::QMsg& qm : p.inbox(results)) {
+      *checksum += qm.w[0];
+      co_await p.compute(1, kMasterCompute);
     }
   }
 }
@@ -60,25 +59,19 @@ Co<void> master(Channel& scatter, Selector& gather, SimThread t, int rounds,
 
 WorkloadResult run_scatter_gather(runtime::Machine& m,
                                   squeue::ChannelFactory& f, int scale) {
-  auto scatter = f.make("sg_scatter", 256);
-  std::vector<std::unique_ptr<Channel>> gathers;
-  Selector gather;
-  for (int w = 0; w < kWorkers; ++w) {
-    gathers.push_back(f.make("sg_gather" + std::to_string(w), 64));
-    gather.add(*gathers.back());
-  }
+  bsp::World w(m, f, sg_topology(), "sg", 256);
+  const bsp::Queue tasks = w.queue();
+  const bsp::Queue results = w.queue();
   const int rounds = 25 * scale;
   const int tasks_per_round = 24;  // 4 tasks per worker per round
   std::uint64_t checksum = 0;
 
   const auto mem0 = m.mem().stats();
   const Tick t0 = m.now();
-  const int per_worker = rounds * tasks_per_round / kWorkers;
-  for (int w = 0; w < kWorkers; ++w)
-    sim::spawn(worker(*scatter, *gathers[static_cast<std::size_t>(w)],
-                      m.thread_on(static_cast<CoreId>(1 + w)), per_worker));
-  sim::spawn(master(*scatter, gather, m.thread_on(0), rounds,
-                    tasks_per_round, &checksum));
+  for (int pid = 1; pid <= kWorkers; ++pid)
+    sim::spawn(worker(w.proc(pid), tasks, results, rounds));
+  sim::spawn(master(w.proc(0), tasks, results, rounds, tasks_per_round,
+                    &checksum));
   m.run();
 
   WorkloadResult r;
@@ -86,7 +79,7 @@ WorkloadResult run_scatter_gather(runtime::Machine& m,
   r.backend = squeue::to_string(f.backend());
   r.ticks = m.now() - t0;
   r.ns = m.ns(r.ticks);
-  r.messages = static_cast<std::uint64_t>(rounds) * tasks_per_round * 2;
+  r.messages = w.messages();  // tasks out + results back
   r.mem = m.mem().stats().diff(mem0);
   r.vlrd = m.vlrd_stats();
   // Checksum: sum over all tasks of (task*2 + 1).
@@ -96,6 +89,16 @@ WorkloadResult run_scatter_gather(runtime::Machine& m,
   return r;
 }
 
-std::uint32_t scatter_gather_channel_count() { return 1 + kWorkers; }
+namespace {
+const WorkloadRegistrar kReg{
+    {"scatter-gather", 8,
+     [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
+       return run_scatter_gather(m, f, rc.scale);
+     },
+     // The quota carve is fed by the World's own graph — the star's
+     // directed edge count — never a hand-maintained constant.
+     [](const RunConfig&) { return sg_topology().channel_count(); },
+     RunConfig{}}};
+}  // namespace
 
 }  // namespace vl::workloads

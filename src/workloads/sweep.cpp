@@ -89,4 +89,13 @@ WorkloadResult run_sweep(runtime::Machine& m, squeue::ChannelFactory& f,
   return res;
 }
 
+namespace {
+const WorkloadRegistrar kReg{
+    {"sweep", 2,
+     [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
+       return run_sweep(m, f, rc.scale);
+     },
+     nullptr, RunConfig{}}};
+}  // namespace
+
 }  // namespace vl::workloads

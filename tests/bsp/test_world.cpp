@@ -1,0 +1,303 @@
+// bsp::World contract tests: put/get/coarray/queue superstep semantics,
+// identical results across all five queue backends, park-don't-poll
+// barriers (zero events at idle), and byte-identical determinism.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bsp/world.hpp"
+#include "squeue/factory.hpp"
+
+namespace vl::bsp {
+namespace {
+
+using runtime::Machine;
+using sim::Co;
+using sim::spawn;
+using squeue::Backend;
+using squeue::ChannelFactory;
+
+constexpr Backend kAll[] = {Backend::kBlfq, Backend::kZmq, Backend::kVl,
+                            Backend::kVlIdeal, Backend::kCaf};
+
+std::string backend_name(Backend b) {
+  switch (b) {
+    case Backend::kBlfq: return "BLFQ";
+    case Backend::kZmq: return "ZMQ";
+    case Backend::kVl: return "VL";
+    case Backend::kVlIdeal: return "VLideal";
+    case Backend::kCaf: return "CAF";
+  }
+  return "?";
+}
+
+// --- put: lands after sync, not before; applied deterministically -----------
+
+TEST(BspWorld, PutIsStagedUntilSync) {
+  Machine m(squeue::config_for(Backend::kVl));
+  ChannelFactory f(m, Backend::kVl);
+  Topology topo(2);
+  topo.biconnect(0, 1);
+  World w(m, f, topo, "t");
+  const Var v = w.var(7);
+
+  std::uint64_t before_sync = 0, after_sync = 0;
+  spawn([](Proc& p, Var v) -> Co<void> {
+    p.put(1, v, 42);
+    co_await p.sync();
+  }(w.proc(0), v));
+  spawn([](Proc& p, Var v, std::uint64_t* before,
+           std::uint64_t* after) -> Co<void> {
+    *before = p.local(v);
+    co_await p.sync();
+    *after = p.local(v);
+  }(w.proc(1), v, &before_sync, &after_sync));
+  m.run();
+
+  EXPECT_EQ(before_sync, 7u);  // init value, put not yet visible
+  EXPECT_EQ(after_sync, 42u);
+  EXPECT_EQ(w.value(v, 0), 7u);  // sender's own image untouched
+  EXPECT_EQ(w.supersteps(), 1u);
+  EXPECT_EQ(w.messages(), 1u);
+}
+
+// --- get: BSP semantics — reads the peer's value as of superstep start ------
+
+TEST(BspWorld, GetSeesSuperstepStartValue) {
+  Machine m(squeue::config_for(Backend::kZmq));
+  ChannelFactory f(m, Backend::kZmq);
+  Topology topo(2);
+  topo.biconnect(0, 1);
+  World w(m, f, topo, "t");
+  const Var v = w.var();
+  w.value(v, 1) = 100;
+
+  std::uint64_t got = 0;
+  spawn([](Proc& p, Var v, std::uint64_t* out) -> Co<void> {
+    const GetHandle h = p.get(1, v);
+    p.put(1, v, 999);  // same-superstep put must NOT be visible to the get
+    co_await p.sync();
+    *out = p.got(h);
+  }(w.proc(0), v, &got));
+  spawn([](Proc& p, Var v) -> Co<void> {
+    p.local(v) = 100;  // unchanged
+    co_await p.sync();
+  }(w.proc(1), v));
+  m.run();
+
+  EXPECT_EQ(got, 100u);           // pre-put value
+  EXPECT_EQ(w.value(v, 1), 999u);  // the put still landed
+}
+
+// --- coarray elements + self-ops -------------------------------------------
+
+TEST(BspWorld, CoarrayPutsAndSelfOpsShortCircuit) {
+  Machine m(squeue::config_for(Backend::kBlfq));
+  ChannelFactory f(m, Backend::kBlfq);
+  Topology topo(3);
+  topo.biconnect(0, 1);
+  topo.biconnect(1, 2);
+  World w(m, f, topo, "t");
+  const Coarray a = w.coarray(4);
+
+  for (int pid = 0; pid < 3; ++pid) {
+    spawn([](Proc& p, Coarray a) -> Co<void> {
+      // Everyone (that can) writes element `src` of each neighbor and of
+      // itself; self-puts must work without any channel message.
+      for (int dst = 0; dst < p.nprocs(); ++dst) {
+        if (dst != p.id() && !(dst == p.id() - 1 || dst == p.id() + 1))
+          continue;
+        p.put(dst, a, static_cast<std::size_t>(p.id()),
+              static_cast<std::uint64_t>(100 * p.id() + dst));
+      }
+      co_await p.sync();
+    }(w.proc(pid), a));
+  }
+  m.run();
+
+  EXPECT_EQ(w.value(a, 0, 0), 0u);     // pid 0 wrote 100*0+0 = 0
+  EXPECT_EQ(w.value(a, 0, 1), 100u);   // from pid 1
+  EXPECT_EQ(w.value(a, 1, 0), 1u);     // from pid 0
+  EXPECT_EQ(w.value(a, 1, 2), 201u);   // from pid 2
+  EXPECT_EQ(w.value(a, 2, 1), 102u);   // from pid 1
+  EXPECT_EQ(w.value(a, 2, 2), 202u);   // self-put
+  // 4 cross-proc messages; the 3 self-puts are free.
+  EXPECT_EQ(w.messages(), 4u);
+}
+
+// --- queue inbox: sorted by src, FIFO within src, cleared next sync ---------
+
+TEST(BspWorld, InboxSortedBySourceAndCleared) {
+  Machine m(squeue::config_for(Backend::kVl));
+  ChannelFactory f(m, Backend::kVl);
+  World w(m, f, Topology::star(4), "t");
+  const Queue q = w.queue();
+
+  std::vector<std::vector<std::uint64_t>> seen(2);
+  spawn([](Proc& p, Queue q,
+           std::vector<std::vector<std::uint64_t>>* seen) -> Co<void> {
+    co_await p.sync();
+    for (const QMsg& qm : p.inbox(q))
+      (*seen)[0].push_back(static_cast<std::uint64_t>(qm.src) * 1000 +
+                           qm.w[0]);
+    co_await p.sync();  // no traffic: inbox must be cleared
+    for (const QMsg& qm : p.inbox(q))
+      (*seen)[1].push_back(qm.w[0]);
+  }(w.proc(0), q, &seen));
+  for (int pid = 1; pid < 4; ++pid) {
+    spawn([](Proc& p, Queue q) -> Co<void> {
+      // Two messages each; delivery must group by src (ascending) and keep
+      // send order within a src regardless of channel interleaving.
+      p.send(0, q, {static_cast<std::uint64_t>(p.id()) * 10});
+      p.send(0, q, {static_cast<std::uint64_t>(p.id()) * 10 + 1});
+      co_await p.sync();
+      co_await p.sync();
+    }(w.proc(pid), q));
+  }
+  m.run();
+
+  const std::vector<std::uint64_t> want = {1010, 1011, 2020, 2021, 3030, 3031};
+  EXPECT_EQ(seen[0], want);
+  EXPECT_TRUE(seen[1].empty());
+}
+
+// --- identical results on all five backends ---------------------------------
+
+// A mixed put/get/send kernel whose final state is a pure function of the
+// superstep protocol. Returns (per-pid var values, probe value, messages).
+struct MixedOut {
+  std::vector<std::uint64_t> vals;
+  std::uint64_t probe = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t events = 0;
+  std::uint64_t ticks = 0;
+};
+
+MixedOut run_mixed(Backend b) {
+  Machine m(squeue::config_for(b));
+  ChannelFactory f(m, b);
+  World w(m, f, Topology::grid(2, 3), "mx", 32);
+  const Var v = w.var();
+  const Queue q = w.queue();
+  const int n = w.nprocs();
+  MixedOut out;
+
+  for (int pid = 0; pid < n; ++pid) w.value(v, pid) = 1;
+  const std::uint64_t ev0 = m.eq().executed();
+  const Tick t0 = m.now();
+  for (int pid = 0; pid < n; ++pid) {
+    spawn([](Proc& p, Var v, Queue q, std::uint64_t* probe) -> Co<void> {
+      for (int step = 0; step < 6; ++step) {
+        co_await p.compute(4, 7);
+        for (int d : p.world().neighbors_out(p.id()))
+          p.send(d, q, {p.local(v) + static_cast<std::uint64_t>(step)});
+        GetHandle h{};
+        const bool probing = p.id() == 0 && step == 3;
+        if (probing) h = p.get(1, v);
+        co_await p.sync();
+        if (probing) *probe = p.got(h);
+        std::uint64_t acc = p.local(v);
+        for (const QMsg& qm : p.inbox(q))
+          acc += qm.w[0] * static_cast<std::uint64_t>(qm.src + 1);
+        p.local(v) = acc % 100003;
+      }
+    }(w.proc(pid), v, q, &out.probe));
+  }
+  m.run();
+  for (int pid = 0; pid < n; ++pid) out.vals.push_back(w.value(v, pid));
+  out.messages = w.messages();
+  out.events = m.eq().executed() - ev0;
+  out.ticks = m.now() - t0;
+  return out;
+}
+
+TEST(BspWorld, IdenticalResultsOnAllFiveBackends) {
+  const MixedOut ref = run_mixed(Backend::kBlfq);
+  ASSERT_EQ(ref.vals.size(), 6u);
+  EXPECT_GT(ref.probe, 0u);
+  for (Backend b : kAll) {
+    const MixedOut o = run_mixed(b);
+    EXPECT_EQ(o.vals, ref.vals) << backend_name(b);
+    EXPECT_EQ(o.probe, ref.probe) << backend_name(b);
+    EXPECT_EQ(o.messages, ref.messages) << backend_name(b);
+  }
+}
+
+TEST(BspWorld, ByteIdenticalAcrossRunsPerBackend) {
+  for (Backend b : kAll) {
+    const MixedOut a = run_mixed(b);
+    const MixedOut c = run_mixed(b);
+    EXPECT_EQ(a.vals, c.vals) << backend_name(b);
+    EXPECT_EQ(a.events, c.events) << backend_name(b);
+    EXPECT_EQ(a.ticks, c.ticks) << backend_name(b);
+  }
+}
+
+// --- the barrier parks: zero busy-poll events while waiting -----------------
+
+TEST(BspWorld, WaitingAtSyncCostsNoEvents) {
+  // ZMQ: every endpoint has a readiness futex, so a processor waiting at
+  // sync() for a slow peer must be suspended — parked in the barrier or in
+  // Selector::park_any — and contribute (near) zero events. The slow peer
+  // computes 200k ticks; if anything busy-polled at even 1 probe per 100
+  // ticks we would see thousands of events.
+  Machine m(squeue::config_for(Backend::kZmq));
+  ChannelFactory f(m, Backend::kZmq);
+  Topology topo(2);
+  topo.biconnect(0, 1);
+  World w(m, f, topo, "t");
+  const Var v = w.var();
+
+  spawn([](Proc& p, Var v) -> Co<void> {
+    p.put(1, v, 5);
+    co_await p.sync();  // fast: arrives immediately, waits for the peer
+  }(w.proc(0), v));
+  spawn([](Proc& p) -> Co<void> {
+    co_await p.thread().compute(200000);  // slow: long local phase
+    co_await p.sync();
+  }(w.proc(1)));
+  m.run();
+
+  EXPECT_EQ(w.value(v, 1), 5u);
+  // Budget: spawn/compute/flush/barrier/drain events for 2 procs plus the
+  // one message — far under 60; a poll loop would be thousands.
+  EXPECT_LT(m.eq().executed(), 60u);
+}
+
+// --- compute hook charges simulated time ------------------------------------
+
+TEST(BspWorld, ComputeHookChargesTicks) {
+  Machine m(squeue::config_for(Backend::kBlfq));
+  ChannelFactory f(m, Backend::kBlfq);
+  Topology topo(2);
+  topo.biconnect(0, 1);
+  World w(m, f, topo, "t");
+
+  const Tick t0 = m.now();
+  spawn([](Proc& p) -> Co<void> {
+    co_await p.compute(64, 3);  // 192 ticks of modelled kernel work
+    co_await p.sync();
+  }(w.proc(0)));
+  spawn([](Proc& p) -> Co<void> { co_await p.sync(); }(w.proc(1)));
+  m.run();
+
+  EXPECT_EQ(w.compute_charged(), 192u);
+  EXPECT_GE(m.now() - t0, 192u);  // the barrier waited for the work
+}
+
+// --- the graph is the quota-carve source of truth ---------------------------
+
+TEST(BspWorld, DemandComesFromTopology) {
+  Machine m(squeue::config_for(Backend::kVl));
+  ChannelFactory f(m, Backend::kVl);
+  World w(m, f, Topology::star(7), "t");
+  EXPECT_EQ(w.channel_count(), 12u);  // 6 spokes, both directions
+  EXPECT_EQ(w.demand().relay_channels, 12u);
+  const auto q = runtime::size_quotas(m.cfg(), w.demand());
+  EXPECT_GE(q.per_sqi_quota, 1u);
+}
+
+}  // namespace
+}  // namespace vl::bsp

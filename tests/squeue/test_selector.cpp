@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -85,6 +86,131 @@ INSTANTIATE_TEST_SUITE_P(
     AllBackends, SelectorContract,
     ::testing::Values(Backend::kBlfq, Backend::kZmq, Backend::kVl,
                       Backend::kVlIdeal, Backend::kCaf),
+    [](const auto& info) {
+      switch (info.param) {
+        case Backend::kBlfq: return "BLFQ";
+        case Backend::kZmq: return "ZMQ";
+        case Backend::kVl: return "VL";
+        case Backend::kVlIdeal: return "VLideal";
+        case Backend::kCaf: return "CAF";
+      }
+      return "?";
+    });
+
+// --- shared (multi-consumer) channels under barrier-style drains ------------
+// Two Selectors over the same Channel set, splitting the traffic by fixed
+// quota — the shape a barrier-style drain produces when endpoints are
+// shared. Contract: across all consumers every message is delivered
+// exactly once, the channels drain to empty, and the whole interleaving is
+// deterministic.
+//
+// This holds on the software queues (shared in-memory rings — any core may
+// pop) and on CAF (the device dequeue register serves whoever reads it).
+// It deliberately does NOT cover VL: the paper's VLRD routes lines into
+// per-(core, thread) consumption buffers against registered demand, so a
+// line attracted by one consumer's probe is invisible to every other —
+// multi-consumer sharing is unsupported by that hardware model, which is
+// why bsp::World gives every channel exactly one consumer (one per
+// directed topology edge).
+
+struct SharedServed {
+  // Per consumer: (endpoint index, payload) in service order.
+  std::vector<std::vector<std::pair<std::size_t, std::uint64_t>>> per;
+  std::uint64_t events = 0;
+  std::size_t depth_left = 0;
+};
+
+SharedServed run_shared(Backend b, int per_chan, int quota0) {
+  constexpr int kChans = 2;
+  const int total = kChans * per_chan;
+  Machine m(config_for(b));
+  ChannelFactory f(m, b);
+  std::vector<std::unique_ptr<Channel>> chans;
+  for (int c = 0; c < kChans; ++c)
+    chans.push_back(f.make("sh" + std::to_string(c), 64));
+
+  for (int c = 0; c < kChans; ++c) {
+    spawn([](Channel& ch, SimThread t, int c, int per) -> Co<void> {
+      for (int i = 0; i < per; ++i) {
+        co_await t.compute(static_cast<Tick>(90 + 55 * c));
+        co_await ch.send1(t, static_cast<std::uint64_t>(c) * 1000 + i);
+      }
+    }(*chans[static_cast<std::size_t>(c)],
+      m.thread_on(static_cast<CoreId>(c)), c, per_chan));
+  }
+
+  // Two consumers, each with its own Selector over BOTH channels, draining
+  // fixed quotas that sum to the total (how bsp barrier drains split
+  // traffic: each knows exactly how many messages it owes).
+  SharedServed out;
+  out.per.resize(2);
+  Selector sel0, sel1;
+  for (auto& ch : chans) {
+    sel0.add(*ch);
+    sel1.add(*ch);
+  }
+  const int quotas[2] = {quota0, total - quota0};
+  Selector* sels[2] = {&sel0, &sel1};
+  for (int k = 0; k < 2; ++k) {
+    spawn([](Selector& sel, SimThread t, int quota,
+             std::vector<std::pair<std::size_t, std::uint64_t>>* log)
+              -> Co<void> {
+      for (int i = 0; i < quota; ++i) {
+        const Selector::Item item = co_await sel.recv_any(t);
+        log->emplace_back(item.index, item.msg.w[0]);
+      }
+    }(*sels[k], m.thread_on(static_cast<CoreId>(kChans + k)), quotas[k],
+      &out.per[static_cast<std::size_t>(k)]));
+  }
+  m.run();
+  out.events = m.eq().executed();
+  for (auto& ch : chans) out.depth_left += ch->depth();
+  return out;
+}
+
+class SharedSelector : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(SharedSelector, ExactlyOnceAcrossConsumersAndDrainsToEmpty) {
+  const int per_chan = 40, quota0 = 55;  // uneven split of 80
+  const SharedServed s = run_shared(GetParam(), per_chan, quota0);
+  ASSERT_EQ(s.per[0].size(), 55u);
+  ASSERT_EQ(s.per[1].size(), 25u);
+  EXPECT_EQ(s.depth_left, 0u);  // drained to empty
+
+  // Exactly-once across BOTH consumers: the union multiset is exactly the
+  // produced set, and each consumer's view of one endpoint is in FIFO
+  // order (a shared consumer may skip ahead, but never reorder or dup).
+  std::vector<std::uint64_t> seen;
+  for (const auto& log : s.per) {
+    std::vector<std::uint64_t> next_floor(2, 0);
+    for (const auto& [idx, v] : log) {
+      ASSERT_LT(idx, 2u);
+      const std::uint64_t seq = v % 1000;
+      EXPECT_EQ(v / 1000, idx);
+      EXPECT_GE(seq, next_floor[idx]);  // FIFO within this consumer's view
+      next_floor[idx] = seq + 1;
+      seen.push_back(v);
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(2 * per_chan));
+  for (int c = 0; c < 2; ++c)
+    for (int i = 0; i < per_chan; ++i)
+      EXPECT_EQ(seen[static_cast<std::size_t>(c * per_chan + i)],
+                static_cast<std::uint64_t>(c) * 1000 +
+                    static_cast<std::uint64_t>(i));
+}
+
+TEST_P(SharedSelector, ByteIdenticalAcrossRuns) {
+  const SharedServed a = run_shared(GetParam(), 30, 35);
+  const SharedServed b = run_shared(GetParam(), 30, 35);
+  EXPECT_EQ(a.per, b.per);
+  EXPECT_EQ(a.events, b.events);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SharedCapableBackends, SharedSelector,
+    ::testing::Values(Backend::kBlfq, Backend::kZmq, Backend::kCaf),
     [](const auto& info) {
       switch (info.param) {
         case Backend::kBlfq: return "BLFQ";

@@ -9,7 +9,12 @@ and scale (unlike wall-clock, which CI runners make useless), so the gate
 has no flake margin to eat: a regression is a real behavioural change.
 
     bench_gate.py BASELINE CURRENT [--tolerance 0.15]
+                  [--cell-tolerance "CELL=FRACTION" ...]
                   [--expect-gain "CELL[@FIELD]=FRACTION" ...]
+
+--cell-tolerance tightens (or loosens) the tolerance for one cell, e.g.
+"wl-allreduce/VL64=0.10" holds the bsp-layer collective rewrites to within
+10% of the hand-rolled kernels' ev/msg they replaced.
 
 --expect-gain pins a variant's advantage: the named cell — e.g.
 "incast-burst(b8)/VL64" (batched injection), "shard-diurnal(s8)/VL64"
@@ -64,6 +69,10 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed fractional ev/msg increase (default 0.15)")
+    ap.add_argument("--cell-tolerance", action="append", default=[],
+                    metavar="CELL=FRACTION",
+                    help='per-cell tolerance override, e.g. '
+                         '"wl-allreduce/VL64=0.10"')
     ap.add_argument("--expect-gain", action="append", default=[],
                     metavar="CELL=FRACTION",
                     help='batched cell (e.g. "incast-burst(b8)/VL64") that '
@@ -73,6 +82,17 @@ def main():
 
     base = load_results(args.baseline)
     cur = load_results(args.current)
+
+    cell_tol = {}
+    for spec in args.cell_tolerance:
+        cell, _, frac_s = spec.partition("=")
+        scenario, _, backend = cell.partition("/")
+        if not frac_s or not backend:
+            bail(f"bad --cell-tolerance '{spec}' (want CELL=FRACTION)")
+        cell_tol[(scenario, backend)] = float(frac_s)
+    for key in cell_tol:
+        if key not in base:
+            bail(f"--cell-tolerance cell {key[0]}/{key[1]} not in baseline")
 
     failures = []
     width = max(len(f"{s} / {b}") for s, b in base) + 2
@@ -86,13 +106,14 @@ def main():
             continue
         cval = cur[key]["events_per_msg"]
         delta = (cval - bval) / bval if bval else 0.0
+        tol = cell_tol.get(key, args.tolerance)
         flag = ""
-        if delta > args.tolerance:
+        if delta > tol:
             failures.append(
                 f"{cell}: ev/msg {bval:.2f} -> {cval:.2f} "
-                f"(+{delta:.1%} > {args.tolerance:.0%})")
+                f"(+{delta:.1%} > {tol:.0%})")
             flag = "  << REGRESSION"
-        elif delta < -args.tolerance:
+        elif delta < -tol:
             flag = "  (improved; consider refreshing the baseline)"
         print(f"{cell:<{width}} {bval:>9.2f} {cval:>9.2f} "
               f"{delta:>+7.1%}{flag}")
