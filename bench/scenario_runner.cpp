@@ -7,9 +7,8 @@
 //   scenario_runner --scenario incast-burst --backend vl --batch 8
 //   scenario_runner --sweep --scales 1,2,4 --batches 1,8
 //   scenario_runner --list
-//   scenario_runner --scenario qos-incast --backend vl \
-//       --timeline tl.csv --sample-every 5000 --trace trace.json \
-//       --metrics-json metrics.json
+//   scenario_runner --scenario qos-incast --backend vl --timeline tl.csv
+//       --sample-every 5000 --trace trace.json --metrics-json metrics.json
 //
 // CSV goes to stdout (byte-identical across runs for fixed arguments —
 // the simulation is fully deterministic); human-readable tables go to
@@ -33,8 +32,12 @@
 #include "obs/hooks.hpp"
 #include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
+#include "replay/lifecycle.hpp"
+#include "replay/trace.hpp"
+#include "replay/warm_restart.hpp"
 #include "traffic/engine.hpp"
 #include "traffic/sharded_engine.hpp"
+#include "workloads/runner.hpp"
 
 namespace {
 
@@ -86,7 +89,21 @@ void print_usage() {
                "            on presets that enable it (ablation baseline)\n"
                "  --assert-slo CLASS=PCT  exit non-zero unless CLASS's SLO\n"
                "            attainment is >= PCT in every cell (CI gate),\n"
-               "            e.g. --assert-slo latency=90\n");
+               "            e.g. --assert-slo latency=90\n"
+               "  --record FILE  tap the engine send boundary and save the\n"
+               "            per-message trace (.csv or binary by extension);\n"
+               "            single cell only\n"
+               "  --replay FILE  drive the run from a recorded trace instead\n"
+               "            of the preset's arrival processes; single cell,\n"
+               "            shape (scenario/producers/tenants) must match\n"
+               "  --churn SPEC  lifecycle events (replay/lifecycle.hpp\n"
+               "            grammar), e.g.\n"
+               "            'leave@30000:tenant=bulk;join@45000:tenant=bulk'\n"
+               "            or 'reconfig@20000' (VL backends only); classic\n"
+               "            engine only. Exit 4 on a conservation violation\n"
+               "  --warm-restart  run the snapshot/rebuild/restore drill on\n"
+               "            the selected device backend (vl|vlideal|caf)\n"
+               "            and print its one-line report\n");
 }
 
 /// Run one (scenario, backend) cell, honouring the --no-qos ablation and
@@ -101,13 +118,17 @@ vl::traffic::EngineResult run_cell(const std::string& name, Backend b,
                                    std::uint64_t tenants = 0,
                                    const vl::obs::RunHooks* obs = nullptr,
                                    bool no_supervisor = false,
-                                   const std::string& faults = "") {
+                                   const std::string& faults = "",
+                                   const std::string& churn = "",
+                                   const vl::replay::Trace* replay = nullptr) {
   const vl::traffic::ScenarioSpec* spec = vl::traffic::find_scenario(name);
   if (!spec) throw std::invalid_argument("unknown scenario: " + name);
   vl::traffic::ScenarioSpec run = *spec;
   if (no_qos && run.qos) run.qos = false;
   if (no_supervisor) run.supervisor = false;
   if (!faults.empty()) run.faults = vl::fault::FaultSpec::parse(faults);
+  if (!churn.empty()) run.lifecycle = vl::replay::LifecycleSpec::parse(churn);
+  run.replay = replay;
   if (batch) run = vl::traffic::with_batch(run, batch);
   if (shards > 0) {
     vl::traffic::ShardedOptions opts;
@@ -233,12 +254,17 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (has_flag(argc, argv, "--list")) {
+    std::printf("scenario presets (--scenario NAME):\n");
     for (const auto& name : vl::traffic::scenario_names()) {
       const auto* s = vl::traffic::find_scenario(name);
-      std::printf("%-18s %s (%s, %d producers, %zu tenants)\n", name.c_str(),
+      std::printf("  %-18s %s (%s, %d producers, %zu tenants)\n", name.c_str(),
                   s->summary.c_str(), to_string(s->topology), s->producers,
                   s->tenants.size());
     }
+    std::printf("\nregistered workloads (bench_sim_throughput --scenario "
+                "wl-NAME):\n");
+    for (const auto* w : vl::workloads::all_workloads())
+      std::printf("  %-18s %s\n", w->name, w->summary);
     return 0;
   }
 
@@ -266,10 +292,27 @@ int main(int argc, char** argv) {
                     10));
   const bool no_supervisor = has_flag(argc, argv, "--no-supervisor");
   const std::string faults = arg_value(argc, argv, "--faults", "");
+  bool chan_faults = false;  // loss/dup clauses present in --faults
   if (!faults.empty()) {
     try {
       const vl::fault::FaultSpec fs = vl::fault::FaultSpec::parse(faults);
+      chan_faults = fs.has(vl::fault::FaultKind::kChanLoss) ||
+                    fs.has(vl::fault::FaultKind::kChanDup);
       std::fprintf(stderr, "faults: %s\n", fs.summary().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  const std::string record_path = arg_value(argc, argv, "--record", "");
+  const std::string replay_path = arg_value(argc, argv, "--replay", "");
+  const std::string churn = arg_value(argc, argv, "--churn", "");
+  const bool warm_restart = has_flag(argc, argv, "--warm-restart");
+  vl::replay::LifecycleSpec churn_spec;
+  if (!churn.empty()) {
+    try {
+      churn_spec = vl::replay::LifecycleSpec::parse(churn);
+      std::fprintf(stderr, "churn: %s\n", churn_spec.summary().c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
@@ -312,6 +355,73 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Feature/backend gates: name the unsupported combination instead of
+  // silently ignoring the flag (the engines would run, minus the feature).
+  for (Backend b : backends) {
+    const bool software = b == Backend::kBlfq || b == Backend::kZmq;
+    if (chan_faults && !software) {
+      std::fprintf(stderr,
+                   "unsupported combination: --faults loss/dup with "
+                   "--backend %s — channel loss/dup faults mutate the "
+                   "software rings only (blfq, zmq); the device backends "
+                   "gate them off\n",
+                   to_string(b));
+      return 2;
+    }
+    if (churn_spec.has_reconfig() && b != Backend::kVl &&
+        b != Backend::kVlIdeal) {
+      std::fprintf(stderr,
+                   "unsupported combination: --churn reconfig@ with "
+                   "--backend %s — SQI re-registration exists only on the "
+                   "VL backends (vl, vlideal)\n",
+                   to_string(b));
+      return 2;
+    }
+  }
+  if (!record_path.empty() && !replay_path.empty()) {
+    std::fprintf(stderr,
+                 "unsupported combination: --record with --replay — a "
+                 "replayed run would re-record its own input; pick one\n");
+    return 2;
+  }
+  if (!replay_path.empty() && chan_faults) {
+    std::fprintf(stderr,
+                 "unsupported combination: --replay with --faults loss/dup "
+                 "— a trace is the post-shed stream, loss/dup are already "
+                 "reflected in the recorded ticks\n");
+    return 2;
+  }
+  if (!churn.empty() && shards > 0) {
+    std::fprintf(stderr,
+                 "unsupported combination: --churn with --shards — "
+                 "lifecycle events run on the classic engine only\n");
+    return 2;
+  }
+
+  if (warm_restart) {
+    for (Backend b : backends)
+      if (b == Backend::kBlfq || b == Backend::kZmq) {
+        std::fprintf(stderr,
+                     "unsupported combination: --warm-restart with "
+                     "--backend %s — the software rings keep their state in "
+                     "host memory; only the device backends (vl, vlideal, "
+                     "caf) have restorable device state. Pick --backend "
+                     "vl|vlideal|caf\n",
+                     to_string(b));
+        return 2;
+      }
+    for (Backend b : backends) {
+      const vl::replay::WarmRestartReport rep =
+          vl::replay::run_warm_restart(b, seed);
+      std::printf("%s\n", rep.text().c_str());
+      if (!rep.conserved()) {
+        std::fprintf(stderr, "warm-restart: conservation FAILED\n");
+        return 4;
+      }
+    }
+    return 0;
+  }
+
   if (has_flag(argc, argv, "--sweep")) {
     const std::vector<int> scales =
         parse_scales(arg_value(argc, argv, "--scales", "1,2"));
@@ -333,14 +443,45 @@ int main(int argc, char** argv) {
                      no_supervisor, faults);
   }
 
-  // Timeline/trace capture one run's time axis; a multi-cell sweep would
-  // interleave unrelated runs into one file, so require a single cell.
-  const bool want_obs = !timeline_path.empty() || !trace_path.empty();
-  if (want_obs && scenarios.size() * backends.size() != 1) {
+  // Timeline/trace/record capture one run's time axis; a multi-cell sweep
+  // would interleave unrelated runs into one file, so require a single
+  // cell. Replay likewise targets exactly one recorded run.
+  const bool want_obs = !timeline_path.empty() || !trace_path.empty() ||
+                        !record_path.empty();
+  if ((want_obs || !replay_path.empty()) &&
+      scenarios.size() * backends.size() != 1) {
     std::fprintf(stderr,
-                 "--timeline/--trace need a single (scenario, backend) "
-                 "cell; pick --scenario NAME and --backend NAME\n");
+                 "--timeline/--trace/--record/--replay need a single "
+                 "(scenario, backend) cell; pick --scenario NAME and "
+                 "--backend NAME\n");
     return 2;
+  }
+
+  std::optional<vl::replay::Trace> replay_trace;
+  if (!replay_path.empty()) {
+    try {
+      replay_trace = vl::replay::Trace::load(replay_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--replay %s: %s\n", replay_path.c_str(),
+                   e.what());
+      return 2;
+    }
+    if (replay_trace->sharded != (shards > 0)) {
+      std::fprintf(stderr,
+                   "--replay: trace was recorded on the %s engine; %s\n",
+                   replay_trace->sharded ? "sharded" : "classic",
+                   replay_trace->sharded
+                       ? "pass --shards N to replay it"
+                       : "drop --shards to replay it");
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "replay: %zu records from %s (scenario=%s backend=%s "
+                 "seed=%llu)\n",
+                 replay_trace->records.size(), replay_path.c_str(),
+                 replay_trace->scenario.c_str(),
+                 replay_trace->backend.c_str(),
+                 static_cast<unsigned long long>(replay_trace->seed));
   }
 
   vl::obs::Timeline timeline;
@@ -348,20 +489,44 @@ int main(int argc, char** argv) {
   // than silently evicting the oldest epochs.
   timeline.set_auto_coarsen(true);
   vl::obs::Tracer tracer;
+  vl::replay::TraceRecorder recorder;
   vl::obs::RunHooks hooks;
   hooks.sample_every = sample_every;
   if (!timeline_path.empty()) hooks.timeline = &timeline;
   if (!trace_path.empty()) hooks.tracer = &tracer;
+  if (!record_path.empty()) hooks.recorder = &recorder;
 
   bool slo_ok = true;
+  bool conserved = true;  // --churn zero-loss check
   std::string metrics_json;  // Accumulated `runs` array body.
   bool header_done = false;
   for (const auto& name : scenarios) {
     for (Backend b : backends) {
-      const vl::traffic::EngineResult r =
-          run_cell(name, b, seed, scale, no_qos, batch, shards, sim_threads,
-                   tenants, hooks.any() ? &hooks : nullptr, no_supervisor,
-                   faults);
+      vl::traffic::EngineResult r;
+      try {
+        r = run_cell(name, b, seed, scale, no_qos, batch, shards,
+                     sim_threads, tenants, hooks.any() ? &hooks : nullptr,
+                     no_supervisor, faults, churn,
+                     replay_trace ? &*replay_trace : nullptr);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+      // Churn conservation: a tenant leaving/rejoining must strand nothing
+      // — every generated message is delivered or accounted as dropped.
+      if (!churn.empty()) {
+        for (const auto& t : r.metrics.tenants) {
+          if (t.generated == t.delivered + t.dropped) continue;
+          std::fprintf(stderr,
+                       "churn: conservation VIOLATED for tenant %s: "
+                       "generated=%llu delivered=%llu dropped=%llu\n",
+                       t.tenant.c_str(),
+                       static_cast<unsigned long long>(t.generated),
+                       static_cast<unsigned long long>(t.delivered),
+                       static_cast<unsigned long long>(t.dropped));
+          conserved = false;
+        }
+      }
       if (!slo_class.empty()) {
         for (const auto& c : r.metrics.by_class()) {
           if (to_string(c.cls) != slo_class || !c.slo_delivered) continue;
@@ -413,10 +578,23 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) write_file(trace_path, tracer.json());
   if (!metrics_json_path.empty())
     write_file(metrics_json_path, "{\"runs\":[\n" + metrics_json + "\n]}\n");
+  if (!record_path.empty()) {
+    const vl::replay::Trace tr = recorder.finish();
+    if (!tr.save(record_path)) {
+      std::fprintf(stderr, "cannot write %s\n", record_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "recorded %zu messages to %s\n", tr.records.size(),
+                 record_path.c_str());
+  }
   if (!slo_ok) {
     std::fprintf(stderr, "assert-slo: FAILED (attainment below %.2f%%)\n",
                  slo_threshold);
     return 3;
+  }
+  if (!conserved) {
+    std::fprintf(stderr, "churn: conservation FAILED\n");
+    return 4;
   }
   return 0;
 }

@@ -14,6 +14,8 @@
 // can archive the perf trajectory across commits.
 //
 //   sim_throughput                         # default preset matrix
+//   sim_throughput --list                  # presets + registered workloads
+//   sim_throughput --scenario replay-qos-incast --backend vl
 //   sim_throughput --scenario incast-burst --backend zmq --scale 2
 //   sim_throughput --scenario qos-adversarial-bulk --backend vl
 //       --faults 'stall@40000+20000:every=1' --no-supervisor
@@ -31,6 +33,7 @@
 #include "fault/spec.hpp"
 #include "obs/hooks.hpp"
 #include "obs/timeline.hpp"
+#include "replay/trace.hpp"
 #include "traffic/engine.hpp"
 #include "traffic/metrics.hpp"
 #include "traffic/sharded_engine.hpp"
@@ -101,6 +104,12 @@ const RunSpec kDefaultMatrix[] = {
     {"wl-allreduce", Backend::kVl},
     {"wl-halo", Backend::kVl},
     {"wl-scatter-gather", Backend::kVl},
+    // Record/replay round trip ("replay-" prefix records the preset's send
+    // stream in memory, then re-runs the cell paced by the trace). The row
+    // reports the replay run — its ev/msg tracks the TraceArrival
+    // scheduling cost — and the in-binary check fails the bench unless the
+    // replay reproduces the recorded run's delivered count exactly.
+    {"replay-qos-incast", Backend::kVl},
 };
 
 /// "wl-<name>" rows bypass the traffic engine and run a registered
@@ -108,6 +117,12 @@ const RunSpec kDefaultMatrix[] = {
 /// same columns (delivered = payload messages).
 bool is_workload_row(const std::string& scenario) {
   return scenario.rfind("wl-", 0) == 0;
+}
+
+/// "replay-<preset>" rows exercise the record/replay plane end to end:
+/// record the preset in memory, then replay it on the same cell.
+bool is_replay_row(const std::string& scenario) {
+  return scenario.rfind("replay-", 0) == 0;
 }
 
 struct Row {
@@ -166,11 +181,56 @@ Row run_workload_row(const std::string& scenario, Backend backend,
   return finish_row(row, t0, t1);
 }
 
+/// Record the base preset's post-shed send stream in memory, then re-run
+/// the same (scenario, backend, seed) cell with every producer paced by
+/// the trace. The row reports the *replay* run; `fail` is set when the
+/// replay does not reproduce the recorded delivered count exactly (the
+/// headline conservation property CI gates on).
+Row run_replay_row(const std::string& scenario, Backend backend,
+                   std::uint64_t seed, int scale, bool* fail) {
+  const std::string base = scenario.substr(7);
+  vl::traffic::ScenarioSpec spec = *vl::traffic::find_scenario(base);
+  spec.supervisor = false;  // match the plain bench row: static quotas
+  vl::replay::TraceRecorder rec;
+  vl::obs::RunHooks hooks;
+  hooks.recorder = &rec;
+  const vl::traffic::EngineResult recorded =
+      vl::traffic::run_spec(spec, backend, seed, scale, &hooks);
+  const vl::replay::Trace trace = rec.finish();
+
+  vl::traffic::ScenarioSpec rspec = *vl::traffic::find_scenario(base);
+  rspec.supervisor = false;
+  rspec.replay = &trace;
+  const auto t0 = std::chrono::steady_clock::now();
+  const vl::traffic::EngineResult r =
+      vl::traffic::run_spec(rspec, backend, seed, scale);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (r.metrics.total_delivered() != recorded.metrics.total_delivered()) {
+    std::fprintf(
+        stderr, "FAIL: %s/%s replay delivered %llu != recorded %llu\n",
+        scenario.c_str(), r.backend.c_str(),
+        static_cast<unsigned long long>(r.metrics.total_delivered()),
+        static_cast<unsigned long long>(recorded.metrics.total_delivered()));
+    if (fail) *fail = true;
+  }
+
+  Row row;
+  row.scenario = scenario;
+  row.backend = r.backend;
+  row.events = r.events;
+  row.ticks = r.metrics.ticks;
+  row.delivered = r.metrics.total_delivered();
+  row.lat_p99 = latency_p99(r.metrics);
+  return finish_row(row, t0, t1);
+}
+
 Row run_one(const std::string& scenario, Backend backend, std::uint64_t seed,
             int scale, std::uint32_t batch = 0, int shards = 0,
             bool timeline = false, bool sup = false,
-            const std::string& faults = "") {
+            const std::string& faults = "", bool* replay_fail = nullptr) {
   if (is_workload_row(scenario)) return run_workload_row(scenario, backend, scale);
+  if (is_replay_row(scenario))
+    return run_replay_row(scenario, backend, seed, scale, replay_fail);
   vl::traffic::ScenarioSpec spec = *vl::traffic::find_scenario(scenario);
   // Benchmark rows control the supervisor explicitly: the plain
   // qos-adversarial-bulk row measures static quotas even though the preset
@@ -250,6 +310,20 @@ void write_json(const char* path, const std::vector<Row>& rows,
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--list") == 0) {
+      std::printf("scenario presets (--scenario NAME):\n");
+      for (const auto& name : vl::traffic::scenario_names()) {
+        const auto* s = vl::traffic::find_scenario(name);
+        std::printf("  %-18s %s\n", name.c_str(), s->summary.c_str());
+      }
+      std::printf("\nregistered workloads (--scenario wl-NAME):\n");
+      for (const auto* w : vl::workloads::all_workloads())
+        std::printf("  wl-%-15s %s\n", w->name, w->summary);
+      std::printf("\nany preset also runs as replay-NAME "
+                  "(record in memory, then replay the trace).\n");
+      return 0;
+    }
   const std::string scenario = arg_value(argc, argv, "--scenario", "");
   const std::string backend_s = arg_value(argc, argv, "--backend", "");
   const auto seed = static_cast<std::uint64_t>(
@@ -283,6 +357,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown workload '%s'\n", sc.c_str() + 3);
         return 2;
       }
+    } else if (is_replay_row(sc)) {
+      if (!vl::traffic::find_scenario(sc.substr(7))) {
+        std::fprintf(stderr, "unknown scenario '%s' (for replay row '%s')\n",
+                     sc.c_str() + 7, sc.c_str());
+        return 2;
+      }
+      if (batch || shards > 0) {
+        std::fprintf(stderr,
+                     "replay rows record and re-run the plain cell; they do "
+                     "not combine with --batch/--shards\n");
+        return 2;
+      }
     } else if (!vl::traffic::find_scenario(sc)) {
       std::fprintf(stderr, "unknown scenario '%s'\n", sc.c_str());
       return 2;
@@ -297,8 +383,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown backend '%s'\n", backend_s.c_str());
       return 2;
     }
-    // CLI cells honor the preset's supervisor default unless --no-supervisor.
-    const bool sup = !is_workload_row(sc) &&
+    // CLI cells honor the preset's supervisor default unless --no-supervisor
+    // (replay rows always run static quotas so record and replay match).
+    const bool sup = !is_workload_row(sc) && !is_replay_row(sc) &&
                      vl::traffic::find_scenario(sc)->supervisor &&
                      !no_supervisor;
     for (Backend b : bs) matrix.push_back({sc, b, batch, shards, false, sup});
@@ -309,9 +396,11 @@ int main(int argc, char** argv) {
   vl::bench::print_header("sim_throughput",
                           "kernel events & host throughput per scenario");
   std::vector<Row> rows;
+  bool replay_fail = false;
   for (const RunSpec& rs : matrix)
     rows.push_back(run_one(rs.scenario, rs.backend, seed, scale, rs.batch,
-                           rs.shards, rs.timeline, rs.sup, faults));
+                           rs.shards, rs.timeline, rs.sup, faults,
+                           &replay_fail));
 
   vl::TextTable tt({"scenario", "backend", "events", "sim_ticks", "delivered",
                     "lat_p99", "ev/msg", "wall_ms", "events/s", "Mticks/s"});
@@ -346,7 +435,7 @@ int main(int argc, char** argv) {
   // its plain sibling's ev/msg. Timeline sampling runs outside the event
   // loop, so the expected delta is exactly zero — a violation means
   // someone made observation schedule events.
-  int rc = 0;
+  int rc = replay_fail ? 1 : 0;
   for (const Row& r : rows) {
     const std::string suffix = "(tl)";
     if (r.scenario.size() <= suffix.size() ||

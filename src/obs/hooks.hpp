@@ -7,6 +7,10 @@
 #include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
 
+namespace vl::replay {
+class TraceRecorder;
+}
+
 namespace vl::obs {
 
 struct RunHooks {
@@ -20,7 +24,12 @@ struct RunHooks {
   /// each EventQueue; hooks in sim/squeue/vlrd test the queue's pointer.
   Tracer* tracer = nullptr;
 
-  bool any() const { return timeline || tracer; }
+  /// Send-boundary trace tap (src/replay/): the engines call begin() with
+  /// the run's shape and on_send() per message copy. Recording schedules
+  /// nothing — runs stay byte-identical with it on or off.
+  replay::TraceRecorder* recorder = nullptr;
+
+  bool any() const { return timeline || tracer || recorder; }
 };
 
 }  // namespace vl::obs

@@ -1,0 +1,194 @@
+#include "replay/lifecycle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vl::replay {
+
+const char* to_string(LifecycleEvent::Kind k) {
+  switch (k) {
+    case LifecycleEvent::Kind::kJoin: return "join";
+    case LifecycleEvent::Kind::kLeave: return "leave";
+    case LifecycleEvent::Kind::kReconfig: return "reconfig";
+  }
+  return "?";
+}
+
+bool LifecycleSpec::has_reconfig() const {
+  for (const auto& e : events)
+    if (e.kind == LifecycleEvent::Kind::kReconfig) return true;
+  return false;
+}
+
+bool LifecycleSpec::has_churn() const {
+  for (const auto& e : events)
+    if (e.kind != LifecycleEvent::Kind::kReconfig) return true;
+  return false;
+}
+
+std::string LifecycleSpec::summary() const {
+  std::string out;
+  for (const auto& e : events) {
+    if (!out.empty()) out += ';';
+    out += to_string(e.kind);
+    out += '@' + std::to_string(e.at);
+    if (e.kind == LifecycleEvent::Kind::kReconfig) {
+      if (e.channel >= 0) out += ":channel=" + std::to_string(e.channel);
+    } else {
+      out += ":tenant=" + e.tenant;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void bad(const std::string& clause, const char* why) {
+  throw std::invalid_argument("lifecycle spec: " + std::string(why) +
+                              " in clause '" + clause + "'");
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+LifecycleEvent parse_clause(const std::string& clause) {
+  const std::size_t at = clause.find('@');
+  if (at == std::string::npos) bad(clause, "missing '@TICK'");
+  const std::string kind = clause.substr(0, at);
+  LifecycleEvent e;
+  if (kind == "join") e.kind = LifecycleEvent::Kind::kJoin;
+  else if (kind == "leave") e.kind = LifecycleEvent::Kind::kLeave;
+  else if (kind == "reconfig") e.kind = LifecycleEvent::Kind::kReconfig;
+  else bad(clause, "unknown event kind");
+
+  std::size_t colon = clause.find(':', at);
+  const std::string tick_s = clause.substr(
+      at + 1, (colon == std::string::npos ? clause.size() : colon) - at - 1);
+  if (tick_s.empty() ||
+      tick_s.find_first_not_of("0123456789") != std::string::npos)
+    bad(clause, "bad tick");
+  e.at = std::strtoull(tick_s.c_str(), nullptr, 10);
+
+  // key=value pairs after ':', comma-separated.
+  std::size_t p = colon == std::string::npos ? clause.size() : colon + 1;
+  while (p < clause.size()) {
+    std::size_t comma = clause.find(',', p);
+    if (comma == std::string::npos) comma = clause.size();
+    const std::string kv = clause.substr(p, comma - p);
+    p = comma + 1;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) bad(clause, "expected key=value");
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    if (key == "tenant" && e.kind != LifecycleEvent::Kind::kReconfig) {
+      if (val.empty()) bad(clause, "empty tenant name");
+      e.tenant = val;
+    } else if (key == "channel" &&
+               e.kind == LifecycleEvent::Kind::kReconfig) {
+      e.channel = static_cast<int>(std::strtol(val.c_str(), nullptr, 10));
+    } else {
+      bad(clause, "unknown key");
+    }
+  }
+  if (e.kind != LifecycleEvent::Kind::kReconfig && e.tenant.empty())
+    bad(clause, "join/leave need tenant=NAME");
+  return e;
+}
+
+}  // namespace
+
+LifecycleSpec LifecycleSpec::parse(const std::string& text) {
+  LifecycleSpec spec;
+  std::size_t p = 0;
+  while (p <= text.size()) {
+    std::size_t semi = text.find(';', p);
+    if (semi == std::string::npos) semi = text.size();
+    const std::string clause = trim(text.substr(p, semi - p));
+    p = semi + 1;
+    if (clause.empty()) continue;
+    spec.events.push_back(parse_clause(clause));
+  }
+  return spec;
+}
+
+LifecyclePlane::LifecyclePlane(const LifecycleSpec& spec,
+                               const std::vector<std::string>& tenant_names)
+    : spec_(spec) {
+  const std::size_t n = tenant_names.size();
+  windows_.resize(n);
+  starts_active_.assign(n, true);
+  reconfig_fired_.assign(spec_.events.size(), {});
+
+  // Per-tenant event streams, tick-ascending (stable within equal ticks).
+  for (std::size_t t = 0; t < n; ++t) {
+    std::vector<const LifecycleEvent*> evs;
+    for (const auto& e : spec_.events)
+      if (e.kind != LifecycleEvent::Kind::kReconfig &&
+          e.tenant == tenant_names[t])
+        evs.push_back(&e);
+    std::stable_sort(evs.begin(), evs.end(),
+                     [](const LifecycleEvent* a, const LifecycleEvent* b) {
+                       return a->at < b->at;
+                     });
+    bool active = evs.empty() ||
+                  evs.front()->kind != LifecycleEvent::Kind::kJoin;
+    starts_active_[t] = active;
+    Tick open = 0;  // start of the current inactive span
+    for (const auto* e : evs) {
+      if (e->kind == LifecycleEvent::Kind::kLeave && active) {
+        open = e->at;
+        active = false;
+      } else if (e->kind == LifecycleEvent::Kind::kJoin && !active) {
+        windows_[t].push_back({open, e->at});
+        active = true;
+      }
+    }
+    if (!active) windows_[t].push_back({open, kNever});
+  }
+
+  for (const auto& e : spec_.events) {
+    if (e.kind == LifecycleEvent::Kind::kReconfig) continue;
+    if (std::find(boundaries_.begin(), boundaries_.end(), e.at) ==
+        boundaries_.end())
+      boundaries_.push_back(e.at);
+    bool known = false;
+    for (const auto& name : tenant_names)
+      if (name == e.tenant) known = true;
+    if (!known)
+      throw std::invalid_argument("lifecycle spec: unknown tenant '" +
+                                  e.tenant + "'");
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+}
+
+Tick LifecyclePlane::next_active(int tenant, Tick now) const {
+  for (const auto& w : windows_[static_cast<std::size_t>(tenant)]) {
+    if (now < w.from) return 0;      // before this inactive span: active
+    if (now < w.to) return w.to;     // inside it: sleep to the join (or never)
+  }
+  return 0;
+}
+
+bool LifecyclePlane::tenant_active_at(int tenant, Tick now) const {
+  return next_active(tenant, now) == 0;
+}
+
+bool LifecyclePlane::take_reconfig(int chan, Tick now) {
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    const auto& e = spec_.events[i];
+    if (e.kind != LifecycleEvent::Kind::kReconfig) continue;
+    if (e.at > now) continue;
+    if (e.channel >= 0 && e.channel != chan) continue;
+    auto& fired = reconfig_fired_[i];
+    if (std::find(fired.begin(), fired.end(), chan) != fired.end()) continue;
+    fired.push_back(chan);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace vl::replay

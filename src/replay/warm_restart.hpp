@@ -1,0 +1,97 @@
+#pragma once
+// Warm-restart drill (ROADMAP item 4, sonic-swss warmrestart reconcile
+// discipline): prove that a routing device's resident state can be
+// quiesced, snapshotted, serialized, torn down with the whole Machine,
+// and restored into a freshly built Machine with zero message loss or
+// duplication.
+//
+// The drill, per hardware backend:
+//   1. build Machine A, open two queues, inject a known message multiset;
+//      consumers drain part of it (delivered-before);
+//   2. quiesce: consumers release their demand leases and sweep landed
+//      frames (PR 6's out-of-order landing recovery), so every remaining
+//      message is *device-resident* — nothing is in flight;
+//   3. snapshot the device state into a serializable Snapshot — VLRD:
+//      per-SQI resident lines in delivery order (Vlrd::snapshot_resident)
+//      plus the quota knobs; CAF: per-queue resident words + class credit
+//      caps — then serialize -> bytes -> deserialize (the round trip IS
+//      the drill: a snapshot that can't survive serialization can't
+//      survive a restart);
+//   4. tear down Machine A entirely; build Machine B from the same
+//      config, re-open the queues (creation order reproduces the SQI /
+//      queue-id map), restore knobs then data;
+//   5. drain everything and check conservation: the delivered multiset
+//      (before + after) must equal the produced multiset — zero lost,
+//      zero duplicated — with an order-independent digest that is
+//      byte-identical across reruns.
+//
+// Software rings (BLFQ/ZMQ) are rejected: their state lives in host
+// memory, not a device — there is nothing to warm-restart.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/hierarchy.hpp"
+#include "squeue/factory.hpp"
+
+namespace vl::replay {
+
+/// Serializable device-resident state. Binary format "VLSS" (little
+/// endian); round-trips byte-identically.
+struct Snapshot {
+  std::string backend;  ///< squeue::to_string of the recorded backend.
+
+  struct QueueState {
+    std::string name;          ///< Channel / shm name.
+    std::uint32_t vlrd_id = 0; ///< VL routing device (CAF: 0).
+    std::uint32_t sqi = 0;     ///< VL SQI (CAF: device queue id).
+    /// VL: resident 64 B message lines, delivery order.
+    std::vector<mem::Line> lines;
+    /// CAF: resident words (value, class byte), FIFO order.
+    std::vector<std::pair<std::uint64_t, std::uint8_t>> words;
+
+    bool operator==(const QueueState&) const = default;
+  };
+  std::vector<QueueState> queues;
+
+  // Knob state restored before the data (config-then-data, the
+  // warm-restart reconcile order).
+  std::uint32_t vl_class_quota[kQosClasses] = {0, 0, 0};
+  std::uint32_t vl_per_sqi_quota = 0;
+  std::uint32_t caf_class_credits[kQosClasses] = {0, 0, 0};
+
+  std::string serialize() const;
+  /// Throws std::invalid_argument on malformed input.
+  static Snapshot deserialize(const std::string& bytes);
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+struct WarmRestartReport {
+  std::string backend;
+  std::uint64_t produced = 0;
+  std::uint64_t delivered_before = 0;  ///< Drained pre-snapshot (incl. the
+                                       ///< quiesce sweep).
+  std::uint64_t resident = 0;          ///< Messages captured in the snapshot.
+  std::uint64_t delivered_after = 0;   ///< Drained from the rebuilt machine.
+  std::uint64_t lost = 0;        ///< Produced but never delivered.
+  std::uint64_t duplicated = 0;  ///< Delivered more times than produced.
+  std::size_t snapshot_bytes = 0;
+  std::uint64_t digest = 0;  ///< FNV-1a over the sorted delivered multiset —
+                             ///< order-independent, byte-identical across
+                             ///< reruns.
+
+  bool conserved() const { return lost == 0 && duplicated == 0; }
+  /// One-line deterministic summary (CI compares two runs with cmp).
+  std::string text() const;
+};
+
+/// Run the drill. `backend` must be kVl, kVlIdeal, or kCaf; throws
+/// std::invalid_argument otherwise. `seed` perturbs the message values
+/// (not the shape), so distinct seeds prove the digest tracks content.
+WarmRestartReport run_warm_restart(squeue::Backend backend,
+                                   std::uint64_t seed = 1);
+
+}  // namespace vl::replay

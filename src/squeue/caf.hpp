@@ -187,6 +187,24 @@ class CafDevice {
     for (const auto& q : queues_) n += q->used[c];
     return n;
   }
+  /// Queues opened so far (warm-restart snapshot walks them by id —
+  /// open_queue() hands out ids in creation order, so a rebuilt device
+  /// whose channels open in the same order reproduces the id map).
+  std::uint32_t num_queues() const {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+  /// Warm-restart support: dump one queue's resident words in FIFO order.
+  /// Call only on a quiesced device with no open frame grants (asserts
+  /// reserved_total == 0 — a snapshot taken mid-frame would tear it).
+  std::vector<std::pair<std::uint64_t, QosClass>> snapshot_queue(
+      std::uint32_t q) const {
+    const DevQueue& dq = *queues_.at(q);
+    assert(dq.reserved_total == 0);
+    std::vector<std::pair<std::uint64_t, QosClass>> out;
+    out.reserve(dq.data.size());
+    for (const Word& w : dq.data) out.emplace_back(w.v, w.cls);
+    return out;
+  }
   /// Budget waiters: producers NACKed because the queue's whole credit
   /// budget was exhausted (SendStatus::kFull).
   sim::WaitQueue& space_wq(std::uint32_t q) { return queues_.at(q)->space; }

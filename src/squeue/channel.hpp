@@ -162,6 +162,14 @@ class Channel {
   /// Selector and the blocking wrappers then poll at kPollBackoff.
   virtual sim::WaitQueue* recv_wq() { return nullptr; }
 
+  /// Consumer-side endpoint re-registration (the lifecycle plane's
+  /// reconfig@ event): drop and re-arm whatever receive-side device state
+  /// the calling thread's endpoint holds, without losing messages. VL
+  /// channels implement it as Consumer::migrate() onto the same thread —
+  /// the paper's § III-B recovery path. Returns false where the backend
+  /// has no such state (software rings, CAF): nothing to re-register.
+  virtual bool reconfigure(sim::SimThread) { return false; }
+
   // --- blocking wrappers over the core -------------------------------------
   // Virtual so instrumentation wrappers (LatencyChannel) can interpose, but
   // every backend inherits these: the backend-specific part is only the

@@ -51,6 +51,15 @@ class VlChannel : public Channel {
 
   std::uint64_t producer_retries() const;
 
+  /// SQI re-registration (lifecycle reconfig@): Consumer::migrate() onto
+  /// the same thread — every pushable tag this endpoint armed drops, an
+  /// in-flight injection rejects and its line recovers through the
+  /// device's § III-B path, and the next receive re-registers demand.
+  /// Frames already landed in the endpoint ring stay readable (the
+  /// landed-frame sweep covers out-of-order landings), so no message is
+  /// lost or duplicated.
+  bool reconfigure(sim::SimThread t) override;
+
  protected:
   void sample_send_gates(BlockGates& g, const Msg&) override;
   sim::Co<void> send_blocked(sim::SimThread t, SendStatus why,

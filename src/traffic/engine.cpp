@@ -10,6 +10,8 @@
 #include "common/csv.hpp"
 #include "common/rng.hpp"
 #include "fault/plane.hpp"
+#include "replay/lifecycle.hpp"
+#include "replay/trace.hpp"
 #include "runtime/qos_supervisor.hpp"
 #include "sim/task.hpp"
 
@@ -74,6 +76,16 @@ struct Ctx {
   fault::FaultPlane* fp = nullptr;
   bool chan_faults = false;
 
+  /// Send-boundary trace tap (null unless the caller's RunHooks carry a
+  /// recorder). Recording is a pure observation — no events scheduled.
+  replay::TraceRecorder* rec = nullptr;
+  /// Replay source: producers re-offer this trace's per-pid record streams
+  /// instead of their tenants' arrival processes. Null on live runs.
+  const replay::Trace* trace = nullptr;
+  /// Lifecycle plane (null on static runs): tenant churn windows and
+  /// one-shot SQI reconfig events, consulted by producers and workers.
+  replay::LifecyclePlane* lp = nullptr;
+
   std::uint8_t payload_words(const TenantSpec& t) const {
     // CAF channels carry fixed single-word frames (multi-word register
     // sequences interleave under M:N sharing), so CAF runs stamp-only.
@@ -131,6 +143,21 @@ Co<void> producer(Ctx& cx, SimThread t, int tenant_id, int pid) {
     // the trade batched injection makes.
     std::uint64_t assembled = 0;
     while (assembled < batch && i < target) {
+      if (cx.lp && cx.lp->tenant_has_events(tenant_id)) {
+        Tick at;
+        while ((at = cx.lp->next_active(tenant_id, eq.now())) != 0) {
+          if (at == replay::LifecyclePlane::kNever) {
+            // Departed for good: the rest of the budget is forfeited, not
+            // dropped — never generated, so conservation stays exact and
+            // the count-carrying pills still match what was fed.
+            cx.lp->note_forfeit(target - i);
+            i = target;
+            break;
+          }
+          co_await sim::Delay(eq, at - eq.now());
+        }
+        if (i >= target) break;
+      }
       Tick gap = arrival->next_gap(eq.now());
       if (cx.fp) gap = cx.fp->scale_gap(0, ts.qos, eq.now(), gap);
       if (gap) co_await sim::Delay(eq, gap);
@@ -168,6 +195,11 @@ Co<void> producer(Ctx& cx, SimThread t, int tenant_id, int pid) {
       for (std::uint8_t w = 1; w < words; ++w)
         msg.w[w] = (static_cast<std::uint64_t>(tenant_id) << 32) | i;
       for (int k = 0; k < copies; ++k) sub[c].push_back(msg);
+      if (cx.rec)
+        for (int k = 0; k < copies; ++k)
+          cx.rec->on_send(static_cast<std::uint16_t>(pid),
+                          static_cast<std::uint16_t>(tenant_id), msg.qos,
+                          msg.n, c, eq.now());
       ++i;
       ++assembled;
     }
@@ -198,6 +230,63 @@ Co<void> producer(Ctx& cx, SimThread t, int tenant_id, int pid) {
   if (--cx.producers_remaining == 0) cx.producers_done.complete(0);
 }
 
+/// Replay-mode producer: re-offers the trace's per-pid record stream.
+/// Pacing reconstructs each record's absolute generation tick
+/// (TraceArrival::next_gap), and class / payload width / destination come
+/// from the record instead of the spec's RNG draws. The trace is the
+/// post-shed stream, so drop_depth, fault loss/dup, and produce_compute
+/// are all skipped — their effects are already in the recorded ticks.
+/// Batching follows the tenant's spec batch, reproducing the recorded
+/// run's accumulate-then-flush injection shape.
+Co<void> replay_producer(Ctx& cx, SimThread t, int tenant_id, int pid) {
+  const TenantSpec& ts = cx.spec.tenants[static_cast<std::size_t>(tenant_id)];
+  auto& eq = cx.m.eq();
+  auto& tm = cx.tenants[static_cast<std::size_t>(tenant_id)];
+  Stage& s0 = cx.stages.front();
+  const auto nch = static_cast<std::uint64_t>(s0.channels.size());
+  const std::uint64_t batch = std::max<std::uint32_t>(ts.batch, 1);
+  replay::TraceArrival rep(*cx.trace, static_cast<std::uint16_t>(pid));
+  std::vector<std::vector<Msg>> sub(nch);
+
+  while (!rep.done()) {
+    std::uint64_t assembled = 0;
+    while (assembled < batch && !rep.done()) {
+      const Tick gap = rep.next_gap(eq.now());
+      if (gap) co_await sim::Delay(eq, gap);
+      const replay::TraceRecord& r0 = rep.record();
+      ++tm.generated;
+      const std::uint64_t c = nch > 1 ? r0.dst % nch : 0;
+      Msg msg;
+      // CAF carries single-word frames (see payload_words); a VL-recorded
+      // trace replayed onto CAF clamps like a live run would.
+      msg.n = cx.backend == squeue::Backend::kCaf ? std::uint8_t{1}
+                                                  : r0.words;
+      msg.qos = r0.cls;
+      msg.w[0] = stamp(tenant_id, pid, eq.now());
+      for (std::uint8_t w = 1; w < msg.n; ++w)
+        msg.w[w] = (static_cast<std::uint64_t>(tenant_id) << 32) | assembled;
+      sub[c].push_back(msg);
+      if (cx.rec)  // re-recording a replay reproduces the trace
+        cx.rec->on_send(static_cast<std::uint16_t>(pid),
+                        static_cast<std::uint16_t>(tenant_id), msg.qos, msg.n,
+                        c, eq.now());
+      rep.advance();
+      ++assembled;
+    }
+    for (std::uint64_t c = 0; c < nch; ++c) {
+      auto& b = sub[c];
+      if (b.empty()) continue;
+      const Tick send_start = eq.now();
+      co_await s0.channels[c].ch->send_many(t, b);
+      tm.blocked_ticks += eq.now() - send_start;
+      tm.sent += b.size();
+      s0.channels[c].fed += b.size();
+      b.clear();
+    }
+  }
+  if (--cx.producers_remaining == 0) cx.producers_done.complete(0);
+}
+
 Co<void> worker(Ctx& cx, SimThread t, int stage_idx, int chan_idx) {
   Stage& st = cx.stages[static_cast<std::size_t>(stage_idx)];
   StageChannel& sc = st.channels[static_cast<std::size_t>(chan_idx)];
@@ -205,6 +294,12 @@ Co<void> worker(Ctx& cx, SimThread t, int stage_idx, int chan_idx) {
   const bool final_stage =
       stage_idx + 1 == static_cast<int>(cx.stages.size());
   auto& eq = cx.m.eq();
+  // Flattened channel ordinal (the reconfig@:channel= numbering — same
+  // order as the depth series).
+  int flat = chan_idx;
+  for (int s = 0; s < stage_idx; ++s)
+    flat += static_cast<int>(cx.stages[static_cast<std::size_t>(s)]
+                                 .channels.size());
 
   // A channel's sole worker drains opportunistically in batches and
   // terminates on the exact payload count its pill carries — arrival order
@@ -219,6 +314,11 @@ Co<void> worker(Ctx& cx, SimThread t, int stage_idx, int chan_idx) {
   std::uint64_t received = 0;
 
   while (received < expected) {
+    // SQI re-registration (reconfig@): between receive laps the consumer
+    // drops its armed demand and re-registers — § III-B migration onto the
+    // same thread. Landed frames stay readable, so no message is lost.
+    if (cx.lp && cx.lp->take_reconfig(flat, eq.now()) && ch.reconfigure(t))
+      cx.lp->note_reconfig_applied();
     const std::size_t got =
         co_await ch.recv_many(t, std::span<Msg>(drained.data(), window), 1);
     relay.clear();
@@ -426,10 +526,89 @@ EngineResult Engine::run(const ScenarioSpec& raw, std::uint64_t seed,
                       f_.backend() == squeue::Backend::kZmq);
   }
 
+  // --- replay / record / lifecycle hookup -----------------------------------
+  // All wired before any actor spawns: the spawn site picks the producer
+  // flavour, and the recorder must be live before the first send.
+  cx.trace = spec.replay;
+  if (cx.trace) {
+    if (cx.trace->sharded)
+      throw std::invalid_argument(
+          "replay: trace '" + cx.trace->scenario +
+          "' was recorded by the sharded engine; replay it via run_sharded");
+    if (cx.trace->producers != static_cast<std::uint32_t>(spec.producers) ||
+        cx.trace->tenants != spec.tenants.size())
+      throw std::invalid_argument(
+          "replay: trace shape (producers=" +
+          std::to_string(cx.trace->producers) +
+          ", tenants=" + std::to_string(cx.trace->tenants) +
+          ") does not match scenario '" + spec.name + "' (producers=" +
+          std::to_string(spec.producers) +
+          ", tenants=" + std::to_string(spec.tenants.size()) + ")");
+  }
+  if (obs && obs->recorder) {
+    cx.rec = obs->recorder;
+    cx.rec->begin(spec.name, squeue::to_string(f_.backend()), seed,
+                  static_cast<std::uint32_t>(spec.producers),
+                  static_cast<std::uint32_t>(spec.tenants.size()),
+                  /*sharded=*/false);
+  }
+  std::unique_ptr<replay::LifecyclePlane> lplane;
+  if (!spec.lifecycle.empty()) {
+    if (spec.lifecycle.has_reconfig() &&
+        f_.backend() != squeue::Backend::kVl &&
+        f_.backend() != squeue::Backend::kVlIdeal)
+      throw std::invalid_argument(
+          "lifecycle: reconfig@ is SQI re-registration — only the VL "
+          "backends have a registration to drop; backend '" +
+          std::string(squeue::to_string(f_.backend())) + "' does not");
+    std::vector<std::string> names;
+    for (const auto& t : spec.tenants) names.push_back(t.name);
+    lplane = std::make_unique<replay::LifecyclePlane>(spec.lifecycle, names);
+    cx.lp = lplane.get();
+    // Quota re-carve at every churn boundary: recompute the per-class
+    // carve over the classes still active, so hardware budgets track the
+    // live tenant mix (runtime::size_quotas — the same arithmetic as the
+    // static carve and the QoS supervisor, so nothing drifts).
+    if (spec.qos && (f_.backend() == squeue::Backend::kVl ||
+                     f_.backend() == squeue::Backend::kCaf)) {
+      for (const Tick at : cx.lp->churn_boundaries()) {
+        m_.eq().schedule_at(at, [this, &cx, &spec, at] {
+          bool present[kQosClasses] = {};
+          bool any = false;
+          for (std::size_t ti = 0; ti < spec.tenants.size(); ++ti) {
+            if (!cx.lp->tenant_active_at(static_cast<int>(ti), at)) continue;
+            present[static_cast<std::size_t>(spec.tenants[ti].qos)] = true;
+            any = true;
+          }
+          if (!any) return;  // everyone gone — leave the carve alone
+          runtime::ChannelDemand d =
+              channel_demand_for(spec, f_.backend(), m_.cfg());
+          runtime::base_weights(d, present);
+          const runtime::QuotaPlan plan = runtime::size_quotas(m_.cfg(), d);
+          for (std::size_t c = 0; c < kQosClasses; ++c) {
+            if (f_.backend() == squeue::Backend::kVl)
+              m_.cluster().set_class_quota(static_cast<QosClass>(c),
+                                           plan.vl_class_quota[c]);
+            else
+              f_.caf_device().set_class_credit(static_cast<QosClass>(c),
+                                               plan.caf_class_credits[c]);
+          }
+          cx.lp->note_recarve();
+        });
+      }
+    }
+  }
+
   // --- wire the topology ----------------------------------------------------
   std::uint8_t frame = 1;
   for (const auto& t : spec.tenants)
     frame = std::max(frame, cx.payload_words(t));
+  // A foreign trace may carry wider payloads than the spec. CAF stays at
+  // its single-word frame: the replay producer clamps record widths to 1
+  // there (see payload_words), so widening the channel would desynchronize
+  // the fixed frame length from the messages actually sent.
+  if (cx.trace && cx.backend != squeue::Backend::kCaf)
+    for (const auto& r : cx.trace->records) frame = std::max(frame, r.words);
 
   const int nstages = spec.topology == Topology::kPipeline ? spec.stages : 1;
   for (int s = 0; s < nstages; ++s) {
@@ -483,9 +662,13 @@ EngineResult Engine::run(const ScenarioSpec& raw, std::uint64_t seed,
 
   int pid = 0;
   for (std::size_t ti = 0; ti < split.size(); ++ti)
-    for (int k = 0; k < split[ti]; ++k)
-      sim::spawn(
-          producer(cx, next_thread(), static_cast<int>(ti), pid++));
+    for (int k = 0; k < split[ti]; ++k) {
+      if (cx.trace)
+        sim::spawn(replay_producer(cx, next_thread(), static_cast<int>(ti),
+                                   pid++));
+      else
+        sim::spawn(producer(cx, next_thread(), static_cast<int>(ti), pid++));
+    }
   for (std::size_t s = 0; s < cx.stages.size(); ++s)
     for (std::size_t c = 0; c < cx.stages[s].channels.size(); ++c)
       for (int w = 0; w < cx.stages[s].channels[c].workers; ++w)

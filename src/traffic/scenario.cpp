@@ -28,6 +28,17 @@ std::string validate(const ScenarioSpec& s) {
     return "stages != 1 only makes sense for the pipeline topology";
   }
   if (s.closed_loop && s.window < 1) return "closed loop needs window >= 1";
+  if (s.replay && s.closed_loop)
+    return "replay drives recorded send ticks; closed-loop pacing would "
+           "fight them — record an open-loop scenario instead";
+  for (const auto& e : s.lifecycle.events) {
+    if (e.kind == replay::LifecycleEvent::Kind::kReconfig) continue;
+    bool known = false;
+    for (const auto& t : s.tenants)
+      if (t.name == e.tenant) known = true;
+    if (!known)
+      return "lifecycle event names unknown tenant '" + e.tenant + "'";
+  }
   for (const auto& t : s.tenants) {
     if (t.name.empty()) return "tenant name is empty";
     if (t.share <= 0.0) return "tenant '" + t.name + "': share must be > 0";

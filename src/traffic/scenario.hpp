@@ -16,7 +16,12 @@
 
 #include "common/types.hpp"
 #include "fault/spec.hpp"
+#include "replay/lifecycle.hpp"
 #include "traffic/arrival.hpp"
+
+namespace vl::replay {
+struct Trace;
+}
 
 namespace vl::traffic {
 
@@ -107,6 +112,17 @@ struct ScenarioSpec {
   /// Deterministic fault schedule (fault/spec.hpp); empty = no faults.
   /// CLIs override it with --faults.
   fault::FaultSpec faults;
+  /// Deterministic lifecycle schedule (replay/lifecycle.hpp): tenant
+  /// join/leave churn and SQI re-registration events. Empty = static run.
+  /// Classic engine only; run_sharded rejects specs that carry one. CLIs
+  /// override it with --churn / --reconfig.
+  replay::LifecycleSpec lifecycle;
+  /// Replay source (replay/trace.hpp): when set, every producer ignores
+  /// its tenant's arrival/size/count parameters and re-offers the trace's
+  /// recorded per-producer (tick, class, size, destination) stream
+  /// verbatim. The trace must match the spec's shape (producer count,
+  /// sharded flag); the engine validates and throws otherwise. Not owned.
+  const replay::Trace* replay = nullptr;
   /// Sharded-run parameters; population == 0 means the preset was not
   /// designed for sharding (run_sharded rejects it).
   ShardingSpec sharding;

@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "fault/plane.hpp"
+#include "replay/trace.hpp"
 #include "runtime/qos_supervisor.hpp"
 #include "sim/sharded.hpp"
 #include "sim/task.hpp"
@@ -98,6 +99,15 @@ struct Mesh {
   fault::FaultPlane* fp = nullptr;
   bool chan_faults = false;
 
+  /// Send-boundary trace tap (null unless recording). Per-gpid streams are
+  /// preallocated by begin(), so threaded shards appending to their own
+  /// producers' streams never race.
+  replay::TraceRecorder* rec = nullptr;
+  /// Replay source: producers re-offer the trace's per-gpid streams; the
+  /// recorded dst is the *logical destination tenant*, so the router
+  /// re-resolves shard/channel placement at replay time. Null on live runs.
+  const replay::Trace* trace = nullptr;
+
   std::uint8_t payload_words(const TenantSpec& t) const {
     return backend == squeue::Backend::kCaf ? std::uint8_t{1} : t.msg_words;
   }
@@ -167,6 +177,11 @@ Co<void> producer(Mesh& mesh, ShardCtx& cx, SimThread t, int cls, int gpid,
       msg.w[0] = stamp(cls, gpid, eq.now());
       for (std::uint8_t w = 1; w < words; ++w)
         msg.w[w] = (static_cast<std::uint64_t>(cls) << 32) | i;
+      if (mesh.rec)
+        for (int k = 0; k < copies; ++k)
+          mesh.rec->on_send(static_cast<std::uint16_t>(gpid),
+                            static_cast<std::uint16_t>(cls), msg.qos, msg.n,
+                            dest, eq.now());
 
       if (dst == home) {
         for (int k = 0; k < copies; ++k)
@@ -203,6 +218,78 @@ Co<void> producer(Mesh& mesh, ShardCtx& cx, SimThread t, int cls, int gpid,
     }
   }
   --cx.producers_remaining;  // the barrier hook polls this
+}
+
+/// Replay-mode producer: re-offers the trace's per-gpid stream. Pacing
+/// reconstructs each record's absolute generation tick; the recorded dst
+/// is the logical destination tenant, re-resolved through the router, so
+/// a replay under a different shard count (or with rebalancing) still
+/// delivers the same per-class message set.
+Co<void> replay_producer(Mesh& mesh, ShardCtx& cx, SimThread t, int cls,
+                         int gpid) {
+  const TenantSpec& ts = mesh.spec.tenants[static_cast<std::size_t>(cls)];
+  auto& eq = cx.m->eq();
+  auto& tm = cx.classes[static_cast<std::size_t>(cls)];
+  const std::uint64_t batch = std::max<std::uint32_t>(ts.batch, 1);
+  const int home = cx.id;
+  replay::TraceArrival rep(*mesh.trace, static_cast<std::uint16_t>(gpid));
+
+  std::vector<std::vector<Msg>> sub(cx.channels.size());
+  while (!rep.done()) {
+    for (std::uint64_t b = 0; b < batch && !rep.done(); ++b) {
+      const Tick gap = rep.next_gap(eq.now());
+      if (gap) co_await sim::Delay(eq, gap);
+      const replay::TraceRecord& r0 = rep.record();
+      ++tm.generated;
+      const std::uint64_t dest = r0.dst % mesh.population;
+      const int dst = mesh.router.shard_for(dest);
+      const int nch_dst =
+          static_cast<int>(mesh.shards[static_cast<std::size_t>(dst)]
+                               ->channels.size());
+      const int ch = static_cast<int>(ShardRouter::hash(dest) %
+                                      static_cast<std::uint64_t>(nch_dst));
+      Msg msg;
+      msg.n = mesh.backend == squeue::Backend::kCaf ? std::uint8_t{1}
+                                                    : r0.words;
+      msg.qos = r0.cls;
+      msg.w[0] = stamp(cls, gpid, eq.now());
+      for (std::uint8_t w = 1; w < msg.n; ++w)
+        msg.w[w] = (static_cast<std::uint64_t>(cls) << 32) | b;
+      if (mesh.rec)  // re-recording a replay reproduces the trace
+        mesh.rec->on_send(static_cast<std::uint16_t>(gpid),
+                          static_cast<std::uint16_t>(cls), msg.qos, msg.n,
+                          dest, eq.now());
+      rep.advance();
+
+      if (dst == home) {
+        sub[static_cast<std::size_t>(ch)].push_back(msg);
+        continue;
+      }
+      while (!mesh.ssim.can_post(home, dst)) {
+        co_await sim::Delay(eq, kWindowBackoff);
+        tm.blocked_ticks += kWindowBackoff;
+      }
+      ShardCtx* d = mesh.shards[static_cast<std::size_t>(dst)].get();
+      mesh.ssim.post(home, dst, [d, msg, ch] {
+        d->digest = fnv1a(d->digest, d->m->now());
+        d->digest = fnv1a(d->digest, msg.w[0]);
+        ++d->cross_in;
+        d->ingress.push_back(InMsg{msg, ch});
+        d->ingress_wq->wake_one();
+      });
+      ++tm.sent;
+    }
+    for (std::size_t c = 0; c < sub.size(); ++c) {
+      if (sub[c].empty()) continue;
+      const Tick send_start = eq.now();
+      co_await cx.channels[c]->send_many(t, sub[c]);
+      tm.blocked_ticks += eq.now() - send_start;
+      tm.sent += sub[c].size();
+      cx.chan_sent[c] += sub[c].size();
+      sub[c].clear();
+    }
+  }
+  --cx.producers_remaining;
 }
 
 /// Per-shard link relay: drains the ingress deque into per-channel
@@ -427,6 +514,23 @@ ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
   if (spec.consumers < S)
     throw std::invalid_argument(
         "need at least one consumer per shard (consumers >= shards)");
+  if (!spec.lifecycle.empty())
+    throw std::invalid_argument(
+        "lifecycle events (churn/reconfig) run on the classic engine only");
+  if (spec.replay) {
+    if (!spec.replay->sharded)
+      throw std::invalid_argument(
+          "replay: trace '" + spec.replay->scenario +
+          "' was recorded by the classic engine; replay it via traffic::run");
+    if (spec.replay->producers !=
+            static_cast<std::uint32_t>(spec.producers) ||
+        spec.replay->tenants != spec.tenants.size())
+      throw std::invalid_argument(
+          "replay: trace shape (producers=" +
+          std::to_string(spec.replay->producers) +
+          ", tenants=" + std::to_string(spec.replay->tenants) +
+          ") does not match scenario '" + spec.name + "'");
+  }
 
   ShardRouter router(S);
   sim::ShardedSim ssim(spec.sharding.link_latency, opts.sim_threads);
@@ -510,6 +614,14 @@ ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
   mesh.chan_faults = plane && plane->mutates_channels() &&
                      (backend == squeue::Backend::kBlfq ||
                       backend == squeue::Backend::kZmq);
+  mesh.trace = spec.replay;
+  if (opts.obs && opts.obs->recorder) {
+    mesh.rec = opts.obs->recorder;
+    mesh.rec->begin(spec.name, squeue::to_string(backend), seed,
+                    static_cast<std::uint32_t>(spec.producers),
+                    static_cast<std::uint32_t>(spec.tenants.size()),
+                    /*sharded=*/true);
+  }
 
   // --- observability hookup -------------------------------------------------
   // A supervised run samples even without caller hooks — into a private
@@ -568,6 +680,13 @@ ShardedResult run_sharded(const ScenarioSpec& raw, squeue::Backend backend,
     for (int c = 0; c < static_cast<int>(cx.channels.size()); ++c)
       sim::spawn(worker(mesh, cx, next_thread(), c));
     for (int p = sh; p < spec.producers; p += S) {
+      if (mesh.trace) {
+        // Replay flavour: the per-gpid stream is the budget (an empty
+        // stream returns immediately and decrements the barrier count).
+        sim::spawn(replay_producer(mesh, cx, next_thread(),
+                                   cls_of[static_cast<std::size_t>(p)], p));
+        continue;
+      }
       const std::uint64_t target =
           per + (static_cast<std::uint64_t>(p) < rem ? 1 : 0);
       if (target)

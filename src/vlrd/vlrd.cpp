@@ -633,6 +633,34 @@ std::uint32_t Vlrd::queued_data(Sqi sqi) const {
   return n;
 }
 
+std::vector<std::vector<mem::Line>> Vlrd::snapshot_resident() const {
+  if (cfg_.ideal) {
+    std::vector<std::vector<mem::Line>> out(ideal_data_.size());
+    for (std::size_t s = 0; s < ideal_data_.size(); ++s)
+      out[s].assign(ideal_data_[s].begin(), ideal_data_[s].end());
+    return out;
+  }
+  std::vector<std::vector<mem::Line>> out(link_tab_.size());
+  // An entry sits on exactly one of the three lists at a time (push_front
+  // returns OUT entries to the wait list), but walk with a seen-map anyway
+  // so a snapshot never duplicates a line.
+  std::vector<bool> seen(prod_buf_.size(), false);
+  auto grab = [&](std::uint16_t i) {
+    if (i == kNil || seen[i]) return;
+    const ProdBufEntry& e = prod_buf_[i];
+    if (!e.valid && !e.out_valid) return;
+    seen[i] = true;
+    out[e.sqi].push_back(e.data);
+  };
+  for (std::uint16_t i = pohr_; i != kNil; i = prod_buf_[i].next_out)
+    grab(i);
+  for (const auto& lt : link_tab_)
+    for (std::uint16_t i = lt.prod_head; i != kNil; i = prod_buf_[i].next_l)
+      grab(i);
+  for (std::uint16_t i = pihr_; i != kNil; i = prod_buf_[i].next_in) grab(i);
+  return out;
+}
+
 std::uint32_t Vlrd::queued_requests(Sqi sqi) const {
   if (cfg_.ideal)
     return static_cast<std::uint32_t>(ideal_waiters_[sqi].size());

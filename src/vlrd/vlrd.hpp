@@ -122,6 +122,15 @@ class Vlrd {
     trace_ = std::move(fn);
   }
 
+  /// Warm-restart support (src/replay/warm_restart.hpp): every message
+  /// line resident in the device, per SQI, in delivery order — OUT-list
+  /// entries first (oldest injection candidates), then the SQI's producer
+  /// wait list, then undispatched IN entries in input order. Ideal mode
+  /// reads the per-SQI deques directly. Read-only; call only on a
+  /// quiesced device (drained event queue, injector idle), never
+  /// mid-pipeline.
+  std::vector<std::vector<mem::Line>> snapshot_resident() const;
+
   // --- epoch-boundary knobs (QoS supervisor / fault plane) ---------------
   // All three are safe only between event-queue steps — the supervisor's
   // sampling boundary and the fault plane's scheduled (tick, seq) events —

@@ -106,7 +106,8 @@ const WorkloadRegistrar kReg{
      [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
        return run_allreduce(m, f, rc.scale);
      },
-     nullptr, RunConfig{}}};
+     nullptr, RunConfig{},
+     "tree reduce + broadcast over a 14-edge binary tree (bsp::World)"}};
 }  // namespace
 
 }  // namespace vl::workloads

@@ -141,7 +141,8 @@ const WorkloadRegistrar kReg{
        return run_bitonic(m, f, rc.scale, rc.bitonic_workers,
                           rc.bitonic_compare_cost);
      },
-     nullptr, RunConfig{}}};
+     nullptr, RunConfig{},
+     "master/worker bitonic sort on a 16-edge star (bsp::World)"}};
 }  // namespace
 
 }  // namespace vl::workloads

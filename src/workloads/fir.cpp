@@ -86,7 +86,8 @@ const WorkloadRegistrar kReg{
      // kStages-1 chained channels, each consuming one SQI while producing
      // another — the relay cycle the VLRD quota carve must cover.
      [](const RunConfig&) { return static_cast<std::uint32_t>(kStages - 1); },
-     RunConfig{}}};
+     RunConfig{},
+     "32-stage filter pipeline, 2 threads/core, chained channels"}};
 }  // namespace
 
 }  // namespace vl::workloads

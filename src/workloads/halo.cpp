@@ -77,7 +77,8 @@ const WorkloadRegistrar kReg{
      [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
        return run_halo(m, f, rc.scale);
      },
-     nullptr, RunConfig{}}};
+     nullptr, RunConfig{},
+     "exchange with grid neighbours, 48-edge grid (bsp::World)"}};
 }  // namespace
 
 }  // namespace vl::workloads

@@ -67,7 +67,8 @@ const WorkloadRegistrar kReg{
      [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
        return run_incast(m, f, rc.scale);
      },
-     nullptr, RunConfig{}}};
+     nullptr, RunConfig{},
+     "15 producers fan in to 1 master over one shared queue"}};
 }  // namespace
 
 }  // namespace vl::workloads

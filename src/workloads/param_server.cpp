@@ -91,7 +91,8 @@ const WorkloadRegistrar kReg{
      [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
        return run_param_server(m, f, rc.scale);
      },
-     nullptr, RunConfig{}}};
+     nullptr, RunConfig{},
+     "gradient push / weight broadcast on a 16-edge star (bsp::World)"}};
 }  // namespace
 
 }  // namespace vl::workloads

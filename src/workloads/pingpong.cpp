@@ -68,7 +68,8 @@ const WorkloadRegistrar kReg{
      [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
        return run_pingpong(m, f, rc.scale);
      },
-     nullptr, RunConfig{}}};
+     nullptr, RunConfig{},
+     "data bounced between two threads over a 1:1 channel pair"}};
 }  // namespace
 
 }  // namespace vl::workloads

@@ -147,7 +147,8 @@ const WorkloadRegistrar kReg{
      // pipe_c1 + pipe_c2 + one completion queue per S3 worker +
      // pipe_credits: the fork/join relay cycle the quota carve covers.
      [](const RunConfig&) { return static_cast<std::uint32_t>(2 + kStage3 + 1); },
-     RunConfig{}}};
+     RunConfig{},
+     "4-stage packet pipeline with 2 KiB payloads (1:4 fork, 4:1 join)"}};
 }  // namespace
 
 }  // namespace vl::workloads

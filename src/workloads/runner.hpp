@@ -58,6 +58,7 @@ struct WorkloadInfo {
                            const RunConfig&);
   std::uint32_t (*channel_count)(const RunConfig&);
   RunConfig defaults;
+  const char* summary = "";  ///< One-line description for --list output.
 };
 
 /// Constructing one of these (namespace-scope static in the kernel's TU)

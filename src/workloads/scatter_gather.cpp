@@ -98,7 +98,8 @@ const WorkloadRegistrar kReg{
      // The quota carve is fed by the World's own graph — the star's
      // directed edge count — never a hand-maintained constant.
      [](const RunConfig&) { return sg_topology().channel_count(); },
-     RunConfig{}}};
+     RunConfig{},
+     "fork/join rounds on a 12-edge star (bsp::World)"}};
 }  // namespace
 
 }  // namespace vl::workloads

@@ -117,7 +117,8 @@ const WorkloadRegistrar kReg{
      [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
        return run_stencil(m, f, rc.scale);
      },
-     nullptr, RunConfig{}}};
+     nullptr, RunConfig{},
+     "Jacobi sweep with ghost-cell puts, grid + convergence probe"}};
 }  // namespace
 
 }  // namespace vl::workloads

@@ -95,7 +95,8 @@ const WorkloadRegistrar kReg{
      [](runtime::Machine& m, squeue::ChannelFactory& f, const RunConfig& rc) {
        return run_sweep(m, f, rc.scale);
      },
-     nullptr, RunConfig{}}};
+     nullptr, RunConfig{},
+     "wavefront corner-to-corner and back over 48 1:1 channels"}};
 }  // namespace
 
 }  // namespace vl::workloads

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Replay-fidelity gate over scenario_runner per-tenant CSVs.
+
+Compares the CSV of a recorded run against the CSV of its replay and
+enforces the record/replay plane's headline contract:
+
+  * delivered counts match EXACTLY, row by row — the trace is the
+    post-shed stream, so every recorded message copy must arrive in the
+    replay (zero loss, zero duplication);
+  * latency p99 within --p99-tolerance (default 5%) per row — replayed
+    pacing reconstructs the recorded generation ticks, so the latency
+    distribution must track the original closely (exactly, on the same
+    backend);
+  * SLO attainment within --attainment-tolerance points (default 5) for
+    rows that carry an SLO.
+
+Rows are matched by (scenario, backend, tenant, qos) — the per-tenant
+rows, the per-class aggregates, and the "*" total all participate.
+Generated/dropped are NOT compared: the recorded run may have shed
+messages producer-side, while a replay never sheds (the trace already
+reflects it).
+
+    replay_gate.py RECORDED.csv REPLAYED.csv
+                   [--p99-tolerance 0.05] [--attainment-tolerance 5.0]
+
+Exit status: 0 pass, 1 fidelity violation, 2 bad invocation/input.
+"""
+
+import argparse
+import csv
+import sys
+
+
+def bail(msg):
+    print(f"replay_gate: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_rows(path):
+    try:
+        with open(path, newline="") as f:
+            rows = list(csv.DictReader(f))
+    except OSError as e:
+        bail(f"cannot read {path}: {e}")
+    if not rows:
+        bail(f"{path} has no data rows")
+    out = {}
+    for r in rows:
+        try:
+            key = (r["scenario"], r["backend"], r["tenant"], r["qos"])
+        except KeyError as e:
+            bail(f"{path} is not a scenario_runner CSV (missing column {e})")
+        if key in out:
+            bail(f"duplicate row {key} in {path}")
+        out[key] = r
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("recorded")
+    ap.add_argument("replayed")
+    ap.add_argument("--p99-tolerance", type=float, default=0.05,
+                    help="max relative lat_p99 difference per row")
+    ap.add_argument("--attainment-tolerance", type=float, default=5.0,
+                    help="max slo_att_pct difference in points")
+    args = ap.parse_args()
+
+    rec = load_rows(args.recorded)
+    rep = load_rows(args.replayed)
+
+    failures = []
+    for key, a in sorted(rec.items()):
+        b = rep.get(key)
+        label = "/".join(key)
+        if b is None:
+            failures.append(f"{label}: row missing from the replay")
+            continue
+        if a["delivered"] != b["delivered"]:
+            failures.append(
+                f"{label}: delivered {b['delivered']} != recorded "
+                f"{a['delivered']} (must match exactly)")
+        p99_a, p99_b = int(a["lat_p99"]), int(b["lat_p99"])
+        if p99_a > 0:
+            rel = abs(p99_b - p99_a) / p99_a
+            if rel > args.p99_tolerance:
+                failures.append(
+                    f"{label}: lat_p99 {p99_b} vs recorded {p99_a} "
+                    f"({rel * 100:.1f}% > {args.p99_tolerance * 100:.0f}%)")
+        att_a, att_b = a["slo_att_pct"], b["slo_att_pct"]
+        if att_a != "-" and att_b != "-":
+            delta = abs(float(att_b) - float(att_a))
+            if delta > args.attainment_tolerance:
+                failures.append(
+                    f"{label}: attainment {att_b} vs recorded {att_a} "
+                    f"({delta:.1f} > {args.attainment_tolerance:.1f} points)")
+    for key in sorted(rep):
+        if key not in rec:
+            failures.append("/".join(key) + ": extra row not in the recording")
+
+    if failures:
+        for f in failures:
+            print(f"replay_gate: FAIL {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"replay_gate: {len(rec)} rows match "
+          f"(delivered exact, p99 within {args.p99_tolerance * 100:.0f}%, "
+          f"attainment within {args.attainment_tolerance:.0f} points)")
+
+
+if __name__ == "__main__":
+    main()
